@@ -1,0 +1,76 @@
+// Ablation (Section 3.1.3): sweep the schema analyzer's density threshold
+// and report how many attributes materialize and what that does to a dense
+// projection (Q1-style) and a sparse selection (Q9-style) — the design
+// trade-off the hybrid schema navigates.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sinew/sinew_db.h"
+#include "workloads/nobench/generator.h"
+#include "workloads/nobench/runners.h"
+
+namespace nb = sinew::workloads::nobench;
+using sinew::bench::PrintHeader;
+using sinew::bench::Scaled;
+using sinew::bench::Timer;
+
+int main() {
+  PrintHeader("Ablation: materialization density threshold sweep");
+  nb::Config config;
+  config.num_records = Scaled(20000);
+  std::vector<sinew::Value> docs = nb::Generate(config);
+  nb::QueryParams params = nb::MakeQueryParams(config);
+
+  const std::string dense_query = "SELECT str1, num FROM nobench_main";
+  const std::string sparse_query =
+      "SELECT * FROM nobench_main WHERE sparse_110 = '" + params.q9_value +
+      "'";
+
+  std::printf("%-10s %14s %14s %14s %14s\n", "threshold", "materialized",
+              "storage (MB)", "dense Q (ms)", "sparse Q (ms)");
+  for (double threshold : {1.01, 0.9, 0.6, 0.3, 0.05, 0.005}) {
+    sinew::SinewOptions options;
+    options.analyzer.density_threshold = threshold;
+    options.analyzer.cardinality_threshold = 50;  // let sparse keys qualify
+
+    sinew::SinewDb db(options);
+    if (!db.LoadDocuments(nb::kTableName, docs).ok()) {
+      std::printf("load failed\n");
+      return 1;
+    }
+    if (!db.AnalyzeAndMaterialize(nb::kTableName).ok()) {
+      std::printf("materialization failed\n");
+      return 1;
+    }
+    auto schema = db.LogicalSchema(nb::kTableName);
+    int materialized = 0;
+    for (const auto& col : *schema) {
+      if (col.materialized) ++materialized;
+    }
+    auto table = db.engine()->catalog()->GetTable(nb::kTableName);
+    double mb = static_cast<double>((*table)->DataBytes()) / 1e6;
+
+    auto time_query = [&](const std::string& sql) -> double {
+      double best = -1;
+      for (int r = 0; r < 3; ++r) {
+        Timer timer;
+        auto result = db.Query(sql);
+        if (!result.ok()) return -1;
+        double ms = timer.Millis();
+        if (best < 0 || ms < best) best = ms;
+      }
+      return best;
+    };
+    std::printf("%-10.3f %14d %14.2f %14.1f %14.1f\n", threshold,
+                materialized, mb, time_query(dense_query),
+                time_query(sparse_query));
+  }
+  std::printf(
+      "\nExpected: lowering the threshold materializes more columns; dense\n"
+      "projections speed up once their columns are physical, while\n"
+      "indiscriminate materialization of sparse keys (threshold ~0) wastes\n"
+      "row-header space for no query benefit — the motivation for the\n"
+      "hybrid schema (paper Section 3.1.1).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figures 6a/6b: NoBench query performance (Q1-Q10) across the four
+// systems, at two dataset scales ("small" fits the paper's in-memory case,
+// "large" is 4x). Prints one row per query with per-system execution time in
+// milliseconds — the series plotted in Figures 6a and 6b.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workloads/nobench/generator.h"
+#include "workloads/nobench/runners.h"
+
+namespace nb = sinew::workloads::nobench;
+using sinew::bench::PrintHeader;
+using sinew::bench::Scaled;
+using sinew::bench::Timer;
+
+namespace {
+
+void RunScale(const char* label, uint64_t records) {
+  nb::Config config;
+  config.num_records = records;
+  std::vector<sinew::Value> docs = nb::Generate(config);
+  nb::QueryParams params = nb::MakeQueryParams(config);
+
+  auto runners = nb::MakeAllRunners();
+  for (auto& runner : runners) {
+    sinew::Status st = runner->Load(docs);
+    if (st.ok()) st = runner->Prepare();
+    if (!st.ok()) {
+      std::printf("load failed for %s: %s\n",
+                  std::string(runner->name()).c_str(), st.ToString().c_str());
+      return;
+    }
+  }
+
+  std::printf("\n--- %s: %llu records ---\n", label,
+              static_cast<unsigned long long>(records));
+  std::printf("%-4s", "Q");
+  for (auto& runner : runners) {
+    std::printf(" %16s", std::string(runner->name()).c_str());
+  }
+  std::printf("   (ms; lower is better)\n");
+  for (int q = 1; q <= 10; ++q) {
+    std::printf("Q%-3d", q);
+    for (auto& runner : runners) {
+      Timer timer;
+      auto rows = runner->Execute(q, params);
+      double ms = timer.Millis();
+      if (!rows.ok()) {
+        std::printf(" %16s", "FAILED");
+      } else {
+        std::printf(" %16.1f", ms);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 6: NoBench Q1-Q10 execution time");
+  RunScale("small (Figure 6a)", Scaled(8000));
+  RunScale("large (Figure 6b)", Scaled(32000));
+  std::printf(
+      "\nPaper shape: Sinew fastest or tied on every query; PG-JSON and EAV\n"
+      "an order of magnitude slower on projections/selections; MongoDB-like\n"
+      "competitive on sparse projections, behind Sinew elsewhere.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 8: random update performance — the paper's added task
+// (UPDATE ... SET sparse_588 = 'DUMMY' WHERE sparse_589 = <value>,
+// ~1 in 10000 records affected).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workloads/nobench/generator.h"
+#include "workloads/nobench/runners.h"
+
+namespace nb = sinew::workloads::nobench;
+using sinew::bench::PrintHeader;
+using sinew::bench::Scaled;
+using sinew::bench::Timer;
+
+namespace {
+
+void RunScale(const char* label, uint64_t records) {
+  nb::Config config;
+  config.num_records = records;
+  std::vector<sinew::Value> docs = nb::Generate(config);
+  nb::QueryParams params = nb::MakeQueryParams(config);
+
+  std::printf("\n--- %s: %llu records ---\n", label,
+              static_cast<unsigned long long>(records));
+  std::printf("%-14s %14s %10s\n", "System", "Update (ms)", "updated");
+  for (auto& runner : nb::MakeAllRunners()) {
+    sinew::Status st = runner->Load(docs);
+    if (st.ok()) st = runner->Prepare();
+    if (!st.ok()) {
+      std::printf("%-14s %14s\n", std::string(runner->name()).c_str(),
+                  "LOAD FAILED");
+      continue;
+    }
+    Timer timer;
+    auto rows = runner->Execute(12, params);
+    double ms = timer.Millis();
+    if (!rows.ok()) {
+      std::printf("%-14s %14s\n", std::string(runner->name()).c_str(),
+                  "FAILED");
+      continue;
+    }
+    std::printf("%-14s %14.1f %10llu\n",
+                std::string(runner->name()).c_str(), ms,
+                static_cast<unsigned long long>(*rows));
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 8: random update performance");
+  RunScale("small", Scaled(8000));
+  RunScale("large", Scaled(32000));
+  std::printf(
+      "\nPaper shape: Sinew fastest (binary reservoir predicate + in-place\n"
+      "functional update); PG-JSON slower (text re-serialization); EAV\n"
+      "slowest among RDBMS solutions (self-join + upsert); MongoDB-like's\n"
+      "predicate evaluation overhead outweighs its lack of transactional\n"
+      "guarantees.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Microbenchmarks (google-benchmark) for the serialization layer: the
+// O(log n) random-access claim of Section 4.1 (extraction cost vs. document
+// width) and the comparison against the sequential ProtoLike format.
+
+#include <benchmark/benchmark.h>
+
+#include "serial/protolike.h"
+#include "serial/sinew_serializer.h"
+#include "workloads/nobench/generator.h"
+
+namespace {
+
+using sinew::Value;
+
+/// A synthetic document with `width` attributes.
+Value WideDocument(int width) {
+  Value doc = Value::Object({});
+  for (int i = 0; i < width; ++i) {
+    doc.Set("key_" + std::to_string(i), Value::Int(i * 7));
+  }
+  return doc;
+}
+
+void BM_SinewExtract_VsWidth(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  sinew::serial::SinewSerializer serializer;
+  std::string blob;
+  if (!serializer.Serialize(WideDocument(width), &blob).ok()) {
+    state.SkipWithError("serialize failed");
+    return;
+  }
+  std::string key = "key_" + std::to_string(width / 2);
+  for (auto _ : state) {
+    auto v = serializer.Extract(blob, key);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SinewExtract_VsWidth)->RangeMultiplier(4)->Range(4, 4096);
+
+void BM_ProtoLikeExtract_VsWidth(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  sinew::serial::ProtoLikeSerializer serializer;
+  std::string blob;
+  if (!serializer.Serialize(WideDocument(width), &blob).ok()) {
+    state.SkipWithError("serialize failed");
+    return;
+  }
+  std::string key = "key_" + std::to_string(width / 2);
+  for (auto _ : state) {
+    auto v = serializer.Extract(blob, key);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ProtoLikeExtract_VsWidth)->RangeMultiplier(4)->Range(4, 4096);
+
+void BM_SinewSerializeNoBench(benchmark::State& state) {
+  sinew::workloads::nobench::Config config;
+  config.num_records = 256;
+  auto docs = sinew::workloads::nobench::Generate(config);
+  sinew::serial::SinewSerializer serializer;
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string blob;
+    benchmark::DoNotOptimize(serializer.Serialize(docs[i % docs.size()], &blob));
+    ++i;
+  }
+}
+BENCHMARK(BM_SinewSerializeNoBench);
+
+void BM_SinewDeserializeNoBench(benchmark::State& state) {
+  sinew::workloads::nobench::Config config;
+  config.num_records = 256;
+  auto docs = sinew::workloads::nobench::Generate(config);
+  sinew::serial::SinewSerializer serializer;
+  std::vector<std::string> blobs(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (!serializer.Serialize(docs[i], &blobs[i]).ok()) {
+      state.SkipWithError("serialize failed");
+      return;
+    }
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serializer.Deserialize(blobs[i % blobs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SinewDeserializeNoBench);
+
+}  // namespace
+
+BENCHMARK_MAIN();

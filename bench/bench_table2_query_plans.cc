@@ -1,0 +1,106 @@
+// Tables 1 & 2: effect of virtual vs. physical columns on query plans.
+//
+// Loads the synthetic Twitter workload into two Sinew instances — one with
+// everything left virtual in the column reservoir, one with the referenced
+// attributes materialized and ANALYZEd — and EXPLAINs the four Table 1
+// queries in both conditions. The paper's observed differences are the
+// aggregate-operator flips (HashAggregate vs. sort-based Unique /
+// GroupAggregate), join-strategy flips (hash vs. merge under the work_mem
+// proxy) and the row-estimate gaps (the fixed 200-row default for
+// statistics-less virtual columns vs. ANALYZE statistics).
+//
+// It also measures execution time of each query in both conditions
+// (the paper reports an order-of-magnitude gap on the self-join).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "sinew/sinew_db.h"
+#include "workloads/twitter/twitter.h"
+
+namespace tw = sinew::workloads::twitter;
+using sinew::bench::PrintHeader;
+using sinew::bench::Scaled;
+using sinew::bench::Timer;
+
+namespace {
+
+constexpr const char* kMaterializedTweetCols[] = {
+    "id_str",      "retweet_count",       "user",
+    "user.id",     "user.screen_name",    "user.lang",
+    "user.friends_count", "in_reply_to_screen_name",
+};
+constexpr const char* kMaterializedDeleteCols[] = {
+    "delete", "delete.status.id_str", "delete.status.user_id"};
+
+sinew::Status LoadTwitter(sinew::SinewDb* db, const tw::Config& config) {
+  RETURN_NOT_OK(db->LoadDocuments("tweets", tw::GenerateTweets(config))
+                    .status());
+  RETURN_NOT_OK(db->LoadDocuments("deletes", tw::GenerateDeletes(config))
+                    .status());
+  return sinew::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Tables 1 & 2: query plans, virtual vs. physical columns");
+  tw::Config config;
+  config.num_tweets = Scaled(20000);
+  config.num_deletes = config.num_tweets / 5;
+
+  // work_mem proxies scaled to the dataset, playing the role the paper's
+  // 128 MB shared-memory limit plays against 10M tweets.
+  sinew::SinewOptions options;
+  options.planner.hash_agg_max_groups =
+      static_cast<double>(config.num_tweets) / 20;
+  options.planner.hash_join_max_build_rows =
+      static_cast<double>(config.num_tweets) / 20;
+
+  sinew::SinewDb virtual_db(options);
+  sinew::SinewDb physical_db(options);
+  if (!LoadTwitter(&virtual_db, config).ok() ||
+      !LoadTwitter(&physical_db, config).ok()) {
+    std::printf("load failed\n");
+    return 1;
+  }
+  for (const char* col : kMaterializedTweetCols) {
+    (void)physical_db.ForceMaterialization("tweets", col, true);
+  }
+  for (const char* col : kMaterializedDeleteCols) {
+    (void)physical_db.ForceMaterialization("deletes", col, true);
+  }
+  if (!physical_db.MaterializeAll("tweets").ok() ||
+      !physical_db.MaterializeAll("deletes").ok()) {
+    std::printf("materialization failed\n");
+    return 1;
+  }
+
+  std::vector<std::string> queries = tw::Table1Queries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("\n# Query %zu (Table 1)\n%s\n", i + 1, queries[i].c_str());
+    auto vplan = virtual_db.Explain(queries[i]);
+    auto pplan = physical_db.Explain(queries[i]);
+    std::printf("-- with virtual columns:\n%s",
+                vplan.ok() ? vplan->c_str() : vplan.status().ToString().c_str());
+    std::printf("-- with physical columns:\n%s",
+                pplan.ok() ? pplan->c_str() : pplan.status().ToString().c_str());
+
+    Timer vt;
+    auto vres = virtual_db.Query(queries[i]);
+    double v_ms = vt.Millis();
+    Timer pt;
+    auto pres = physical_db.Query(queries[i]);
+    double p_ms = pt.Millis();
+    std::printf("-- execution: virtual %.1f ms (%zu rows), physical %.1f ms (%zu rows)\n",
+                v_ms, vres.ok() ? vres->rows.size() : 0, p_ms,
+                pres.ok() ? pres->rows.size() : 0);
+  }
+  std::printf(
+      "\nPaper shape (Table 2): DISTINCT flips HashAggregate -> sort-based\n"
+      "Unique, GROUP BY flips HashAggregate -> GroupAggregate, and join\n"
+      "strategies/row estimates change once real statistics exist; the\n"
+      "physical plans run faster, most dramatically on the self-join.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table 3: load time and storage size for the four systems at two scales,
+// plus the size of the original JSON input.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workloads/nobench/generator.h"
+#include "workloads/nobench/runners.h"
+
+namespace nb = sinew::workloads::nobench;
+using sinew::bench::PrintHeader;
+using sinew::bench::Scaled;
+using sinew::bench::Timer;
+
+namespace {
+
+void RunScale(const char* label, uint64_t records) {
+  nb::Config config;
+  config.num_records = records;
+  std::vector<sinew::Value> docs = nb::Generate(config);
+  // The paper's systems all ingest JSON text; feed that to every runner.
+  std::vector<std::string> lines;
+  lines.reserve(docs.size());
+  uint64_t original_bytes = 0;
+  for (const sinew::Value& doc : docs) {
+    lines.push_back(doc.ToJson());
+    original_bytes += lines.back().size();
+  }
+  docs.clear();
+
+  std::printf("\n--- %s: %llu records ---\n", label,
+              static_cast<unsigned long long>(records));
+  std::printf("%-14s %12s %14s\n", "System", "Load (ms)", "Size (MB)");
+
+  auto runners = nb::MakeAllRunners();
+  for (auto& runner : runners) {
+    Timer timer;
+    sinew::Status st = runner->LoadJsonLines(lines);
+    double load_ms = timer.Millis();
+    if (!st.ok()) {
+      std::printf("%-14s %12s\n", std::string(runner->name()).c_str(),
+                  "FAILED");
+      continue;
+    }
+    // Prepare (Sinew materialization / EAV ANALYZE) is excluded from load
+    // time, as in the paper (the materializer is a background process).
+    (void)runner->Prepare();
+    auto size = runner->StorageBytes();
+    std::printf("%-14s %12.1f %14.2f\n", std::string(runner->name()).c_str(),
+                load_ms,
+                size.ok() ? static_cast<double>(*size) / 1e6 : -1.0);
+  }
+  std::printf("%-14s %12s %14.2f\n", "Original", "-",
+              static_cast<double>(original_bytes) / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 3: load time and storage size");
+  RunScale("small", Scaled(8000));
+  RunScale("large", Scaled(32000));
+  std::printf(
+      "\nPaper shape: Sinew's representation is the most compact (dictionary-\n"
+      "encoded keys); PG-JSON ~= original; MongoDB-like slightly larger than\n"
+      "original (BSON type/key overhead); EAV ~2x+ original; EAV load is by\n"
+      "far the slowest (20+ tuples per record).\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Table 4 (Appendix A): serialization format comparison — Sinew's custom
+// format vs. the Protocol-Buffers-like and Avro-like comparators, on
+// serialization, full deserialization, 1-key extraction, 10-key extraction,
+// and stored size.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serial/avrolike.h"
+#include "serial/protolike.h"
+#include "serial/sinew_serializer.h"
+#include "workloads/nobench/generator.h"
+
+namespace nb = sinew::workloads::nobench;
+using sinew::bench::PrintHeader;
+using sinew::bench::Scaled;
+using sinew::bench::Timer;
+
+namespace {
+
+struct Row {
+  double serialize_ms = -1;
+  double deserialize_ms = -1;
+  double extract1_ms = -1;
+  double extract10_ms = -1;
+  double size_mb = 0;
+};
+
+const char* kTenKeys[] = {"str1",       "str2",      "num",        "bool",
+                          "dyn1",       "dyn2",      "thousandth", "sparse_110",
+                          "sparse_220", "nested_arr"};
+
+Row RunFormat(sinew::serial::DocumentSerializer* serializer,
+              const std::vector<sinew::Value>& docs) {
+  Row row;
+  for (const sinew::Value& doc : docs) {
+    if (!serializer->ObserveSchema(doc).ok()) return row;
+  }
+  std::vector<std::string> blobs(docs.size());
+  {
+    Timer timer;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      if (!serializer->Serialize(docs[i], &blobs[i]).ok()) return row;
+    }
+    row.serialize_ms = timer.Millis();
+  }
+  uint64_t bytes = 0;
+  for (const std::string& b : blobs) bytes += b.size();
+  row.size_mb = static_cast<double>(bytes) / 1e6;
+  {
+    Timer timer;
+    for (const std::string& b : blobs) {
+      auto doc = serializer->Deserialize(b);
+      if (!doc.ok()) return row;
+    }
+    row.deserialize_ms = timer.Millis();
+  }
+  {
+    Timer timer;
+    for (const std::string& b : blobs) {
+      auto v = serializer->Extract(b, "thousandth");
+      if (!v.ok()) return row;
+    }
+    row.extract1_ms = timer.Millis();
+  }
+  {
+    Timer timer;
+    for (const std::string& b : blobs) {
+      for (const char* key : kTenKeys) {
+        auto v = serializer->Extract(b, key);
+        if (!v.ok()) return row;
+      }
+    }
+    row.extract10_ms = timer.Millis();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 4: serialization format comparison (Appendix A)");
+  nb::Config config;
+  config.num_records = Scaled(20000);
+  std::vector<sinew::Value> docs = nb::Generate(config);
+  uint64_t original = 0;
+  for (const sinew::Value& doc : docs) original += doc.ToJson().size();
+
+  std::vector<std::unique_ptr<sinew::serial::DocumentSerializer>> formats;
+  formats.push_back(std::make_unique<sinew::serial::SinewSerializer>());
+  formats.push_back(std::make_unique<sinew::serial::ProtoLikeSerializer>());
+  formats.push_back(std::make_unique<sinew::serial::AvroLikeSerializer>());
+
+  std::printf("%llu NoBench objects; times in ms\n",
+              static_cast<unsigned long long>(config.num_records));
+  std::printf("%-22s %10s %10s %10s\n", "Task", "Sinew", "ProtoLike",
+              "AvroLike");
+  Row rows[3];
+  for (int i = 0; i < 3; ++i) rows[i] = RunFormat(formats[i].get(), docs);
+  std::printf("%-22s %10.1f %10.1f %10.1f\n", "Serialization (ms)",
+              rows[0].serialize_ms, rows[1].serialize_ms,
+              rows[2].serialize_ms);
+  std::printf("%-22s %10.1f %10.1f %10.1f\n", "Deserialization (ms)",
+              rows[0].deserialize_ms, rows[1].deserialize_ms,
+              rows[2].deserialize_ms);
+  std::printf("%-22s %10.1f %10.1f %10.1f\n", "Extraction 1 key (ms)",
+              rows[0].extract1_ms, rows[1].extract1_ms, rows[2].extract1_ms);
+  std::printf("%-22s %10.1f %10.1f %10.1f\n", "Extraction 10 keys",
+              rows[0].extract10_ms, rows[1].extract10_ms,
+              rows[2].extract10_ms);
+  std::printf("%-22s %10.2f %10.2f %10.2f   (original JSON: %.2f)\n",
+              "Size (MB)", rows[0].size_mb, rows[1].size_mb, rows[2].size_mb,
+              static_cast<double>(original) / 1e6);
+  std::printf(
+      "\nPaper shape: Sinew fastest on every task; ProtoLike slightly\n"
+      "smaller on disk (aggressive varint packing) but much slower to\n"
+      "extract (sequential wire format); AvroLike bloated and slowest\n"
+      "(explicit nulls for every schema field, no random access).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every binary runs standalone with no arguments and finishes in seconds at
+// the default scale. Set SINEW_BENCH_SCALE=<float> to scale the dataset
+// sizes (e.g. 4 for a longer, more stable run).
+
+#ifndef SINEW_BENCH_BENCH_UTIL_H_
+#define SINEW_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+
+namespace sinew::bench {
+
+inline double ScaleFromEnv() {
+  const char* env = std::getenv("SINEW_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t base) {
+  return static_cast<uint64_t>(static_cast<double>(base) * ScaleFromEnv());
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Times a Status-returning action; prints "<label>: FAILED (...)" and
+/// returns a negative duration on error.
+inline double TimeOrFail(const std::function<Status()>& fn,
+                         std::string* error) {
+  Timer timer;
+  Status st = fn();
+  if (!st.ok()) {
+    *error = st.ToString();
+    return -1.0;
+  }
+  return timer.Seconds();
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+/// Milliseconds or a failure marker, fixed width.
+inline std::string FormatMs(double seconds, const std::string& error) {
+  char buf[64];
+  if (seconds < 0) {
+    std::snprintf(buf, sizeof(buf), "FAILED(%.24s)", error.c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%10.1f", seconds * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace sinew::bench
+
+#endif  // SINEW_BENCH_BENCH_UTIL_H_

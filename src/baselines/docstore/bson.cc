@@ -1,0 +1,261 @@
+#include "baselines/docstore/bson.h"
+
+#include "common/bytes.h"
+
+namespace sinew::docstore {
+
+namespace {
+
+// Type tags (a subset of real BSON's, same style).
+enum BsonTag : uint8_t {
+  kDouble = 0x01,
+  kString = 0x02,
+  kDocument = 0x03,
+  kArray = 0x04,
+  kBool = 0x08,
+  kNull = 0x0a,
+  kInt64 = 0x12,
+};
+
+Status EncodeDocument(const Value& doc, BufferWriter* w);
+
+Status EncodeElement(std::string_view key, const Value& v, BufferWriter* w) {
+  switch (v.type()) {
+    case ValueType::kDouble:
+      w->PutU8(kDouble);
+      break;
+    case ValueType::kString:
+      w->PutU8(kString);
+      break;
+    case ValueType::kObject:
+      w->PutU8(kDocument);
+      break;
+    case ValueType::kArray:
+      w->PutU8(kArray);
+      break;
+    case ValueType::kBool:
+      w->PutU8(kBool);
+      break;
+    case ValueType::kNull:
+      w->PutU8(kNull);
+      break;
+    case ValueType::kInt:
+      w->PutU8(kInt64);
+      break;
+  }
+  // Key cstring (embedded per element — the BSON size overhead).
+  w->PutBytes(key);
+  w->PutU8(0);
+  switch (v.type()) {
+    case ValueType::kDouble:
+      w->PutDouble(v.double_value());
+      break;
+    case ValueType::kInt:
+      w->PutI64(v.int_value());
+      break;
+    case ValueType::kBool:
+      w->PutU8(v.bool_value() ? 1 : 0);
+      break;
+    case ValueType::kString:
+      w->PutU32(static_cast<uint32_t>(v.string_value().size()) + 1);
+      w->PutBytes(v.string_value());
+      w->PutU8(0);
+      break;
+    case ValueType::kObject:
+      RETURN_NOT_OK(EncodeDocument(v, w));
+      break;
+    case ValueType::kArray: {
+      // BSON arrays are documents with "0","1",... keys.
+      Value as_doc = Value::Object({});
+      for (size_t i = 0; i < v.array().size(); ++i) {
+        as_doc.Set(std::to_string(i), v.array()[i]);
+      }
+      RETURN_NOT_OK(EncodeDocument(as_doc, w));
+      break;
+    }
+    case ValueType::kNull:
+      break;
+  }
+  return Status::OK();
+}
+
+Status EncodeDocument(const Value& doc, BufferWriter* w) {
+  size_t len_offset = w->size();
+  w->PutU32(0);  // patched below
+  for (const auto& [key, value] : doc.members()) {
+    RETURN_NOT_OK(EncodeElement(key, value, w));
+  }
+  w->PutU8(0);  // terminator
+  w->PatchU32(len_offset, static_cast<uint32_t>(w->size() - len_offset));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ToBson(const Value& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("BSON encodes objects");
+  }
+  BufferWriter w;
+  RETURN_NOT_OK(EncodeDocument(doc, &w));
+  return w.Release();
+}
+
+namespace {
+
+/// Element walker over a document body (after the 4-byte length prefix).
+class ElementCursor {
+ public:
+  explicit ElementCursor(std::string_view doc) : data_(doc) {
+    // Skip the length prefix.
+    pos_ = 4;
+  }
+
+  /// Advances to the next element; returns false at terminator/end.
+  Result<bool> Next() {
+    if (pos_ >= data_.size()) return Status::ParseError("truncated BSON");
+    tag_ = static_cast<uint8_t>(data_[pos_++]);
+    if (tag_ == 0) return false;
+    size_t key_start = pos_;
+    while (pos_ < data_.size() && data_[pos_] != '\0') ++pos_;
+    if (pos_ >= data_.size()) return Status::ParseError("unterminated key");
+    key_ = data_.substr(key_start, pos_ - key_start);
+    ++pos_;  // NUL
+    size_t value_start = pos_;
+    size_t value_len = 0;
+    switch (tag_) {
+      case kDouble:
+      case kInt64:
+        value_len = 8;
+        break;
+      case kBool:
+        value_len = 1;
+        break;
+      case kNull:
+        value_len = 0;
+        break;
+      case kString: {
+        if (pos_ + 4 > data_.size()) return Status::ParseError("bad string");
+        uint32_t n;
+        std::memcpy(&n, data_.data() + pos_, 4);
+        value_len = 4 + n;
+        break;
+      }
+      case kDocument:
+      case kArray: {
+        if (pos_ + 4 > data_.size()) return Status::ParseError("bad subdoc");
+        uint32_t n;
+        std::memcpy(&n, data_.data() + pos_, 4);
+        value_len = n;
+        break;
+      }
+      default:
+        return Status::ParseError("bad BSON tag ", static_cast<int>(tag_));
+    }
+    if (value_start + value_len > data_.size()) {
+      return Status::ParseError("truncated BSON value");
+    }
+    value_ = data_.substr(value_start, value_len);
+    pos_ = value_start + value_len;
+    return true;
+  }
+
+  uint8_t tag() const { return tag_; }
+  std::string_view key() const { return key_; }
+  std::string_view value() const { return value_; }
+
+  /// Decodes the current element's value.
+  Result<Value> Decode() const {
+    switch (tag_) {
+      case kDouble: {
+        double v;
+        std::memcpy(&v, value_.data(), 8);
+        return Value::Double(v);
+      }
+      case kInt64: {
+        int64_t v;
+        std::memcpy(&v, value_.data(), 8);
+        return Value::Int(v);
+      }
+      case kBool:
+        return Value::Bool(value_[0] != 0);
+      case kNull:
+        return Value::Null();
+      case kString: {
+        // u32 len (includes NUL) + bytes + NUL
+        uint32_t n;
+        std::memcpy(&n, value_.data(), 4);
+        if (n == 0) return Value::String("");
+        return Value::String(std::string(value_.substr(4, n - 1)));
+      }
+      case kDocument:
+        return FromBson(value_);
+      case kArray: {
+        ASSIGN_OR_RETURN(Value as_doc, FromBson(value_));
+        std::vector<Value> elements;
+        elements.reserve(as_doc.members().size());
+        for (auto& [key, v] : as_doc.mutable_members()) {
+          (void)key;
+          elements.push_back(std::move(v));
+        }
+        return Value::Array(std::move(elements));
+      }
+      default:
+        return Status::ParseError("bad BSON tag");
+    }
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  uint8_t tag_ = 0;
+  std::string_view key_;
+  std::string_view value_;
+};
+
+}  // namespace
+
+Result<Value> FromBson(std::string_view data) {
+  if (data.size() < 5) return Status::ParseError("BSON too short");
+  ElementCursor cursor(data);
+  std::vector<Value::Member> members;
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, cursor.Next());
+    if (!has) break;
+    ASSIGN_OR_RETURN(Value v, cursor.Decode());
+    members.emplace_back(std::string(cursor.key()), std::move(v));
+  }
+  return Value::Object(std::move(members));
+}
+
+Result<Value> BsonExtract(std::string_view data, std::string_view path) {
+  if (data.size() < 5) return Status::ParseError("BSON too short");
+  size_t dot = path.find('.');
+  std::string_view head = dot == std::string_view::npos ? path : path.substr(0, dot);
+  ElementCursor cursor(data);
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, cursor.Next());
+    if (!has) return Value::Null();
+    if (cursor.key() != head) continue;
+    if (dot == std::string_view::npos) return cursor.Decode();
+    if (cursor.tag() != kDocument) return Value::Null();
+    return BsonExtract(cursor.value(), path.substr(dot + 1));
+  }
+}
+
+Result<bool> BsonHasPath(std::string_view data, std::string_view path) {
+  if (data.size() < 5) return Status::ParseError("BSON too short");
+  size_t dot = path.find('.');
+  std::string_view head = dot == std::string_view::npos ? path : path.substr(0, dot);
+  ElementCursor cursor(data);
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, cursor.Next());
+    if (!has) return false;
+    if (cursor.key() != head) continue;
+    if (dot == std::string_view::npos) return cursor.tag() != kNull;
+    if (cursor.tag() != kDocument) return false;
+    return BsonHasPath(cursor.value(), path.substr(dot + 1));
+  }
+}
+
+}  // namespace sinew::docstore

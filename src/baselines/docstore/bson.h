@@ -1,0 +1,41 @@
+// BSON-like binary document encoding (the MongoDB comparator's storage
+// format).
+//
+// Faithful to the aspects of BSON that drive the paper's observations:
+//   - self-describing sequential elements: [u8 type tag][key cstring][value]
+//   - a 4-byte total-length prefix per document/array, enabling fast
+//     whole-subtree skips but NO random access to a named key: lookup walks
+//     elements in order;
+//   - type tags + embedded key names make BSON larger than the raw JSON for
+//     short keys (the size growth the paper reports at 64M records);
+//   - key existence checks are cheaper than value extraction (skip vs.
+//     decode), which is why MongoDB does comparatively better on sparse
+//     projections (paper Section 6.3).
+
+#ifndef SINEW_BASELINES_DOCSTORE_BSON_H_
+#define SINEW_BASELINES_DOCSTORE_BSON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace sinew::docstore {
+
+/// Serializes an object into the BSON-like format.
+Result<std::string> ToBson(const Value& doc);
+
+/// Full decode back into the document model.
+Result<Value> FromBson(std::string_view data);
+
+/// Sequential lookup of a dotted path. Returns kNull Value if absent.
+Result<Value> BsonExtract(std::string_view data, std::string_view path);
+
+/// Existence check (walks tags and skips values without decoding them).
+Result<bool> BsonHasPath(std::string_view data, std::string_view path);
+
+}  // namespace sinew::docstore
+
+#endif  // SINEW_BASELINES_DOCSTORE_BSON_H_

@@ -1,0 +1,332 @@
+#include "baselines/docstore/collection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sinew::docstore {
+
+namespace {
+
+/// Typed comparison used by find(): numerics compare across int/double;
+/// mismatched types never match (MongoDB's BSON type ordering is more
+/// elaborate, but the benchmarks only compare within a type class).
+std::optional<int> CompareValues(const Value& a, const Value& b) {
+  if (a.is_number() && b.is_number()) {
+    double x = a.AsDouble(), y = b.AsDouble();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.type() != b.type()) return std::nullopt;
+  return Value::Compare(a, b);
+}
+
+}  // namespace
+
+Status Collection::Insert(const Value& doc) {
+  ASSIGN_OR_RETURN(std::string bson, ToBson(doc));
+  return InsertBson(std::move(bson));
+}
+
+Status Collection::InsertBson(std::string bson) {
+  data_bytes_ += bson.size();
+  docs_.push_back(std::move(bson));
+  return Status::OK();
+}
+
+Result<bool> Collection::Matches(std::string_view doc_bson,
+                                 const Filter& filter) {
+  for (const Condition& cond : filter) {
+    switch (cond.op) {
+      case Condition::Op::kExists: {
+        ASSIGN_OR_RETURN(bool has, BsonHasPath(doc_bson, cond.path));
+        if (!has) return false;
+        break;
+      }
+      case Condition::Op::kContains: {
+        ASSIGN_OR_RETURN(Value v, BsonExtract(doc_bson, cond.path));
+        if (!v.is_array()) return false;
+        bool found = false;
+        for (const Value& e : v.array()) {
+          std::optional<int> c = CompareValues(e, cond.value);
+          if (c.has_value() && *c == 0) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+        break;
+      }
+      default: {
+        ASSIGN_OR_RETURN(Value v, BsonExtract(doc_bson, cond.path));
+        if (v.is_null()) return false;
+        std::optional<int> c = CompareValues(v, cond.value);
+        if (!c.has_value()) return false;
+        bool ok = false;
+        switch (cond.op) {
+          case Condition::Op::kEq:
+            ok = *c == 0;
+            break;
+          case Condition::Op::kNe:
+            ok = *c != 0;
+            break;
+          case Condition::Op::kLt:
+            ok = *c < 0;
+            break;
+          case Condition::Op::kLe:
+            ok = *c <= 0;
+            break;
+          case Condition::Op::kGt:
+            ok = *c > 0;
+            break;
+          case Condition::Op::kGe:
+            ok = *c >= 0;
+            break;
+          default:
+            break;
+        }
+        if (!ok) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Value>> Collection::Find(
+    const Filter& filter, const std::vector<std::string>& projection) const {
+  std::vector<Value> out;
+  for (const std::string& doc : docs_) {
+    ASSIGN_OR_RETURN(bool match, Matches(doc, filter));
+    if (!match) continue;
+    if (projection.empty()) {
+      ASSIGN_OR_RETURN(Value full, FromBson(doc));
+      out.push_back(std::move(full));
+    } else {
+      Value row = Value::Object({});
+      for (const std::string& path : projection) {
+        ASSIGN_OR_RETURN(Value v, BsonExtract(doc, path));
+        row.Set(path, std::move(v));
+      }
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> Collection::Count(const Filter& filter) const {
+  uint64_t n = 0;
+  for (const std::string& doc : docs_) {
+    ASSIGN_OR_RETURN(bool match, Matches(doc, filter));
+    if (match) ++n;
+  }
+  return n;
+}
+
+Result<uint64_t> Collection::UpdateMany(
+    const Filter& filter,
+    const std::vector<std::pair<std::string, Value>>& sets) {
+  uint64_t updated = 0;
+  for (std::string& doc : docs_) {
+    ASSIGN_OR_RETURN(bool match, Matches(doc, filter));
+    if (!match) continue;
+    // Decode, mutate, re-encode — MongoDB-style document replacement.
+    ASSIGN_OR_RETURN(Value full, FromBson(doc));
+    for (const auto& [path, value] : sets) {
+      // Only top-level and one-level nested paths are needed by the
+      // benchmarks; descend generically anyway.
+      Value* node = &full;
+      std::string_view rest = path;
+      while (true) {
+        size_t dot = rest.find('.');
+        if (dot == std::string_view::npos) {
+          node->Set(rest, value);
+          break;
+        }
+        std::string_view head = rest.substr(0, dot);
+        Value* child = nullptr;
+        for (auto& [k, v] : node->mutable_members()) {
+          if (k == head) {
+            child = &v;
+            break;
+          }
+        }
+        if (child == nullptr || !child->is_object()) {
+          node->Set(head, Value::Object({}));
+          for (auto& [k, v] : node->mutable_members()) {
+            if (k == head) {
+              child = &v;
+              break;
+            }
+          }
+        }
+        node = child;
+        rest = rest.substr(dot + 1);
+      }
+    }
+    ASSIGN_OR_RETURN(std::string bson, ToBson(full));
+    data_bytes_ += bson.size();
+    data_bytes_ -= doc.size();
+    doc = std::move(bson);
+    ++updated;
+  }
+  return updated;
+}
+
+Result<std::vector<Value>> Collection::Aggregate(
+    const Filter& filter, const std::string& group_path,
+    const std::string& agg_fn, const std::string& agg_path) const {
+  struct Group {
+    Value key;
+    int64_t count = 0;
+    double sum = 0;
+  };
+  std::map<std::string, Group> groups;  // keyed by canonical JSON of the key
+  for (const std::string& doc : docs_) {
+    ASSIGN_OR_RETURN(bool match, Matches(doc, filter));
+    if (!match) continue;
+    ASSIGN_OR_RETURN(Value key, BsonExtract(doc, group_path));
+    Group& g = groups[key.ToJson()];
+    g.key = std::move(key);
+    ++g.count;
+    if (agg_fn == "sum" && !agg_path.empty()) {
+      ASSIGN_OR_RETURN(Value v, BsonExtract(doc, agg_path));
+      if (v.is_number()) g.sum += v.AsDouble();
+    }
+  }
+  std::vector<Value> out;
+  out.reserve(groups.size());
+  for (auto& [json, g] : groups) {
+    (void)json;
+    Value row = Value::Object({});
+    row.Set("_id", std::move(g.key));
+    if (agg_fn == "sum") {
+      row.Set("value", Value::Double(g.sum));
+    } else {
+      row.Set("value", Value::Int(g.count));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Collection* DocStore::GetOrCreate(const std::string& name) {
+  auto& coll = collections_[name];
+  if (coll == nullptr) coll = std::make_unique<Collection>(name);
+  return coll.get();
+}
+
+Result<Collection*> DocStore::Get(const std::string& name) const {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection ", name, " does not exist");
+  }
+  return it->second.get();
+}
+
+Status DocStore::Drop(const std::string& name) {
+  collections_.erase(name);
+  return Status::OK();
+}
+
+uint64_t DocStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, coll] : collections_) total += coll->DataBytes();
+  return total;
+}
+
+Result<std::vector<Value>> DocStore::ClientSideJoin(
+    const std::string& left, const std::string& left_key,
+    const Filter& left_filter, const std::string& right,
+    const std::string& right_key, const std::vector<std::string>& projection,
+    uint64_t scratch_budget_bytes) {
+  ASSIGN_OR_RETURN(Collection * lcoll, Get(left));
+  ASSIGN_OR_RETURN(Collection * rcoll, Get(right));
+
+  // Scratch = the explicit temporary collections' storage.
+  Collection* tmp_left = GetOrCreate("$tmp_join_left");
+  Collection* tmp_out = GetOrCreate("$tmp_join_out");
+  auto charge = [&]() -> Status {
+    uint64_t bytes = tmp_left->DataBytes() + tmp_out->DataBytes();
+    if (scratch_budget_bytes != 0 && bytes > scratch_budget_bytes) {
+      return Status::Aborted(
+          "client-side join ran out of scratch space (used ", bytes,
+          " of ", scratch_budget_bytes, " bytes)");
+    }
+    return Status::OK();
+  };
+
+  // Stage 1: filter the left collection and spill {key, doc} pairs into an
+  // explicit temporary collection (re-serialized, like the Mongo pattern).
+  for (const std::string& doc : lcoll->raw_docs()) {
+    ASSIGN_OR_RETURN(bool match, Collection::Matches(doc, left_filter));
+    if (!match) continue;
+    ASSIGN_OR_RETURN(Value key, BsonExtract(doc, left_key));
+    if (key.is_null()) continue;
+    ASSIGN_OR_RETURN(Value full, FromBson(doc));
+    Value entry = Value::Object({});
+    entry.Set("k", std::move(key));
+    entry.Set("d", std::move(full));
+    RETURN_NOT_OK(tmp_left->Insert(entry));
+    Status budget = charge();
+    if (!budget.ok()) {
+      (void)Drop("$tmp_join_left");
+      (void)Drop("$tmp_join_out");
+      return budget;
+    }
+  }
+
+  // Stage 2: build an in-memory key index over the temporary collection
+  // (the "map" phase of the user-code join).
+  std::multimap<std::string, size_t> key_index;
+  for (size_t i = 0; i < tmp_left->raw_docs().size(); ++i) {
+    ASSIGN_OR_RETURN(Value key, BsonExtract(tmp_left->raw_docs()[i], "k"));
+    key_index.emplace(key.ToJson(), i);
+  }
+
+  // Stage 3: scan the right collection, emitting matched pairs into a
+  // second temporary collection.
+  Status failure;
+  for (const std::string& doc : rcoll->raw_docs()) {
+    ASSIGN_OR_RETURN(Value key, BsonExtract(doc, right_key));
+    if (key.is_null()) continue;
+    auto [begin, end] = key_index.equal_range(key.ToJson());
+    if (begin == end) continue;
+    ASSIGN_OR_RETURN(Value rdoc, FromBson(doc));
+    for (auto it = begin; it != end; ++it) {
+      ASSIGN_OR_RETURN(Value ldoc,
+                       BsonExtract(tmp_left->raw_docs()[it->second], "d"));
+      Value pair = Value::Object({});
+      pair.Set("l", std::move(ldoc));
+      pair.Set("r", rdoc);
+      RETURN_NOT_OK(tmp_out->Insert(pair));
+    }
+    failure = charge();
+    if (!failure.ok()) break;
+  }
+  if (!failure.ok()) {
+    (void)Drop("$tmp_join_left");
+    (void)Drop("$tmp_join_out");
+    return failure;
+  }
+
+  // Stage 4: project results out of the temporary collection.
+  std::vector<Value> out;
+  for (const std::string& doc : tmp_out->raw_docs()) {
+    if (projection.empty()) {
+      ASSIGN_OR_RETURN(Value full, FromBson(doc));
+      out.push_back(std::move(full));
+    } else {
+      Value row = Value::Object({});
+      for (const std::string& path : projection) {
+        ASSIGN_OR_RETURN(Value v, BsonExtract(doc, path));
+        row.Set(path, std::move(v));
+      }
+      out.push_back(std::move(row));
+    }
+  }
+  (void)Drop("$tmp_join_left");
+  (void)Drop("$tmp_join_out");
+  return out;
+}
+
+}  // namespace sinew::docstore

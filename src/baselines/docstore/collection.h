@@ -1,0 +1,119 @@
+// MongoDB-like document store (the paper's NoSQL comparator).
+//
+// Collections hold BSON-like documents and support the primitives MongoDB
+// provides: filtered collection scans (find), projections, group
+// aggregations, multi-document updates, and — because there is no native
+// join — a client-side join that materializes explicit temporary
+// collections, exactly the shape of the paper's user-code JavaScript join
+// (Section 6.5). There is no query optimizer and no statistics; every
+// operation is a full scan with per-document BSON traversal. No
+// transactional guarantees (updates are applied document-at-a-time).
+
+#ifndef SINEW_BASELINES_DOCSTORE_COLLECTION_H_
+#define SINEW_BASELINES_DOCSTORE_COLLECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/docstore/bson.h"
+#include "common/result.h"
+
+namespace sinew::docstore {
+
+/// A single find() condition over a dotted path.
+struct Condition {
+  enum class Op {
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kExists,
+    kContains,  // array membership ($in over an array field)
+  };
+  std::string path;
+  Op op = Op::kEq;
+  Value value;  // unused for kExists
+};
+
+using Filter = std::vector<Condition>;  // conjunction
+
+class Collection {
+ public:
+  explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Status Insert(const Value& doc);
+  Status InsertBson(std::string bson);
+
+  size_t size() const { return docs_.size(); }
+  uint64_t DataBytes() const { return data_bytes_; }
+  const std::vector<std::string>& raw_docs() const { return docs_; }
+
+  /// Filtered scan. With a projection list, each result contains only those
+  /// dotted paths (named by their full path); otherwise full documents.
+  Result<std::vector<Value>> Find(
+      const Filter& filter,
+      const std::vector<std::string>& projection = {}) const;
+
+  /// Count of matching documents without materializing them.
+  Result<uint64_t> Count(const Filter& filter) const;
+
+  /// Sets `sets` on every matching document (document-at-a-time, no
+  /// transactional guarantee). Returns the number updated.
+  Result<uint64_t> UpdateMany(
+      const Filter& filter,
+      const std::vector<std::pair<std::string, Value>>& sets);
+
+  /// Aggregation primitive: group matching documents by `group_path` and
+  /// compute `count` or `sum of agg_path` per group. Result rows are
+  /// objects {_id: group value, value: aggregate}.
+  Result<std::vector<Value>> Aggregate(const Filter& filter,
+                                       const std::string& group_path,
+                                       const std::string& agg_fn,
+                                       const std::string& agg_path) const;
+
+  /// True if `doc_bson` matches the filter.
+  static Result<bool> Matches(std::string_view doc_bson, const Filter& filter);
+
+ private:
+  std::string name_;
+  std::vector<std::string> docs_;
+  uint64_t data_bytes_ = 0;
+};
+
+class DocStore {
+ public:
+  Collection* GetOrCreate(const std::string& name);
+  Result<Collection*> Get(const std::string& name) const;
+  Status Drop(const std::string& name);
+
+  uint64_t TotalBytes() const;
+
+  /// Client-side equi-join (MongoDB has no native join): filters `left`,
+  /// extracts join keys into an explicit temporary collection, rescans
+  /// `right` against it, and materializes matched pairs into a second
+  /// temporary collection before projecting results — the paper's
+  /// "user code using a custom JavaScript extension combined with multiple
+  /// explicitly defined intermediate collections". Scratch usage is capped
+  /// by `scratch_budget_bytes` (0 = unlimited); exceeding it aborts like the
+  /// paper's out-of-disk joins.
+  Result<std::vector<Value>> ClientSideJoin(
+      const std::string& left, const std::string& left_key,
+      const Filter& left_filter, const std::string& right,
+      const std::string& right_key,
+      const std::vector<std::string>& projection,
+      uint64_t scratch_budget_bytes);
+
+ private:
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace sinew::docstore
+
+#endif  // SINEW_BASELINES_DOCSTORE_COLLECTION_H_

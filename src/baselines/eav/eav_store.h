@@ -1,0 +1,68 @@
+// Entity-Attribute-Value shredding comparator (paper Section 6.1).
+//
+// Each document is flattened into (object id, key, typed value) triples in a
+// single 5-ish-column relation, exactly as the paper's EAV system:
+//
+//   eav(oid INT, key TEXT, sval TEXT, nval DOUBLE, bval BOOL)
+//
+// Nested keys shred under dotted paths; array elements shred as one tuple
+// per element under the array's path. A thin mapping layer rewrites logical
+// queries into self-joins over this relation (one join per referenced
+// attribute) — the structural cost the paper measures.
+
+#ifndef SINEW_BASELINES_EAV_EAV_STORE_H_
+#define SINEW_BASELINES_EAV_EAV_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace sinew::eav {
+
+class EavStore {
+ public:
+  explicit EavStore(engine::PlannerOptions planner_options = {},
+                    engine::ExecOptions exec_options = {});
+
+  engine::Database* engine() { return &db_; }
+  static constexpr const char* kTableName = "eav";
+
+  /// Shreds and loads documents; returns the number of EAV tuples produced.
+  Result<uint64_t> Load(const std::vector<Value>& docs);
+
+  uint64_t document_count() const { return next_oid_; }
+  /// Encoded storage volume of the EAV relation.
+  Result<uint64_t> StorageBytes() const;
+
+  /// Refreshes optimizer statistics.
+  Status Analyze();
+
+  /// The value column name an attribute of a given type shreds into.
+  static const char* ValueColumnFor(ValueType type);
+
+  /// Reconstructs whole documents for a set of matching oids: the mapping
+  /// layer's SELECT * path (scan + client-side regrouping).
+  Result<std::vector<Value>> ReconstructByPredicate(
+      const std::string& predicate_sql);
+
+  /// Upsert used by the update task: sets `set_key` to a string value on
+  /// every object matching (match_key = match_value).
+  Result<uint64_t> UpdateWhere(const std::string& match_key,
+                               const std::string& match_value,
+                               const std::string& set_key,
+                               const std::string& set_value);
+
+ private:
+  Status ShredInto(uint64_t oid, const Value& node, const std::string& prefix,
+                   uint64_t* tuples);
+
+  engine::Database db_;
+  engine::Table* table_ = nullptr;
+  uint64_t next_oid_ = 0;
+};
+
+}  // namespace sinew::eav
+
+#endif  // SINEW_BASELINES_EAV_EAV_STORE_H_

@@ -1,0 +1,210 @@
+#include "baselines/jsontext/jsontext_db.h"
+
+#include "engine/table.h"
+#include "json/json.h"
+
+namespace sinew::jsontext {
+
+namespace {
+
+using engine::Datum;
+
+/// Full parse + path descent: the per-call cost profile of text JSON.
+Result<Value> ParseAndExtract(const std::string& text,
+                              std::string_view path) {
+  ASSIGN_OR_RETURN(Value doc, json::Parse(text));
+  const Value* node = &doc;
+  std::string_view rest = path;
+  while (!rest.empty()) {
+    size_t dot = rest.find('.');
+    std::string_view head =
+        dot == std::string_view::npos ? rest : rest.substr(0, dot);
+    if (!node->is_object()) return Value::Null();
+    const Value* child = node->Find(head);
+    if (child == nullptr) return Value::Null();
+    node = child;
+    if (dot == std::string_view::npos) break;
+    rest = rest.substr(dot + 1);
+  }
+  return *node;
+}
+
+Status CheckArgs(const engine::UdfArgs& args, const char* fn) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument(fn, " expects (data, path)");
+  }
+  if (!args[0]->is_null() && !args[0]->is_text()) {
+    return Status::TypeError(fn, ": data must be text");
+  }
+  if (!args[1]->is_text()) return Status::TypeError(fn, ": path must be text");
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterJsonTextFunctions(engine::UdfRegistry* registry) {
+  registry->Register(
+      "json_extract_any",
+      [](const engine::UdfArgs& args) -> Result<Datum> {
+        RETURN_NOT_OK(CheckArgs(args, "json_extract_any"));
+        if (args[0]->is_null()) return Datum::Null();
+        ASSIGN_OR_RETURN(Value v, ParseAndExtract(args[0]->str(), args[1]->str()));
+        if (v.is_object() || v.is_array()) return Datum::Text(v.ToJson());
+        return Datum::FromValue(v);
+      });
+  registry->Register(
+      "json_extract_text",
+      [](const engine::UdfArgs& args) -> Result<Datum> {
+        RETURN_NOT_OK(CheckArgs(args, "json_extract_text"));
+        if (args[0]->is_null()) return Datum::Null();
+        ASSIGN_OR_RETURN(Value v, ParseAndExtract(args[0]->str(), args[1]->str()));
+        if (v.is_null()) return Datum::Null();
+        if (!v.is_string()) {
+          // ->> semantics: any scalar renders as text.
+          if (v.is_object() || v.is_array()) return Datum::Text(v.ToJson());
+          return Datum::Text(v.ToJson());
+        }
+        return Datum::Text(v.string_value());
+      });
+  // Typed casts: Postgres raises on a malformed cast, so a key that maps to
+  // values of two types makes the whole query fail (the Q7 anecdote).
+  registry->Register(
+      "json_extract_int",
+      [](const engine::UdfArgs& args) -> Result<Datum> {
+        RETURN_NOT_OK(CheckArgs(args, "json_extract_int"));
+        if (args[0]->is_null()) return Datum::Null();
+        ASSIGN_OR_RETURN(Value v, ParseAndExtract(args[0]->str(), args[1]->str()));
+        if (v.is_null()) return Datum::Null();
+        if (!v.is_int()) {
+          return Status::TypeError("invalid input syntax for integer: \"",
+                                   v.ToJson(), "\"");
+        }
+        return Datum::Int(v.int_value());
+      });
+  registry->Register(
+      "json_extract_double",
+      [](const engine::UdfArgs& args) -> Result<Datum> {
+        RETURN_NOT_OK(CheckArgs(args, "json_extract_double"));
+        if (args[0]->is_null()) return Datum::Null();
+        ASSIGN_OR_RETURN(Value v, ParseAndExtract(args[0]->str(), args[1]->str()));
+        if (v.is_null()) return Datum::Null();
+        if (!v.is_number()) {
+          return Status::TypeError(
+              "invalid input syntax for double precision: \"", v.ToJson(),
+              "\"");
+        }
+        return Datum::Double(v.AsDouble());
+      });
+  registry->Register(
+      "json_extract_bool",
+      [](const engine::UdfArgs& args) -> Result<Datum> {
+        RETURN_NOT_OK(CheckArgs(args, "json_extract_bool"));
+        if (args[0]->is_null()) return Datum::Null();
+        ASSIGN_OR_RETURN(Value v, ParseAndExtract(args[0]->str(), args[1]->str()));
+        if (v.is_null()) return Datum::Null();
+        if (!v.is_bool()) {
+          return Status::TypeError("invalid input syntax for boolean: \"",
+                                   v.ToJson(), "\"");
+        }
+        return Datum::Bool(v.bool_value());
+      });
+  // Array rendered as JSON text (the paper resorts to LIKE over this, since
+  // Postgres JSON arrays and SQL arrays don't interoperate).
+  registry->Register(
+      "json_array_text",
+      [](const engine::UdfArgs& args) -> Result<Datum> {
+        RETURN_NOT_OK(CheckArgs(args, "json_array_text"));
+        if (args[0]->is_null()) return Datum::Null();
+        ASSIGN_OR_RETURN(Value v, ParseAndExtract(args[0]->str(), args[1]->str()));
+        if (v.is_null()) return Datum::Null();
+        return Datum::Text(v.ToJson());
+      });
+  // json_set_text(data, path, value): parse, set, re-render the whole
+  // document — the only way to update one key of a text-stored JSON value.
+  registry->Register(
+      "json_set_text",
+      [](const engine::UdfArgs& args) -> Result<Datum> {
+        if (args.size() != 3) {
+          return Status::InvalidArgument(
+              "json_set_text expects (data, path, value)");
+        }
+        if (args[0]->is_null()) return Datum::Null();
+        if (!args[0]->is_text() || !args[1]->is_text()) {
+          return Status::TypeError("json_set_text(text, text, value)");
+        }
+        ASSIGN_OR_RETURN(Value doc, json::Parse(args[0]->str()));
+        Value* node = &doc;
+        std::string_view rest = args[1]->str();
+        while (true) {
+          size_t dot = rest.find('.');
+          if (dot == std::string_view::npos) break;
+          std::string_view head = rest.substr(0, dot);
+          Value* child = nullptr;
+          for (auto& [k, v] : node->mutable_members()) {
+            if (k == head) {
+              child = &v;
+              break;
+            }
+          }
+          if (child == nullptr || !child->is_object()) {
+            node->Set(head, Value::Object({}));
+            for (auto& [k, v] : node->mutable_members()) {
+              if (k == head) {
+                child = &v;
+                break;
+              }
+            }
+          }
+          node = child;
+          rest = rest.substr(dot + 1);
+        }
+        node->Set(rest, args[2]->ToValue());
+        return Datum::Text(doc.ToJson());
+      });
+}
+
+JsonTextDb::JsonTextDb(engine::PlannerOptions planner_options,
+                       engine::ExecOptions exec_options)
+    : db_(planner_options, exec_options) {
+  RegisterJsonTextFunctions(db_.udfs());
+}
+
+Result<uint64_t> JsonTextDb::Load(const std::string& table,
+                                  const std::vector<Value>& docs) {
+  std::vector<std::string> lines;
+  lines.reserve(docs.size());
+  for (const Value& doc : docs) lines.push_back(doc.ToJson());
+  return LoadJsonLines(table, lines);
+}
+
+Result<uint64_t> JsonTextDb::LoadJsonLines(
+    const std::string& table, const std::vector<std::string>& lines) {
+  engine::Table* t;
+  Result<engine::Table*> existing = db_.catalog()->GetTable(table);
+  if (existing.ok()) {
+    t = *existing;
+  } else {
+    engine::Schema schema;
+    RETURN_NOT_OK(
+        schema.AddColumn(engine::Column{"data", engine::ColumnType::kText}));
+    ASSIGN_OR_RETURN(t, db_.catalog()->CreateTable(table, std::move(schema)));
+  }
+  uint64_t loaded = 0;
+  for (const std::string& line : lines) {
+    // Load-time work is syntax validation only (the paper's fast load).
+    RETURN_NOT_OK(json::Parse(line).status());
+    engine::DatumRow row(t->schema().num_slots());
+    std::optional<size_t> slot = t->schema().FindColumn("data");
+    row[*slot] = engine::Datum::Text(line);
+    RETURN_NOT_OK(t->AppendRow(row).status());
+    ++loaded;
+  }
+  return loaded;
+}
+
+Result<uint64_t> JsonTextDb::StorageBytes(const std::string& table) {
+  ASSIGN_OR_RETURN(engine::Table * t, db_.catalog()->GetTable(table));
+  return t->DataBytes();
+}
+
+}  // namespace sinew::jsontext

@@ -1,0 +1,57 @@
+// Postgres-JSON-style comparator (paper Section 6.1, "PG JSON").
+//
+// Documents are stored as raw JSON text in a single TEXT column; extraction
+// UDFs re-parse the text on every call (the CPU cost the paper measures),
+// and the optimizer has no per-key statistics, so every predicate over an
+// extraction falls back to the planner's fixed default estimate — the
+// mechanism behind the Q10 sub-optimal-plan anecdote.
+//
+// Typed extraction raises a TypeError when the stored value has a different
+// type (Postgres cast semantics), which is why the multi-typed Q7 cannot
+// complete on this system (Section 6.4).
+
+#ifndef SINEW_BASELINES_JSONTEXT_JSONTEXT_DB_H_
+#define SINEW_BASELINES_JSONTEXT_JSONTEXT_DB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace sinew::jsontext {
+
+class JsonTextDb {
+ public:
+  explicit JsonTextDb(engine::PlannerOptions planner_options = {},
+                      engine::ExecOptions exec_options = {});
+
+  engine::Database* engine() { return &db_; }
+
+  /// Creates `table(data TEXT)` if needed and appends one JSON text row per
+  /// document (only syntax validation, hence the paper's fast load).
+  Result<uint64_t> Load(const std::string& table,
+                        const std::vector<Value>& docs);
+  /// Loads pre-rendered JSON lines without re-serializing.
+  Result<uint64_t> LoadJsonLines(const std::string& table,
+                                 const std::vector<std::string>& lines);
+
+  /// Raw SQL passthrough; queries use json_extract_*(data, 'path').
+  Result<engine::QueryResult> Execute(std::string_view sql) {
+    return db_.Execute(sql);
+  }
+
+  Result<uint64_t> StorageBytes(const std::string& table);
+
+ private:
+  engine::Database db_;
+};
+
+/// Registers json_extract_text/int/double/bool/any(data_text, 'path') plus
+/// json_array_text(data, 'path') — all of which fully parse the JSON text
+/// per invocation.
+void RegisterJsonTextFunctions(engine::UdfRegistry* registry);
+
+}  // namespace sinew::jsontext
+
+#endif  // SINEW_BASELINES_JSONTEXT_JSONTEXT_DB_H_

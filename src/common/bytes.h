@@ -1,0 +1,148 @@
+// Little-endian byte buffer writer/reader used by every serialization format
+// in the repo (Sinew reservoir format, BSON-like, Avro-like, Protobuf-like,
+// table persistence).
+
+#ifndef SINEW_COMMON_BYTES_H_
+#define SINEW_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sinew {
+
+/// Appends fixed-width little-endian primitives and length-delimited payloads
+/// to an owned std::string.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  explicit BufferWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  /// LEB128 unsigned varint (Protocol-Buffers wire format).
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      PutU8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutU8(static_cast<uint8_t>(v));
+  }
+
+  /// Zigzag-encoded signed varint.
+  void PutSignedVarint(int64_t v) {
+    PutVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+
+  void PutBytes(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  /// Varint length prefix followed by the raw bytes.
+  void PutLengthPrefixed(std::string_view s) {
+    PutVarint(s.size());
+    PutBytes(s);
+  }
+
+  /// Overwrites 4 bytes at `offset` with `v` (for back-patching headers).
+  void PatchU32(size_t offset, uint32_t v) {
+    std::memcpy(buf_.data() + offset, &v, sizeof(v));
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked sequential reader over a non-owned byte range.
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ >= data_.size(); }
+
+  Status Seek(size_t pos) {
+    if (pos > data_.size()) return Status::OutOfRange("seek past end");
+    pos_ = pos;
+    return Status::OK();
+  }
+
+  Result<uint8_t> ReadU8() {
+    if (remaining() < 1) return ShortRead("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() { return ReadRaw<uint32_t>("u32"); }
+  Result<uint64_t> ReadU64() { return ReadRaw<uint64_t>("u64"); }
+  Result<int64_t> ReadI64() { return ReadRaw<int64_t>("i64"); }
+  Result<double> ReadDouble() { return ReadRaw<double>("double"); }
+
+  Result<uint64_t> ReadVarint() {
+    uint64_t result = 0;
+    int shift = 0;
+    while (true) {
+      if (AtEnd()) return ShortRead("varint");
+      uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      if (shift >= 64) return Status::ParseError("varint too long");
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return result;
+  }
+
+  Result<int64_t> ReadSignedVarint() {
+    ASSIGN_OR_RETURN(uint64_t raw, ReadVarint());
+    return static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  }
+
+  Result<std::string_view> ReadBytes(size_t n) {
+    if (remaining() < n) return ShortRead("bytes");
+    std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  Result<std::string_view> ReadLengthPrefixed() {
+    ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    return ReadBytes(n);
+  }
+
+ private:
+  template <typename T>
+  Result<T> ReadRaw(const char* what) {
+    if (remaining() < sizeof(T)) return ShortRead(what);
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  Status ShortRead(const char* what) const {
+    return Status::ParseError("short read (", what, ") at offset ", pos_,
+                              " of ", data_.size());
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sinew
+
+#endif  // SINEW_COMMON_BYTES_H_

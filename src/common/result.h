@@ -1,0 +1,85 @@
+// Result<T>: a value-or-Status, the return type of fallible value-producing
+// functions (the Arrow idiom).
+//
+//   Result<int> ParsePort(std::string_view s);
+//
+//   Status Use() {
+//     ASSIGN_OR_RETURN(int port, ParsePort(text));
+//     ...
+//   }
+
+#ifndef SINEW_COMMON_RESULT_H_
+#define SINEW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sinew {
+
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK Status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(*value_) : std::move(alternative);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Internal helpers for ASSIGN_OR_RETURN.
+#define SINEW_CONCAT_IMPL(a, b) a##b
+#define SINEW_CONCAT(a, b) SINEW_CONCAT_IMPL(a, b)
+
+/// ASSIGN_OR_RETURN(lhs, rexpr): evaluates `rexpr` (a Result<T>); on error
+/// returns its Status from the enclosing function, otherwise assigns the
+/// value to `lhs` (which may be a declaration).
+#define ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto SINEW_CONCAT(_result_, __LINE__) = (rexpr);              \
+  if (!SINEW_CONCAT(_result_, __LINE__).ok()) {                 \
+    return SINEW_CONCAT(_result_, __LINE__).status();           \
+  }                                                             \
+  lhs = std::move(SINEW_CONCAT(_result_, __LINE__)).value()
+
+}  // namespace sinew
+
+#endif  // SINEW_COMMON_RESULT_H_

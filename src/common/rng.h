@@ -1,0 +1,69 @@
+// Deterministic pseudo-random generator used by the workload generators and
+// property tests. A fixed algorithm (splitmix64 seeded xorshift) rather than
+// std::mt19937 so that generated datasets are stable across standard library
+// implementations.
+
+#ifndef SINEW_COMMON_RNG_H_
+#define SINEW_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sinew {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5d3f7a1ec9b02u) {
+    // splitmix64 scramble so nearby seeds diverge immediately.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    state_ = z ^ (z >> 31);
+    if (state_ == 0) state_ = 0x9e3779b97f4a7c15ull;
+  }
+
+  uint64_t Next() {
+    // xorshift64*
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool() { return (Next() & 1) != 0; }
+
+  /// True with probability p.
+  bool WithProbability(double p) { return NextDouble() < p; }
+
+  /// Random alphanumeric string of length n.
+  std::string AlphaNumeric(size_t n) {
+    static constexpr char kChars[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    std::string out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(kChars[Uniform(sizeof(kChars) - 1)]);
+    }
+    return out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sinew
+
+#endif  // SINEW_COMMON_RNG_H_

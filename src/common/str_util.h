@@ -1,0 +1,36 @@
+// Small string helpers shared across modules.
+
+#ifndef SINEW_COMMON_STR_UTIL_H_
+#define SINEW_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sinew {
+
+/// Appends `s` to `out` with JSON string escaping (quotes not included).
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+/// Renders a double with shortest round-trip precision; integral values get a
+/// trailing ".0" so the JSON type survives a round trip.
+std::string FormatDouble(double v);
+
+/// ASCII lowercase copy.
+std::string AsciiLower(std::string_view s);
+
+/// Splits on a delimiter character; no empty-segment suppression.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// SQL LIKE pattern match (% and _ wildcards, no escape support).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace sinew
+
+#endif  // SINEW_COMMON_STR_UTIL_H_

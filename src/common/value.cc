@@ -1,0 +1,202 @@
+#include "common/value.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace sinew {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kArray:
+      return "array";
+    case ValueType::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.type_ = ValueType::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.type_ = ValueType::kInt;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::Double(double v) {
+  Value out;
+  out.type_ = ValueType::kDouble;
+  out.double_ = v;
+  return out;
+}
+
+Value Value::String(std::string v) {
+  Value out;
+  out.type_ = ValueType::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+Value Value::Array(std::vector<Value> elements) {
+  Value out;
+  out.type_ = ValueType::kArray;
+  out.array_ = std::move(elements);
+  return out;
+}
+
+Value Value::Object(std::vector<Member> members) {
+  Value out;
+  out.type_ = ValueType::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void Value::Set(std::string_view key, Value value) {
+  type_ = ValueType::kObject;
+  for (Member& m : members_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+}
+
+bool Value::operator==(const Value& other) const {
+  return Compare(*this, other) == 0;
+}
+
+namespace {
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    return Cmp(static_cast<int>(a.type()), static_cast<int>(b.type()));
+  }
+  switch (a.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return Cmp(a.bool_value(), b.bool_value());
+    case ValueType::kInt:
+      return Cmp(a.int_value(), b.int_value());
+    case ValueType::kDouble:
+      return Cmp(a.double_value(), b.double_value());
+    case ValueType::kString:
+      return a.string_value().compare(b.string_value());
+    case ValueType::kArray: {
+      const auto& av = a.array();
+      const auto& bv = b.array();
+      size_t n = std::min(av.size(), bv.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Compare(av[i], bv[i]);
+        if (c != 0) return c;
+      }
+      return Cmp(av.size(), bv.size());
+    }
+    case ValueType::kObject: {
+      const auto& am = a.members();
+      const auto& bm = b.members();
+      size_t n = std::min(am.size(), bm.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = am[i].first.compare(bm[i].first);
+        if (c != 0) return c;
+        c = Compare(am[i].second, bm[i].second);
+        if (c != 0) return c;
+      }
+      return Cmp(am.size(), bm.size());
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+void AppendJson(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->append("null");
+      break;
+    case ValueType::kBool:
+      out->append(v.bool_value() ? "true" : "false");
+      break;
+    case ValueType::kInt:
+      out->append(std::to_string(v.int_value()));
+      break;
+    case ValueType::kDouble:
+      out->append(FormatDouble(v.double_value()));
+      break;
+    case ValueType::kString:
+      out->push_back('"');
+      AppendJsonEscaped(v.string_value(), out);
+      out->push_back('"');
+      break;
+    case ValueType::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Value& e : v.array()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJson(e, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case ValueType::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        AppendJsonEscaped(key, out);
+        out->append("\":");
+        AppendJson(member, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::ToJson() const {
+  std::string out;
+  AppendJson(*this, &out);
+  return out;
+}
+
+}  // namespace sinew

@@ -1,0 +1,100 @@
+// Value: the in-memory document model (what JSON parses into and what the
+// loaders/serializers consume). Hot query paths operate on the binary
+// reservoir format, not on Value, so this type favours clarity over
+// compactness.
+
+#ifndef SINEW_COMMON_VALUE_H_
+#define SINEW_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sinew {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kArray = 5,
+  kObject = 6,
+};
+
+/// Returns "null" / "bool" / ... for a value type.
+const char* ValueTypeName(ValueType type);
+
+/// A JSON-like dynamically typed value. Objects preserve member insertion
+/// order (like JSON documents); lookup is linear, which is fine for the
+/// document sizes this repo manipulates (tens of keys).
+class Value {
+ public:
+  using Member = std::pair<std::string, Value>;
+
+  Value() : type_(ValueType::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool v);
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value String(std::string v);
+  static Value Array(std::vector<Value> elements = {});
+  static Value Object(std::vector<Member> members = {});
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_bool() const { return type_ == ValueType::kBool; }
+  bool is_int() const { return type_ == ValueType::kInt; }
+  bool is_double() const { return type_ == ValueType::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == ValueType::kString; }
+  bool is_array() const { return type_ == ValueType::kArray; }
+  bool is_object() const { return type_ == ValueType::kObject; }
+
+  // Accessors: preconditions are the corresponding is_*() checks.
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  /// Numeric value widened to double (valid for kInt and kDouble).
+  double AsDouble() const { return is_int() ? static_cast<double>(int_) : double_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<Value>& array() const { return array_; }
+  std::vector<Value>& mutable_array() { return array_; }
+  const std::vector<Member>& members() const { return members_; }
+  std::vector<Member>& mutable_members() { return members_; }
+
+  /// Object member lookup; returns nullptr if absent (or not an object).
+  const Value* Find(std::string_view key) const;
+  /// Adds (or replaces) an object member.
+  void Set(std::string_view key, Value value);
+  /// Appends an array element.
+  void Append(Value element) { array_.push_back(std::move(element)); }
+
+  /// Deep structural equality. Ints and doubles compare as distinct types
+  /// (Value::Int(1) != Value::Double(1.0)), matching the paper's
+  /// attribute = (key, type) model.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Deterministic total order (by type, then by content); used by sort-based
+  /// test assertions.
+  static int Compare(const Value& a, const Value& b);
+
+  /// Compact JSON rendering (delegates to json/writer).
+  std::string ToJson() const;
+
+ private:
+  ValueType type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<Member> members_;
+};
+
+}  // namespace sinew
+
+#endif  // SINEW_COMMON_VALUE_H_

@@ -1,0 +1,277 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+namespace sinew::engine {
+
+namespace {
+
+QueryResult CountResult(int64_t n) {
+  QueryResult result;
+  result.column_names.push_back("count");
+  result.column_types.push_back(ColumnType::kInt);
+  result.rows.push_back(DatumRow{Datum::Int(n)});
+  return result;
+}
+
+/// Implicit store coercions (int literal into a double column, text into
+/// bytes). Anything else is left for the row codec to type-check.
+Datum CoerceForColumn(Datum value, ColumnType type) {
+  if (value.is_null()) return value;
+  if (type == ColumnType::kDouble && value.is_int()) {
+    return Datum::Double(static_cast<double>(value.int_value()));
+  }
+  if (type == ColumnType::kBytes && value.is_text()) {
+    return Datum::Bytes(value.str());
+  }
+  if (type == ColumnType::kText && value.is_bytes()) {
+    return Datum::Text(value.str());
+  }
+  return value;
+}
+
+/// Builds the scan-visible ExecSchema (live columns + __rid) and the
+/// corresponding live slot list for programmatic row iteration.
+void ScanSchemaFor(const Table& table, const std::string& alias,
+                   ExecSchema* schema, std::vector<size_t>* live_slots) {
+  const Schema& s = table.schema();
+  *live_slots = s.LiveSlots();
+  for (size_t slot : *live_slots) {
+    const Column& col = s.columns()[slot];
+    schema->cols.push_back(ExecSchema::Col{alias, col.name, col.type});
+  }
+  schema->cols.push_back(ExecSchema::Col{alias, "__rid", ColumnType::kInt});
+}
+
+}  // namespace
+
+Database::Database(PlannerOptions planner_options, ExecOptions exec_options)
+    : planner_options_(planner_options), exec_options_(exec_options) {
+  RegisterBuiltinFunctions(&udfs_);
+}
+
+Result<QueryResult> Database::Execute(std::string_view sql) {
+  ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  return ExecuteStatement(stmt);
+}
+
+Result<PlanPtr> Database::PlanStatement(const SelectStatement& stmt) {
+  Planner planner(&catalog_, &udfs_, planner_options_);
+  return planner.PlanSelect(stmt);
+}
+
+Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(*stmt.select);
+    case StatementKind::kExplain: {
+      Planner planner(&catalog_, &udfs_, planner_options_);
+      ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(*stmt.select));
+      QueryResult result;
+      result.column_names.push_back("QUERY PLAN");
+      result.column_types.push_back(ColumnType::kText);
+      std::string text = plan->DebugString();
+      size_t start = 0;
+      while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string::npos) end = text.size();
+        result.rows.push_back(
+            DatumRow{Datum::Text(text.substr(start, end - start))});
+        start = end + 1;
+      }
+      return result;
+    }
+    case StatementKind::kCreateTable:
+      return ExecuteCreateTable(*stmt.create_table);
+    case StatementKind::kInsert:
+      return ExecuteInsert(*stmt.insert);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(*stmt.update);
+    case StatementKind::kDelete:
+      return ExecuteDelete(*stmt.del);
+    case StatementKind::kAnalyze: {
+      ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.analyze->table));
+      RETURN_NOT_OK(table->Analyze());
+      return CountResult(static_cast<int64_t>(table->LiveRowCount()));
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<PlanPtr> Database::Plan(std::string_view sql) {
+  ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (stmt.kind != StatementKind::kSelect &&
+      stmt.kind != StatementKind::kExplain) {
+    return Status::InvalidArgument("Plan() requires a SELECT");
+  }
+  Planner planner(&catalog_, &udfs_, planner_options_);
+  return planner.PlanSelect(*stmt.select);
+}
+
+Result<std::string> Database::Explain(std::string_view sql) {
+  ASSIGN_OR_RETURN(PlanPtr plan, Plan(sql));
+  return plan->DebugString();
+}
+
+Result<QueryResult> Database::ExecuteSelect(const SelectStatement& stmt) {
+  Planner planner(&catalog_, &udfs_, planner_options_);
+  ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(stmt));
+  return ExecutePlan(*plan, &udfs_, exec_options_);
+}
+
+Result<QueryResult> Database::ExecuteCreateTable(
+    const CreateTableStatement& stmt) {
+  Schema schema;
+  for (const Column& col : stmt.columns) {
+    RETURN_NOT_OK(schema.AddColumn(col));
+  }
+  RETURN_NOT_OK(catalog_.CreateTable(stmt.table, std::move(schema)).status());
+  return CountResult(0);
+}
+
+Result<QueryResult> Database::ExecuteInsert(const InsertStatement& stmt) {
+  ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+  std::vector<size_t> live = schema.LiveSlots();
+  // Target slots, in VALUES order.
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    targets = live;
+  } else {
+    for (const std::string& name : stmt.columns) {
+      std::optional<size_t> slot = schema.FindColumn(name);
+      if (!slot.has_value()) {
+        return Status::NotFound("column ", name, " does not exist");
+      }
+      targets.push_back(*slot);
+    }
+  }
+  int64_t inserted = 0;
+  for (const std::vector<ExprPtr>& value_row : stmt.values) {
+    if (value_row.size() != targets.size()) {
+      return Status::InvalidArgument("INSERT value count mismatch");
+    }
+    DatumRow row(schema.num_slots());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      ASSIGN_OR_RETURN(Datum v, EvalExpr(*value_row[i], {}, &udfs_));
+      row[targets[i]] =
+          CoerceForColumn(std::move(v), schema.columns()[targets[i]].type);
+    }
+    RETURN_NOT_OK(table->AppendRow(row).status());
+    ++inserted;
+  }
+  return CountResult(inserted);
+}
+
+Result<QueryResult> Database::ExecuteUpdate(const UpdateStatement& stmt) {
+  ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  ExecSchema scan_schema;
+  std::vector<size_t> live_slots;
+  ScanSchemaFor(*table, stmt.table, &scan_schema, &live_slots);
+
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    RETURN_NOT_OK(BindExpr(where.get(), scan_schema, {stmt.table}));
+  }
+  struct BoundAssignment {
+    size_t slot;  // physical slot in the table schema
+    ExprPtr expr;
+  };
+  std::vector<BoundAssignment> assignments;
+  for (const auto& [column, expr] : stmt.assignments) {
+    std::optional<size_t> slot = table->schema().FindColumn(column);
+    if (!slot.has_value()) {
+      return Status::NotFound("column ", column, " does not exist");
+    }
+    BoundAssignment bound;
+    bound.slot = *slot;
+    bound.expr = expr->Clone();
+    RETURN_NOT_OK(BindExpr(bound.expr.get(), scan_schema, {stmt.table}));
+    assignments.push_back(std::move(bound));
+  }
+
+  // Snapshot the schema for decoding (no DDL runs concurrently with DML in
+  // our workloads; the table latch serializes row-level access).
+  Schema schema_snapshot = table->schema();
+
+  // Projection pushdown for the predicate pass: decode only the slots the
+  // WHERE clause references; full rows are read for matches only.
+  std::vector<size_t> where_slots;
+  if (where != nullptr) {
+    std::vector<const Expr*> refs;
+    where->CollectColumnRefs(&refs);
+    for (const Expr* ref : refs) {
+      if (ref->bound_slot >= 0 &&
+          static_cast<size_t>(ref->bound_slot) < live_slots.size()) {
+        where_slots.push_back(live_slots[ref->bound_slot]);
+      }
+    }
+    std::sort(where_slots.begin(), where_slots.end());
+    where_slots.erase(std::unique(where_slots.begin(), where_slots.end()),
+                      where_slots.end());
+  }
+
+  uint64_t end = table->RowSlotCount();
+  int64_t updated = 0;
+  for (uint64_t rid = 0; rid < end; ++rid) {
+    if (where != nullptr) {
+      Result<DatumRow> partial = table->ReadRowSlots(rid, where_slots);
+      if (!partial.ok()) continue;  // deleted row
+      DatumRow visible;
+      visible.reserve(live_slots.size() + 1);
+      for (size_t slot : live_slots) {
+        visible.push_back(std::move((*partial)[slot]));
+      }
+      visible.push_back(Datum::Int(static_cast<int64_t>(rid)));
+      ASSIGN_OR_RETURN(bool match, EvalPredicate(*where, visible, &udfs_));
+      if (!match) continue;
+    } else if (!table->IsLive(rid)) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(DatumRow full, table->ReadRow(rid));
+    DatumRow visible;
+    visible.reserve(live_slots.size() + 1);
+    for (size_t slot : live_slots) visible.push_back(full[slot]);
+    visible.push_back(Datum::Int(static_cast<int64_t>(rid)));
+    for (const BoundAssignment& a : assignments) {
+      ASSIGN_OR_RETURN(Datum v, EvalExpr(*a.expr, visible, &udfs_));
+      full[a.slot] = CoerceForColumn(
+          std::move(v), schema_snapshot.columns()[a.slot].type);
+    }
+    RETURN_NOT_OK(table->UpdateRow(rid, full));
+    ++updated;
+  }
+  return CountResult(updated);
+}
+
+Result<QueryResult> Database::ExecuteDelete(const DeleteStatement& stmt) {
+  ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  ExecSchema scan_schema;
+  std::vector<size_t> live_slots;
+  ScanSchemaFor(*table, stmt.table, &scan_schema, &live_slots);
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    RETURN_NOT_OK(BindExpr(where.get(), scan_schema, {stmt.table}));
+  }
+  uint64_t end = table->RowSlotCount();
+  int64_t deleted = 0;
+  for (uint64_t rid = 0; rid < end; ++rid) {
+    if (!table->IsLive(rid)) continue;
+    if (where != nullptr) {
+      ASSIGN_OR_RETURN(DatumRow full, table->ReadRow(rid));
+      DatumRow visible;
+      visible.reserve(live_slots.size() + 1);
+      for (size_t slot : live_slots) visible.push_back(std::move(full[slot]));
+      visible.push_back(Datum::Int(static_cast<int64_t>(rid)));
+      ASSIGN_OR_RETURN(bool match, EvalPredicate(*where, visible, &udfs_));
+      if (!match) continue;
+    }
+    RETURN_NOT_OK(table->DeleteRow(rid));
+    ++deleted;
+  }
+  return CountResult(deleted);
+}
+
+}  // namespace sinew::engine

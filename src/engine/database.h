@@ -1,0 +1,65 @@
+// Database: the embeddable facade over microdb — catalog + UDF registry +
+// parser + planner + executor. This is the component Sinew treats as "the
+// RDBMS" (paper Figure 1): Sinew sits above it and never reaches around it.
+
+#ifndef SINEW_ENGINE_DATABASE_H_
+#define SINEW_ENGINE_DATABASE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "engine/catalog.h"
+#include "engine/exec.h"
+#include "engine/parser.h"
+#include "engine/planner.h"
+#include "engine/udf.h"
+
+namespace sinew::engine {
+
+class Database {
+ public:
+  explicit Database(PlannerOptions planner_options = {},
+                    ExecOptions exec_options = {});
+
+  Catalog* catalog() { return &catalog_; }
+  UdfRegistry* udfs() { return &udfs_; }
+  const PlannerOptions& planner_options() const { return planner_options_; }
+  void set_planner_options(PlannerOptions options) {
+    planner_options_ = options;
+  }
+  void set_exec_options(ExecOptions options) { exec_options_ = options; }
+
+  /// Parses and executes one SQL statement. DML statements return a single
+  /// "count" row with the number of affected rows; EXPLAIN returns one text
+  /// row per plan line.
+  Result<QueryResult> Execute(std::string_view sql);
+
+  /// Executes an already-parsed (possibly rewritten) statement.
+  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+
+  /// Plans an already-parsed SELECT.
+  Result<PlanPtr> PlanStatement(const SelectStatement& stmt);
+
+  /// Plans a SELECT without running it.
+  Result<PlanPtr> Plan(std::string_view sql);
+
+  /// EXPLAIN convenience: the plan tree as text.
+  Result<std::string> Explain(std::string_view sql);
+
+ private:
+  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+  Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
+  Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
+  Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  PlannerOptions planner_options_;
+  ExecOptions exec_options_;
+};
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_DATABASE_H_

@@ -1,0 +1,143 @@
+#include "engine/datum.h"
+
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace sinew::engine {
+
+namespace {
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Datum::Compare(const Datum& a, const Datum& b) {
+  if (a.is_null() || b.is_null()) {
+    return Cmp(static_cast<int>(!a.is_null()), static_cast<int>(!b.is_null()));
+  }
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) return Cmp(a.int_value(), b.int_value());
+    return Cmp(a.AsDouble(), b.AsDouble());
+  }
+  if (a.kind() != b.kind()) {
+    return Cmp(static_cast<int>(a.kind()), static_cast<int>(b.kind()));
+  }
+  switch (a.kind()) {
+    case Kind::kBool:
+      return Cmp(a.bool_value(), b.bool_value());
+    case Kind::kText:
+    case Kind::kBytes:
+      return a.str().compare(b.str());
+    default:
+      return 0;
+  }
+}
+
+size_t Datum::Hash() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return 0x9e3779b9;
+    case Kind::kBool:
+      return bool_ ? 0x517cc1b7 : 0x27220a95;
+    case Kind::kInt:
+      // Ints and doubles representing the same value hash identically so that
+      // cross-type numeric equality (1 = 1.0) groups correctly.
+      return std::hash<double>()(static_cast<double>(int_));
+    case Kind::kDouble:
+      return std::hash<double>()(double_);
+    case Kind::kText:
+    case Kind::kBytes:
+      return std::hash<std::string_view>()(str_);
+  }
+  return 0;
+}
+
+std::string Datum::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble:
+      return FormatDouble(double_);
+    case Kind::kText:
+      return str_;
+    case Kind::kBytes:
+      return "\\x<" + std::to_string(str_.size()) + " bytes>";
+  }
+  return "";
+}
+
+Value Datum::ToValue() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return Value::Null();
+    case Kind::kBool:
+      return Value::Bool(bool_);
+    case Kind::kInt:
+      return Value::Int(int_);
+    case Kind::kDouble:
+      return Value::Double(double_);
+    case Kind::kText:
+    case Kind::kBytes:
+      return Value::String(str_);
+  }
+  return Value::Null();
+}
+
+Result<Datum> Datum::FromValue(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return Datum::Null();
+    case ValueType::kBool:
+      return Datum::Bool(value.bool_value());
+    case ValueType::kInt:
+      return Datum::Int(value.int_value());
+    case ValueType::kDouble:
+      return Datum::Double(value.double_value());
+    case ValueType::kString:
+      return Datum::Text(value.string_value());
+    case ValueType::kArray:
+    case ValueType::kObject:
+      return Status::TypeError("cannot convert ", ValueTypeName(value.type()),
+                               " to a scalar datum");
+  }
+  return Status::Internal("unreachable");
+}
+
+ColumnType Datum::TypeOrDefault(ColumnType if_null) const {
+  switch (kind_) {
+    case Kind::kNull:
+      return if_null;
+    case Kind::kBool:
+      return ColumnType::kBool;
+    case Kind::kInt:
+      return ColumnType::kInt;
+    case Kind::kDouble:
+      return ColumnType::kDouble;
+    case Kind::kText:
+      return ColumnType::kText;
+    case Kind::kBytes:
+      return ColumnType::kBytes;
+  }
+  return if_null;
+}
+
+size_t HashDatums(const DatumRow& row) {
+  size_t h = 0xcbf29ce484222325ull;
+  for (const Datum& d : row) {
+    h ^= d.Hash();
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace sinew::engine

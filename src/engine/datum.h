@@ -1,0 +1,118 @@
+// Datum: a runtime cell value flowing through the executor.
+
+#ifndef SINEW_ENGINE_DATUM_H_
+#define SINEW_ENGINE_DATUM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "engine/type.h"
+
+namespace sinew::engine {
+
+class Datum {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kInt = 2,
+    kDouble = 3,
+    kText = 4,
+    kBytes = 5,
+  };
+
+  Datum() : kind_(Kind::kNull) {}
+
+  static Datum Null() { return Datum(); }
+  static Datum Bool(bool v) {
+    Datum d;
+    d.kind_ = Kind::kBool;
+    d.bool_ = v;
+    return d;
+  }
+  static Datum Int(int64_t v) {
+    Datum d;
+    d.kind_ = Kind::kInt;
+    d.int_ = v;
+    return d;
+  }
+  static Datum Double(double v) {
+    Datum d;
+    d.kind_ = Kind::kDouble;
+    d.double_ = v;
+    return d;
+  }
+  static Datum Text(std::string v) {
+    Datum d;
+    d.kind_ = Kind::kText;
+    d.str_ = std::move(v);
+    return d;
+  }
+  static Datum Bytes(std::string v) {
+    Datum d;
+    d.kind_ = Kind::kBytes;
+    d.str_ = std::move(v);
+    return d;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_numeric() const { return is_int() || is_double(); }
+  bool is_text() const { return kind_ == Kind::kText; }
+  bool is_bytes() const { return kind_ == Kind::kBytes; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  double AsDouble() const { return is_int() ? static_cast<double>(int_) : double_; }
+  const std::string& str() const { return str_; }
+  std::string& mutable_str() { return str_; }
+
+  /// Total order: NULL < everything; numerics compare cross-kind by value;
+  /// mismatched non-numeric kinds order by kind tag (deterministic, never
+  /// "undefined"). SQL comparison semantics live in eval.cc, which
+  /// type-checks before calling this.
+  static int Compare(const Datum& a, const Datum& b);
+
+  bool operator==(const Datum& other) const { return Compare(*this, other) == 0; }
+  bool operator!=(const Datum& other) const { return !(*this == other); }
+  bool operator<(const Datum& other) const { return Compare(*this, other) < 0; }
+
+  size_t Hash() const;
+
+  /// Display rendering (result printing, EXPLAIN literals).
+  std::string ToString() const;
+
+  /// Lossless for scalars; kBytes renders as a string value.
+  Value ToValue() const;
+
+  /// Scalars only; arrays/objects are an error (they live in BYTES columns
+  /// in their serialized form, see engine/type.h).
+  static Result<Datum> FromValue(const Value& value);
+
+  /// The natural column type of this datum, if not null.
+  ColumnType TypeOrDefault(ColumnType if_null) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+};
+
+using DatumRow = std::vector<Datum>;
+
+/// Hash of a row prefix (used by hash join/aggregate key grouping).
+size_t HashDatums(const DatumRow& row);
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_DATUM_H_

@@ -1,0 +1,848 @@
+#include "engine/exec.h"
+
+#include <algorithm>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace sinew::engine {
+
+namespace {
+
+uint64_t RowBytes(const DatumRow& row) {
+  uint64_t bytes = sizeof(DatumRow) + row.capacity() * sizeof(Datum);
+  for (const Datum& d : row) bytes += d.str().size();
+  return bytes;
+}
+
+struct ExecContext {
+  const UdfRegistry* udfs;
+  uint64_t mem_limit;
+  uint64_t mem_used = 0;
+
+  Status Charge(uint64_t bytes) {
+    mem_used += bytes;
+    if (mem_limit != 0 && mem_used > mem_limit) {
+      return Status::Aborted(
+          "query aborted: intermediate results exceeded the ", mem_limit,
+          "-byte budget (needed more scratch space)");
+    }
+    return Status::OK();
+  }
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  /// Fills `row` and returns true, or returns false at end-of-stream.
+  virtual Result<bool> Next(DatumRow* row) = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+// ---------------------------------------------------------------- SeqScan
+
+class ScanOp : public Operator {
+ public:
+  ScanOp(const PlanNode& node, ExecContext* ctx) : node_(node), ctx_(ctx) {}
+
+  Status Open() override {
+    Table* table = node_.table;
+    std::shared_lock lock(table->latch());
+    schema_ = table->SchemaUnlocked();  // snapshot
+    live_slots_ = schema_.LiveSlots();
+    end_ = table->RowSlotCountUnlocked();
+    rid_ = 0;
+    const size_t rid_position = live_slots_.size();
+    // The plan was built against an earlier schema snapshot; if a
+    // concurrent ADD/DROP COLUMN changed the live layout in between,
+    // silently decoding would misalign columns — fail fast instead (the
+    // caller retries with a fresh plan).
+    if (node_.scan_projected) {
+      if (live_slots_.size() + 1 != node_.output_schema.cols.size()) {
+        return Status::Aborted("schema changed concurrently; replan");
+      }
+      for (size_t i = 0; i < live_slots_.size(); ++i) {
+        if (schema_.columns()[live_slots_[i]].name !=
+            node_.output_schema.cols[i].name) {
+          return Status::Aborted("schema changed concurrently; replan");
+        }
+      }
+    }
+    // Map scan output positions to physical table slots for the pushed-down
+    // projection (the __rid pseudo-column is computed, not decoded).
+    auto to_table_slots = [&](const std::vector<size_t>& positions) {
+      std::vector<size_t> slots;
+      for (size_t pos : positions) {
+        if (pos < rid_position) slots.push_back(live_slots_[pos]);
+      }
+      std::sort(slots.begin(), slots.end());
+      return slots;
+    };
+    if (node_.scan_projected) {
+      filter_slots_ = to_table_slots(node_.scan_filter_cols);
+      output_slots_ = to_table_slots(node_.scan_output_cols);
+    } else {
+      filter_slots_ = live_slots_;
+      std::sort(filter_slots_.begin(), filter_slots_.end());
+      output_slots_.clear();
+    }
+    // With no dropped columns, output position == table slot, so rows can be
+    // decoded in place without the intermediate full-width buffer.
+    identity_ = live_slots_.size() == schema_.num_slots();
+    for (size_t i = 0; identity_ && i < live_slots_.size(); ++i) {
+      identity_ = live_slots_[i] == i;
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    Table* table = node_.table;
+    const size_t rid_position = live_slots_.size();
+    while (rid_ < end_) {
+      // Chunked shared latching: hold the latch for up to kScanChunk rows so
+      // the background materializer's row updates can interleave.
+      std::shared_lock lock(table->latch());
+      uint64_t chunk_end = std::min(end_, rid_ + kScanChunk);
+      for (; rid_ < chunk_end; ++rid_) {
+        const std::string& raw = table->RawRowUnlocked(rid_);
+        if (raw.empty()) continue;  // deleted
+        // Phase 1: decode only the columns the pushed-down filter touches.
+        DatumRow row(rid_position + 1);
+        if (identity_) {
+          RETURN_NOT_OK(DecodeRowSlots(schema_, raw, filter_slots_, &row));
+        } else {
+          DatumRow full(schema_.num_slots());
+          RETURN_NOT_OK(DecodeRowSlots(schema_, raw, filter_slots_, &full));
+          for (size_t i = 0; i < rid_position; ++i) {
+            row[i] = std::move(full[live_slots_[i]]);
+          }
+        }
+        row[rid_position] = Datum::Int(static_cast<int64_t>(rid_));
+        if (node_.scan_filter != nullptr) {
+          ASSIGN_OR_RETURN(
+              bool keep, EvalPredicate(*node_.scan_filter, row, ctx_->udfs));
+          if (!keep) continue;
+        }
+        // Phase 2: decode the remaining referenced columns for survivors.
+        if (!output_slots_.empty()) {
+          if (identity_) {
+            RETURN_NOT_OK(DecodeRowSlots(schema_, raw, output_slots_, &row));
+          } else {
+            DatumRow full(schema_.num_slots());
+            RETURN_NOT_OK(DecodeRowSlots(schema_, raw, output_slots_, &full));
+            for (size_t i = 0; i < rid_position; ++i) {
+              if (row[i].is_null()) row[i] = std::move(full[live_slots_[i]]);
+            }
+          }
+        }
+        *out = std::move(row);
+        ++rid_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const PlanNode& node_;
+  ExecContext* ctx_;
+  Schema schema_;
+  std::vector<size_t> live_slots_;
+  std::vector<size_t> filter_slots_;
+  std::vector<size_t> output_slots_;
+  bool identity_ = false;
+  uint64_t rid_ = 0;
+  uint64_t end_ = 0;
+};
+
+// ---------------------------------------------------------------- Filter
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(const PlanNode& node, OperatorPtr child, ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(DatumRow* out) override {
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, child_->Next(out));
+      if (!has) return false;
+      ASSIGN_OR_RETURN(bool keep,
+                       EvalPredicate(*node_.predicate, *out, ctx_->udfs));
+      if (keep) return true;
+    }
+  }
+
+ private:
+  const PlanNode& node_;
+  OperatorPtr child_;
+  ExecContext* ctx_;
+};
+
+// ---------------------------------------------------------------- Project
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(const PlanNode& node, OperatorPtr child, ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(DatumRow* out) override {
+    DatumRow in;
+    ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+    if (!has) return false;
+    DatumRow row;
+    row.reserve(node_.projections.size());
+    for (const ExprPtr& p : node_.projections) {
+      ASSIGN_OR_RETURN(Datum v, EvalExpr(*p, in, ctx_->udfs));
+      row.push_back(std::move(v));
+    }
+    *out = std::move(row);
+    return true;
+  }
+
+ private:
+  const PlanNode& node_;
+  OperatorPtr child_;
+  ExecContext* ctx_;
+};
+
+// ---------------------------------------------------------------- Sort
+
+class SortOp : public Operator {
+ public:
+  SortOp(const PlanNode& node, OperatorPtr child, ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override {
+    RETURN_NOT_OK(child_->Open());
+    DatumRow row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      if (!has) break;
+      DatumRow keys;
+      keys.reserve(node_.sort_keys.size());
+      for (const ExprPtr& k : node_.sort_keys) {
+        ASSIGN_OR_RETURN(Datum v, EvalExpr(*k, row, ctx_->udfs));
+        keys.push_back(std::move(v));
+      }
+      RETURN_NOT_OK(ctx_->Charge(RowBytes(row) + RowBytes(keys)));
+      rows_.emplace_back(std::move(keys), std::move(row));
+    }
+    const std::vector<bool>& desc = node_.sort_desc;
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [&desc](const auto& a, const auto& b) {
+                       for (size_t i = 0; i < a.first.size(); ++i) {
+                         int c = Datum::Compare(a.first[i], b.first[i]);
+                         if (c != 0) {
+                           return (i < desc.size() && desc[i]) ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = std::move(rows_[pos_].second);
+    ++pos_;
+    return true;
+  }
+
+  /// Sort key values of the row last returned by Next (merge join uses this
+  /// to avoid re-evaluating keys).
+  const DatumRow& LastKeys() const { return rows_[pos_ - 1].first; }
+
+ private:
+  const PlanNode& node_;
+  OperatorPtr child_;
+  ExecContext* ctx_;
+  std::vector<std::pair<DatumRow, DatumRow>> rows_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- Joins
+
+struct RowHasher {
+  size_t operator()(const DatumRow& row) const { return HashDatums(row); }
+};
+struct RowEq {
+  bool operator()(const DatumRow& a, const DatumRow& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (Datum::Compare(a[i], b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(const PlanNode& node, OperatorPtr probe, OperatorPtr build,
+             ExecContext* ctx)
+      : node_(node),
+        probe_(std::move(probe)),
+        build_(std::move(build)),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    RETURN_NOT_OK(build_->Open());
+    DatumRow row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, build_->Next(&row));
+      if (!has) break;
+      DatumRow keys;
+      keys.reserve(node_.right_keys.size());
+      bool has_null = false;
+      for (const ExprPtr& k : node_.right_keys) {
+        ASSIGN_OR_RETURN(Datum v, EvalExpr(*k, row, ctx_->udfs));
+        has_null |= v.is_null();
+        keys.push_back(std::move(v));
+      }
+      if (has_null) continue;  // NULL never equi-joins
+      RETURN_NOT_OK(ctx_->Charge(RowBytes(row) + RowBytes(keys)));
+      table_[std::move(keys)].push_back(std::move(row));
+    }
+    return probe_->Open();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    while (true) {
+      if (matches_ != nullptr && match_pos_ < matches_->size()) {
+        DatumRow combined = probe_row_;
+        const DatumRow& build_row = (*matches_)[match_pos_++];
+        combined.insert(combined.end(), build_row.begin(), build_row.end());
+        if (node_.residual != nullptr) {
+          ASSIGN_OR_RETURN(
+              bool keep,
+              EvalPredicate(*node_.residual, combined, ctx_->udfs));
+          if (!keep) continue;
+        }
+        *out = std::move(combined);
+        return true;
+      }
+      matches_ = nullptr;
+      ASSIGN_OR_RETURN(bool has, probe_->Next(&probe_row_));
+      if (!has) return false;
+      DatumRow keys;
+      keys.reserve(node_.left_keys.size());
+      bool has_null = false;
+      for (const ExprPtr& k : node_.left_keys) {
+        ASSIGN_OR_RETURN(Datum v, EvalExpr(*k, probe_row_, ctx_->udfs));
+        has_null |= v.is_null();
+        keys.push_back(std::move(v));
+      }
+      if (has_null) continue;
+      auto it = table_.find(keys);
+      if (it == table_.end()) continue;
+      matches_ = &it->second;
+      match_pos_ = 0;
+    }
+  }
+
+ private:
+  const PlanNode& node_;
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  ExecContext* ctx_;
+  std::unordered_map<DatumRow, std::vector<DatumRow>, RowHasher, RowEq> table_;
+  DatumRow probe_row_;
+  const std::vector<DatumRow>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// Classic sorted merge join over duplicate key groups. Children are Sort
+/// nodes keyed on the join keys. Both inputs are materialized (the right
+/// group must be re-scannable anyway).
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(const PlanNode& node, OperatorPtr left, OperatorPtr right,
+              ExecContext* ctx)
+      : node_(node),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    RETURN_NOT_OK(Drain(left_.get(), node_.left_keys, &lrows_));
+    RETURN_NOT_OK(Drain(right_.get(), node_.right_keys, &rrows_));
+    li_ = ri_ = 0;
+    group_end_l_ = group_end_r_ = 0;
+    emit_l_ = emit_r_ = 0;
+    in_group_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    while (true) {
+      if (in_group_) {
+        if (emit_r_ < group_end_r_) {
+          DatumRow combined = lrows_[emit_l_].second;
+          const DatumRow& rrow = rrows_[emit_r_].second;
+          combined.insert(combined.end(), rrow.begin(), rrow.end());
+          ++emit_r_;
+          if (node_.residual != nullptr) {
+            ASSIGN_OR_RETURN(
+                bool keep,
+                EvalPredicate(*node_.residual, combined, ctx_->udfs));
+            if (!keep) continue;
+          }
+          *out = std::move(combined);
+          return true;
+        }
+        ++emit_l_;
+        if (emit_l_ < group_end_l_) {
+          emit_r_ = ri_;
+          continue;
+        }
+        // Advance past this group.
+        li_ = group_end_l_;
+        ri_ = group_end_r_;
+        in_group_ = false;
+      }
+      // Find the next matching key group.
+      while (li_ < lrows_.size() && ri_ < rrows_.size()) {
+        const DatumRow& lk = lrows_[li_].first;
+        const DatumRow& rk = rrows_[ri_].first;
+        if (HasNull(lk)) {
+          ++li_;
+          continue;
+        }
+        if (HasNull(rk)) {
+          ++ri_;
+          continue;
+        }
+        int c = CompareKeys(lk, rk);
+        if (c < 0) {
+          ++li_;
+        } else if (c > 0) {
+          ++ri_;
+        } else {
+          group_end_l_ = li_ + 1;
+          while (group_end_l_ < lrows_.size() &&
+                 CompareKeys(lrows_[group_end_l_].first, lk) == 0) {
+            ++group_end_l_;
+          }
+          group_end_r_ = ri_ + 1;
+          while (group_end_r_ < rrows_.size() &&
+                 CompareKeys(rrows_[group_end_r_].first, rk) == 0) {
+            ++group_end_r_;
+          }
+          emit_l_ = li_;
+          emit_r_ = ri_;
+          in_group_ = true;
+          break;
+        }
+      }
+      if (!in_group_) return false;
+    }
+  }
+
+ private:
+  static bool HasNull(const DatumRow& keys) {
+    return std::any_of(keys.begin(), keys.end(),
+                       [](const Datum& d) { return d.is_null(); });
+  }
+  static int CompareKeys(const DatumRow& a, const DatumRow& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = Datum::Compare(a[i], b[i]);
+      if (c != 0) return c;
+    }
+    return 0;
+  }
+
+  Status Drain(Operator* child, const std::vector<ExprPtr>& keys,
+               std::vector<std::pair<DatumRow, DatumRow>>* out) {
+    RETURN_NOT_OK(child->Open());
+    DatumRow row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, child->Next(&row));
+      if (!has) break;
+      DatumRow key_values;
+      key_values.reserve(keys.size());
+      for (const ExprPtr& k : keys) {
+        ASSIGN_OR_RETURN(Datum v, EvalExpr(*k, row, ctx_->udfs));
+        key_values.push_back(std::move(v));
+      }
+      RETURN_NOT_OK(ctx_->Charge(RowBytes(row) + RowBytes(key_values)));
+      out->emplace_back(std::move(key_values), std::move(row));
+    }
+    return Status::OK();
+  }
+
+  const PlanNode& node_;
+  OperatorPtr left_;
+  OperatorPtr right_;
+  ExecContext* ctx_;
+  std::vector<std::pair<DatumRow, DatumRow>> lrows_, rrows_;
+  size_t li_ = 0, ri_ = 0;
+  size_t group_end_l_ = 0, group_end_r_ = 0;
+  size_t emit_l_ = 0, emit_r_ = 0;
+  bool in_group_ = false;
+};
+
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(const PlanNode& node, OperatorPtr outer, OperatorPtr inner,
+                   ExecContext* ctx)
+      : node_(node),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    RETURN_NOT_OK(inner_->Open());
+    DatumRow row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, inner_->Next(&row));
+      if (!has) break;
+      RETURN_NOT_OK(ctx_->Charge(RowBytes(row)));
+      inner_rows_.push_back(std::move(row));
+    }
+    RETURN_NOT_OK(outer_->Open());
+    inner_pos_ = inner_rows_.size();
+    return Status::OK();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    while (true) {
+      if (inner_pos_ < inner_rows_.size()) {
+        DatumRow combined = outer_row_;
+        const DatumRow& inner_row = inner_rows_[inner_pos_++];
+        combined.insert(combined.end(), inner_row.begin(), inner_row.end());
+        if (node_.residual != nullptr) {
+          ASSIGN_OR_RETURN(
+              bool keep,
+              EvalPredicate(*node_.residual, combined, ctx_->udfs));
+          if (!keep) continue;
+        }
+        *out = std::move(combined);
+        return true;
+      }
+      ASSIGN_OR_RETURN(bool has, outer_->Next(&outer_row_));
+      if (!has) return false;
+      inner_pos_ = 0;
+    }
+  }
+
+ private:
+  const PlanNode& node_;
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  ExecContext* ctx_;
+  std::vector<DatumRow> inner_rows_;
+  DatumRow outer_row_;
+  size_t inner_pos_ = 0;
+};
+
+// ---------------------------------------------------------------- Aggregation
+
+struct Accumulator {
+  int64_t count = 0;
+  bool any = false;
+  bool as_double = false;
+  int64_t isum = 0;
+  double dsum = 0;
+  Datum min, max;
+
+  void Add(const Datum& v) {
+    if (v.is_null()) return;
+    any = true;
+    ++count;
+    if (v.is_numeric()) {
+      if (v.is_double()) {
+        if (!as_double) {
+          dsum = static_cast<double>(isum);
+          as_double = true;
+        }
+        dsum += v.double_value();
+      } else if (as_double) {
+        dsum += static_cast<double>(v.int_value());
+      } else {
+        isum += v.int_value();
+      }
+    }
+    if (min.is_null() || Datum::Compare(v, min) < 0) min = v;
+    if (max.is_null() || Datum::Compare(v, max) > 0) max = v;
+  }
+
+  Datum Sum() const {
+    if (!any) return Datum::Null();
+    return as_double ? Datum::Double(dsum) : Datum::Int(isum);
+  }
+  Datum Avg() const {
+    if (count == 0) return Datum::Null();
+    double total = as_double ? dsum : static_cast<double>(isum);
+    return Datum::Double(total / static_cast<double>(count));
+  }
+};
+
+struct GroupState {
+  int64_t star_count = 0;
+  std::vector<Accumulator> accs;
+};
+
+Result<DatumRow> FinalizeGroup(const PlanNode& node, const DatumRow& keys,
+                               const GroupState& state) {
+  DatumRow row = keys;
+  for (size_t i = 0; i < node.aggs.size(); ++i) {
+    const AggSpec& spec = node.aggs[i];
+    const Accumulator& acc = state.accs[i];
+    if (spec.fn == "count") {
+      row.push_back(Datum::Int(spec.is_star ? state.star_count : acc.count));
+    } else if (spec.fn == "sum") {
+      row.push_back(acc.Sum());
+    } else if (spec.fn == "avg") {
+      row.push_back(acc.Avg());
+    } else if (spec.fn == "min") {
+      row.push_back(acc.min);
+    } else if (spec.fn == "max") {
+      row.push_back(acc.max);
+    } else {
+      return Status::NotImplemented("aggregate ", spec.fn);
+    }
+  }
+  return row;
+}
+
+Status AccumulateRow(const PlanNode& node, const DatumRow& row,
+                     GroupState* state, ExecContext* ctx) {
+  if (state->accs.size() != node.aggs.size()) {
+    state->accs.resize(node.aggs.size());
+  }
+  ++state->star_count;
+  for (size_t i = 0; i < node.aggs.size(); ++i) {
+    const AggSpec& spec = node.aggs[i];
+    if (spec.is_star || spec.arg == nullptr) continue;
+    ASSIGN_OR_RETURN(Datum v, EvalExpr(*spec.arg, row, ctx->udfs));
+    state->accs[i].Add(v);
+  }
+  return Status::OK();
+}
+
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(const PlanNode& node, OperatorPtr child, ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override {
+    RETURN_NOT_OK(child_->Open());
+    DatumRow row;
+    bool saw_rows = false;
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      if (!has) break;
+      saw_rows = true;
+      DatumRow keys;
+      keys.reserve(node_.group_keys.size());
+      for (const ExprPtr& k : node_.group_keys) {
+        ASSIGN_OR_RETURN(Datum v, EvalExpr(*k, row, ctx_->udfs));
+        keys.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups_.try_emplace(std::move(keys));
+      if (inserted) {
+        RETURN_NOT_OK(ctx_->Charge(RowBytes(it->first) + 64));
+      }
+      RETURN_NOT_OK(AccumulateRow(node_, row, &it->second, ctx_));
+    }
+    // Aggregate without GROUP BY over empty input: one row of initial
+    // accumulator values (COUNT(*) = 0 etc.).
+    if (!saw_rows && node_.group_keys.empty()) {
+      GroupState empty;
+      empty.accs.resize(node_.aggs.size());
+      ASSIGN_OR_RETURN(DatumRow out, FinalizeGroup(node_, {}, empty));
+      results_.push_back(std::move(out));
+    }
+    for (const auto& [keys, state] : groups_) {
+      ASSIGN_OR_RETURN(DatumRow out, FinalizeGroup(node_, keys, state));
+      results_.push_back(std::move(out));
+    }
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    if (pos_ >= results_.size()) return false;
+    *out = std::move(results_[pos_]);
+    ++pos_;
+    return true;
+  }
+
+ private:
+  const PlanNode& node_;
+  OperatorPtr child_;
+  ExecContext* ctx_;
+  std::unordered_map<DatumRow, GroupState, RowHasher, RowEq> groups_;
+  std::vector<DatumRow> results_;
+  size_t pos_ = 0;
+};
+
+/// Aggregation over input sorted by the group keys (the planner puts a Sort
+/// underneath). Streams one group at a time — the memory-safe plan shape for
+/// high-cardinality grouping.
+class GroupAggregateOp : public Operator {
+ public:
+  GroupAggregateOp(const PlanNode& node, OperatorPtr child, ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override {
+    RETURN_NOT_OK(child_->Open());
+    ASSIGN_OR_RETURN(pending_, ReadOne());
+    return Status::OK();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    if (!pending_.has_value()) return false;
+    DatumRow group_keys = pending_->first;
+    GroupState state;
+    state.accs.resize(node_.aggs.size());
+    while (pending_.has_value() &&
+           RowEq()(pending_->first, group_keys)) {
+      RETURN_NOT_OK(AccumulateRow(node_, pending_->second, &state, ctx_));
+      ASSIGN_OR_RETURN(pending_, ReadOne());
+    }
+    ASSIGN_OR_RETURN(*out, FinalizeGroup(node_, group_keys, state));
+    return true;
+  }
+
+ private:
+  Result<std::optional<std::pair<DatumRow, DatumRow>>> ReadOne() {
+    DatumRow row;
+    ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) return std::optional<std::pair<DatumRow, DatumRow>>();
+    DatumRow keys;
+    keys.reserve(node_.group_keys.size());
+    for (const ExprPtr& k : node_.group_keys) {
+      ASSIGN_OR_RETURN(Datum v, EvalExpr(*k, row, ctx_->udfs));
+      keys.push_back(std::move(v));
+    }
+    return std::make_optional(std::make_pair(std::move(keys), std::move(row)));
+  }
+
+  const PlanNode& node_;
+  OperatorPtr child_;
+  ExecContext* ctx_;
+  std::optional<std::pair<DatumRow, DatumRow>> pending_;
+};
+
+/// DISTINCT over sorted input.
+class UniqueOp : public Operator {
+ public:
+  UniqueOp(OperatorPtr child) : child_(std::move(child)) {}
+
+  Status Open() override {
+    RETURN_NOT_OK(child_->Open());
+    have_prev_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    DatumRow row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      if (!has) return false;
+      if (have_prev_ && RowEq()(row, prev_)) continue;
+      prev_ = row;
+      have_prev_ = true;
+      *out = std::move(row);
+      return true;
+    }
+  }
+
+ private:
+  OperatorPtr child_;
+  DatumRow prev_;
+  bool have_prev_ = false;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(const PlanNode& node, OperatorPtr child)
+      : node_(node), child_(std::move(child)) {}
+
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    if (emitted_ >= node_.limit) return false;
+    ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    ++emitted_;
+    return true;
+  }
+
+ private:
+  const PlanNode& node_;
+  OperatorPtr child_;
+  int64_t emitted_ = 0;
+};
+
+Result<OperatorPtr> BuildOperator(const PlanNode& node, ExecContext* ctx) {
+  std::vector<OperatorPtr> children;
+  children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    ASSIGN_OR_RETURN(OperatorPtr op, BuildOperator(*child, ctx));
+    children.push_back(std::move(op));
+  }
+  switch (node.kind) {
+    case PlanKind::kSeqScan:
+      return OperatorPtr(new ScanOp(node, ctx));
+    case PlanKind::kFilter:
+      return OperatorPtr(new FilterOp(node, std::move(children[0]), ctx));
+    case PlanKind::kProject:
+      return OperatorPtr(new ProjectOp(node, std::move(children[0]), ctx));
+    case PlanKind::kSort:
+      return OperatorPtr(new SortOp(node, std::move(children[0]), ctx));
+    case PlanKind::kHashJoin:
+      return OperatorPtr(new HashJoinOp(node, std::move(children[0]),
+                                        std::move(children[1]), ctx));
+    case PlanKind::kMergeJoin:
+      return OperatorPtr(new MergeJoinOp(node, std::move(children[0]),
+                                         std::move(children[1]), ctx));
+    case PlanKind::kNestedLoopJoin:
+      return OperatorPtr(new NestedLoopJoinOp(node, std::move(children[0]),
+                                              std::move(children[1]), ctx));
+    case PlanKind::kHashAggregate:
+      return OperatorPtr(
+          new HashAggregateOp(node, std::move(children[0]), ctx));
+    case PlanKind::kGroupAggregate:
+      return OperatorPtr(
+          new GroupAggregateOp(node, std::move(children[0]), ctx));
+    case PlanKind::kUnique:
+      return OperatorPtr(new UniqueOp(std::move(children[0])));
+    case PlanKind::kLimit:
+      return OperatorPtr(new LimitOp(node, std::move(children[0])));
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace
+
+Result<QueryResult> ExecutePlan(const PlanNode& plan, const UdfRegistry* udfs,
+                                const ExecOptions& options) {
+  ExecContext ctx{udfs, options.max_intermediate_bytes};
+  ASSIGN_OR_RETURN(OperatorPtr root, BuildOperator(plan, &ctx));
+  RETURN_NOT_OK(root->Open());
+  QueryResult result;
+  for (const ExecSchema::Col& col : plan.output_schema.cols) {
+    result.column_names.push_back(col.name);
+    result.column_types.push_back(col.type);
+  }
+  DatumRow row;
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, root->Next(&row));
+    if (!has) break;
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace sinew::engine

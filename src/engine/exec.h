@@ -1,0 +1,40 @@
+// Volcano-style plan executor.
+//
+// Streaming operators (scan, filter, project, limit) pull row-at-a-time;
+// blocking operators (sort, hash join build, aggregation) materialize and
+// charge an intermediate-state memory budget. Exceeding the budget aborts
+// the query with Status::Aborted — the mechanism used to reproduce the
+// paper's "could not complete for lack of disk space" outcomes for the EAV
+// and MongoDB joins honestly rather than by special-casing.
+
+#ifndef SINEW_ENGINE_EXEC_H_
+#define SINEW_ENGINE_EXEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/plan.h"
+#include "engine/udf.h"
+
+namespace sinew::engine {
+
+struct ExecOptions {
+  /// Budget for materialized intermediate state (sort buffers, hash tables,
+  /// inner relations). 0 = unlimited.
+  uint64_t max_intermediate_bytes = 4ull << 30;
+};
+
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<ColumnType> column_types;
+  std::vector<DatumRow> rows;
+};
+
+/// Executes a plan to completion.
+Result<QueryResult> ExecutePlan(const PlanNode& plan, const UdfRegistry* udfs,
+                                const ExecOptions& options = {});
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_EXEC_H_

@@ -1,0 +1,139 @@
+#include "engine/lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace sinew::engine {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tokens.push_back(Token{TokenType::kIdentifier,
+                             std::string(sql.substr(start, i - start)), start});
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (true) {
+        if (i >= n) return Status::ParseError("unterminated quoted identifier");
+        if (sql[i] == '"') {
+          if (i + 1 < n && sql[i + 1] == '"') {
+            text.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      tokens.push_back(Token{TokenType::kQuotedIdentifier, std::move(text), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (true) {
+        if (i >= n) return Status::ParseError("unterminated string literal");
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      tokens.push_back(Token{TokenType::kString, std::move(text), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_float = false;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.') {
+          // A second dot ends the number (e.g. "1.2.3" is not a number).
+          if (is_float) break;
+          is_float = true;
+          ++i;
+        } else if (d == 'e' || d == 'E') {
+          is_float = true;
+          ++i;
+          if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back(Token{is_float ? TokenType::kFloat : TokenType::kInteger,
+                             std::string(sql.substr(start, i - start)), start});
+      continue;
+    }
+    // Multi-character symbols first.
+    static constexpr std::string_view kTwoChar[] = {"<=", ">=", "<>", "!=",
+                                                    "||"};
+    bool matched = false;
+    if (i + 1 < n) {
+      std::string_view two = sql.substr(i, 2);
+      for (std::string_view sym : kTwoChar) {
+        if (two == sym) {
+          tokens.push_back(Token{TokenType::kSymbol, std::string(sym), start});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kOneChar = "(),.*+-/%<>=;";
+    if (kOneChar.find(c) != std::string_view::npos) {
+      tokens.push_back(Token{TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '", std::string(1, c),
+                              "' at offset ", i);
+  }
+  tokens.push_back(Token{TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sinew::engine

@@ -1,0 +1,41 @@
+// SQL lexer.
+
+#ifndef SINEW_ENGINE_LEXER_H_
+#define SINEW_ENGINE_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sinew::engine {
+
+enum class TokenType : uint8_t {
+  kIdentifier,        // bare identifier (case preserved; compare case-insensitively)
+  kQuotedIdentifier,  // "..." (case and content preserved)
+  kString,            // '...' with '' escaping
+  kInteger,
+  kFloat,
+  kSymbol,  // punctuation / operators, text holds the exact symbol
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;
+  size_t offset = 0;
+
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword match against a bare identifier.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes `sql`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_LEXER_H_

@@ -1,0 +1,36 @@
+// Recursive-descent SQL parser.
+//
+// Supported surface (everything the paper's workloads need):
+//   SELECT [DISTINCT] items FROM t [alias] {, t | JOIN t ON e}*
+//     [WHERE e] [GROUP BY e, ...] [HAVING e] [ORDER BY e [ASC|DESC], ...]
+//     [LIMIT n]
+//   CREATE TABLE t (col type, ...)
+//   INSERT INTO t [(cols)] VALUES (...), ...
+//   UPDATE t SET col = e, ... [WHERE e]
+//   DELETE FROM t [WHERE e]
+//   ANALYZE t
+//   EXPLAIN <select>
+//
+// Expressions: literals, [alias.]column (dotted and "quoted" names),
+// arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN (...), LIKE, IS [NOT]
+// NULL, CASE WHEN, function calls (aggregates and UDFs), COUNT(*).
+
+#ifndef SINEW_ENGINE_PARSER_H_
+#define SINEW_ENGINE_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "engine/statement.h"
+
+namespace sinew::engine {
+
+/// Parses a single SQL statement (optional trailing ';').
+Result<Statement> ParseSql(std::string_view sql);
+
+/// Parses just an expression (used by tests).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_PARSER_H_

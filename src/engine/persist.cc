@@ -1,0 +1,96 @@
+#include "engine/persist.h"
+
+#include <fstream>
+#include <shared_mutex>
+
+#include "common/bytes.h"
+
+namespace sinew::engine {
+
+namespace {
+
+constexpr std::string_view kMagic = "SINEWTBL";
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Result<std::string> SerializeTable(const Table& table) {
+  std::shared_lock lock(table.latch());
+  const Schema& schema = table.SchemaUnlocked();
+  BufferWriter w;
+  w.PutBytes(kMagic);
+  w.PutU32(kVersion);
+  w.PutLengthPrefixed(table.name());
+  w.PutU32(static_cast<uint32_t>(schema.num_slots()));
+  for (const Column& col : schema.columns()) {
+    w.PutLengthPrefixed(col.name);
+    w.PutU8(static_cast<uint8_t>(col.type));
+    w.PutU8(col.dropped ? 1 : 0);
+  }
+  uint64_t slots = table.RowSlotCountUnlocked();
+  w.PutU64(slots);
+  for (uint64_t rid = 0; rid < slots; ++rid) {
+    w.PutLengthPrefixed(table.RawRowUnlocked(rid));
+  }
+  return w.Release();
+}
+
+Status SaveTable(const Table& table, const std::string& path) {
+  ASSIGN_OR_RETURN(std::string image, SerializeTable(table));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open ", path, " for writing");
+  out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  if (!out) return Status::IOError("short write to ", path);
+  return Status::OK();
+}
+
+Result<Table*> DeserializeTable(std::string_view image, Catalog* catalog) {
+  BufferReader r(image);
+  ASSIGN_OR_RETURN(std::string_view magic, r.ReadBytes(kMagic.size()));
+  if (magic != kMagic) return Status::ParseError("bad table image magic");
+  ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return Status::ParseError("unsupported table image version ", version);
+  }
+  ASSIGN_OR_RETURN(std::string_view name, r.ReadLengthPrefixed());
+  ASSIGN_OR_RETURN(uint32_t ncols, r.ReadU32());
+  Schema schema;
+  for (uint32_t i = 0; i < ncols; ++i) {
+    ASSIGN_OR_RETURN(std::string_view col_name, r.ReadLengthPrefixed());
+    ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+    ASSIGN_OR_RETURN(uint8_t dropped, r.ReadU8());
+    Column col;
+    col.name = std::string(col_name);
+    col.type = static_cast<ColumnType>(type);
+    col.dropped = dropped != 0;
+    // AddColumn rejects duplicates of live columns; tombstones are appended
+    // directly to preserve slot order.
+    if (col.dropped) {
+      Column live = col;
+      live.dropped = false;
+      RETURN_NOT_OK(schema.AddColumn(live));
+      RETURN_NOT_OK(schema.DropColumn(col.name));
+    } else {
+      RETURN_NOT_OK(schema.AddColumn(col));
+    }
+  }
+  ASSIGN_OR_RETURN(Table * table,
+                   catalog->CreateTable(std::string(name), std::move(schema)));
+  ASSIGN_OR_RETURN(uint64_t slots, r.ReadU64());
+  for (uint64_t i = 0; i < slots; ++i) {
+    ASSIGN_OR_RETURN(std::string_view row, r.ReadLengthPrefixed());
+    RETURN_NOT_OK(table->RestoreRawRow(std::string(row)));
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes in table image");
+  return table;
+}
+
+Result<Table*> LoadTable(const std::string& path, Catalog* catalog) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open ", path);
+  std::string image((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeTable(image, catalog);
+}
+
+}  // namespace sinew::engine

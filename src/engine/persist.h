@@ -1,0 +1,36 @@
+// Single-file binary table images. Used for durability and as the
+// deterministic "storage size" measure behind Table 3 (encoded byte volume,
+// not process RSS).
+//
+// Image layout:
+//   magic "SINEWTBL" | u32 version
+//   table name (length-prefixed)
+//   u32 column count, per column: name, u8 type, u8 dropped
+//   u64 row-slot count, per slot: length-prefixed encoded row ("" = deleted)
+
+#ifndef SINEW_ENGINE_PERSIST_H_
+#define SINEW_ENGINE_PERSIST_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/catalog.h"
+#include "engine/table.h"
+
+namespace sinew::engine {
+
+/// Serializes the table into an in-memory image.
+Result<std::string> SerializeTable(const Table& table);
+
+/// Writes the image to a file.
+Status SaveTable(const Table& table, const std::string& path);
+
+/// Recreates a table from an image into `catalog` (fails if the name exists).
+Result<Table*> DeserializeTable(std::string_view image, Catalog* catalog);
+
+/// Reads a table image file into `catalog`.
+Result<Table*> LoadTable(const std::string& path, Catalog* catalog);
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_PERSIST_H_

@@ -1,0 +1,106 @@
+#include "engine/plan.h"
+
+#include <sstream>
+
+namespace sinew::engine {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSeqScan:
+      return "Seq Scan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kNestedLoopJoin:
+      return "Nested Loop";
+    case PlanKind::kHashJoin:
+      return "Hash Join";
+    case PlanKind::kMergeJoin:
+      return "Merge Join";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kHashAggregate:
+      return "HashAggregate";
+    case PlanKind::kGroupAggregate:
+      return "GroupAggregate";
+    case PlanKind::kUnique:
+      return "Unique";
+    case PlanKind::kLimit:
+      return "Limit";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string ExprListToString(const std::vector<ExprPtr>& exprs) {
+  std::string out;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs[i]->ToString();
+  }
+  return out;
+}
+
+void AppendNode(const PlanNode& node, int depth, std::ostringstream* out) {
+  for (int i = 0; i < depth; ++i) *out << "  ";
+  if (depth > 0) *out << "-> ";
+  *out << node.Summary() << "\n";
+  for (const auto& child : node.children) {
+    AppendNode(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanNode::Summary() const {
+  std::ostringstream out;
+  out << PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kSeqScan:
+      out << " on " << (table != nullptr ? table->name() : "?");
+      if (!alias.empty() && (table == nullptr || alias != table->name())) {
+        out << " " << alias;
+      }
+      if (scan_filter != nullptr) {
+        out << " (filter: " << scan_filter->ToString() << ")";
+      }
+      break;
+    case PlanKind::kFilter:
+      out << " (" << (predicate != nullptr ? predicate->ToString() : "?")
+          << ")";
+      break;
+    case PlanKind::kProject:
+      out << " [" << ExprListToString(projections) << "]";
+      break;
+    case PlanKind::kHashJoin:
+    case PlanKind::kMergeJoin:
+      out << " (" << ExprListToString(left_keys) << " = "
+          << ExprListToString(right_keys) << ")";
+      break;
+    case PlanKind::kNestedLoopJoin:
+      if (residual != nullptr) out << " (" << residual->ToString() << ")";
+      break;
+    case PlanKind::kSort:
+      out << " (" << ExprListToString(sort_keys) << ")";
+      break;
+    case PlanKind::kHashAggregate:
+    case PlanKind::kGroupAggregate:
+      out << " (keys: " << ExprListToString(group_keys) << ")";
+      break;
+    case PlanKind::kUnique:
+    case PlanKind::kLimit:
+      break;
+  }
+  out << " (rows=" << static_cast<uint64_t>(est_rows) << ")";
+  return out.str();
+}
+
+std::string PlanNode::DebugString() const {
+  std::ostringstream out;
+  AppendNode(*this, 0, &out);
+  return out.str();
+}
+
+}  // namespace sinew::engine

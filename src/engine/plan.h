@@ -1,0 +1,98 @@
+// Physical query plans. Produced by the planner (planner.h), consumed by the
+// executor (exec.h), and printable as EXPLAIN trees — the artifact the
+// paper's Table 2 compares across virtual vs. physical columns.
+
+#ifndef SINEW_ENGINE_PLAN_H_
+#define SINEW_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/eval.h"
+#include "engine/expr.h"
+#include "engine/table.h"
+
+namespace sinew::engine {
+
+enum class PlanKind : uint8_t {
+  kSeqScan,
+  kFilter,
+  kProject,
+  kNestedLoopJoin,
+  kHashJoin,
+  kMergeJoin,
+  kSort,
+  kHashAggregate,
+  kGroupAggregate,  // aggregation over sorted input
+  kUnique,          // DISTINCT over sorted input
+  kLimit,
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// One aggregate computation (the arg expression is bound against the
+/// aggregate node's child schema). COUNT(*) has is_star = true and no arg.
+struct AggSpec {
+  std::string fn;  // count / sum / avg / min / max
+  ExprPtr arg;
+  bool is_star = false;
+};
+
+struct PlanNode {
+  PlanKind kind;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Column layout this node emits.
+  ExecSchema output_schema;
+  /// Planner cardinality estimate (what EXPLAIN prints).
+  double est_rows = 0;
+
+  // kSeqScan
+  Table* table = nullptr;
+  std::string alias;
+  ExprPtr scan_filter;  // pushed-down predicate, bound against scan schema
+  /// Projection pushdown: positions (into output_schema) the scan must
+  /// decode — filter columns first, then the remaining referenced columns
+  /// (decoded only for rows that pass the filter). Valid when
+  /// scan_projected; otherwise the scan decodes every column.
+  bool scan_projected = false;
+  std::vector<size_t> scan_filter_cols;
+  std::vector<size_t> scan_output_cols;  // excludes filter cols
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject: one expression per output column, bound against the child.
+  std::vector<ExprPtr> projections;
+
+  // joins: equi-key lists bound against left/right child schemas, plus an
+  // optional residual predicate bound against the concatenated schema.
+  std::vector<ExprPtr> left_keys;
+  std::vector<ExprPtr> right_keys;
+  ExprPtr residual;
+
+  // kSort (also used under kMergeJoin / kGroupAggregate / kUnique)
+  std::vector<ExprPtr> sort_keys;
+  std::vector<bool> sort_desc;
+
+  // kHashAggregate / kGroupAggregate
+  std::vector<ExprPtr> group_keys;
+  std::vector<AggSpec> aggs;
+
+  // kLimit
+  int64_t limit = -1;
+
+  /// EXPLAIN rendering (multi-line tree).
+  std::string DebugString() const;
+
+  /// Root operator name plus key details on one line (test assertions).
+  std::string Summary() const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_PLAN_H_

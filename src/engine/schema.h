@@ -1,0 +1,76 @@
+// Table schemas. Columns can be appended at any time (Sinew materialization)
+// and dropped logically (dematerialization): dropped columns stay in the
+// schema vector as tombstones so previously encoded rows remain decodable,
+// but they disappear from name lookup and from `SELECT *` expansion.
+
+#ifndef SINEW_ENGINE_SCHEMA_H_
+#define SINEW_ENGINE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/type.h"
+
+namespace sinew::engine {
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+  bool dropped = false;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  /// All physical column slots, including tombstones (decode order).
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_slots() const { return columns_.size(); }
+
+  /// Slot index for a live column name, if any.
+  std::optional<size_t> FindColumn(std::string_view name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (!columns_[i].dropped && columns_[i].name == name) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Appends a live column; the name must not collide with a live column.
+  Status AddColumn(Column column) {
+    if (FindColumn(column.name).has_value()) {
+      return Status::AlreadyExists("column ", column.name, " already exists");
+    }
+    columns_.push_back(std::move(column));
+    return Status::OK();
+  }
+
+  /// Tombstones a live column.
+  Status DropColumn(std::string_view name) {
+    std::optional<size_t> slot = FindColumn(name);
+    if (!slot.has_value()) {
+      return Status::NotFound("column ", name, " does not exist");
+    }
+    columns_[*slot].dropped = true;
+    return Status::OK();
+  }
+
+  /// Live slot indices, in declaration order (drives `SELECT *`).
+  std::vector<size_t> LiveSlots() const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (!columns_[i].dropped) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_SCHEMA_H_

@@ -1,0 +1,95 @@
+// Parsed SQL statement representations.
+
+#ifndef SINEW_ENGINE_STATEMENT_H_
+#define SINEW_ENGINE_STATEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/schema.h"
+
+namespace sinew::engine {
+
+struct TableRef {
+  std::string table_name;
+  std::string alias;  // defaults to table_name
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+struct SelectItem {
+  ExprPtr expr;       // null when star
+  std::string alias;  // output column name override
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // includes JOIN ... ON conditions, ANDed in
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+struct CreateTableStatement {
+  std::string table;
+  std::vector<Column> columns;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;          // empty = schema order
+  std::vector<std::vector<ExprPtr>> values;  // literal expressions
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;
+};
+
+struct AnalyzeStatement {
+  std::string table;
+};
+
+enum class StatementKind {
+  kSelect,
+  kExplain,  // EXPLAIN <select>
+  kCreateTable,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kAnalyze,
+};
+
+struct Statement {
+  StatementKind kind;
+  std::unique_ptr<SelectStatement> select;  // kSelect / kExplain
+  std::unique_ptr<CreateTableStatement> create_table;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<UpdateStatement> update;
+  std::unique_ptr<DeleteStatement> del;
+  std::unique_ptr<AnalyzeStatement> analyze;
+};
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_STATEMENT_H_

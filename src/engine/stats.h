@@ -1,0 +1,53 @@
+// Per-column statistics gathered by ANALYZE and consumed by the planner's
+// selectivity estimation. The existence (or not) of these statistics is the
+// mechanism behind the paper's Table 2: attributes hidden inside the column
+// reservoir have no entry here, so the planner falls back to a fixed default
+// row estimate.
+
+#ifndef SINEW_ENGINE_STATS_H_
+#define SINEW_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/datum.h"
+
+namespace sinew::engine {
+
+struct ColumnStats {
+  uint64_t non_null_count = 0;
+  uint64_t null_count = 0;
+  /// Exact up to an internal cap, estimated beyond it.
+  double ndistinct = 0;
+  /// Numeric range (valid when has_minmax).
+  bool has_minmax = false;
+  double min = 0;
+  double max = 0;
+  /// Equi-depth histogram bounds over the sorted non-null values
+  /// (numeric columns only); kHistogramBuckets+1 entries when present.
+  std::vector<double> histogram;
+
+  double null_fraction() const {
+    uint64_t total = non_null_count + null_count;
+    return total == 0 ? 0.0 : static_cast<double>(null_count) / total;
+  }
+};
+
+struct TableStats {
+  uint64_t row_count = 0;
+  bool analyzed = false;
+  std::map<std::string, ColumnStats> columns;
+
+  const ColumnStats* Find(const std::string& column) const {
+    auto it = columns.find(column);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+inline constexpr int kHistogramBuckets = 32;
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_STATS_H_

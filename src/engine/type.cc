@@ -1,0 +1,61 @@
+#include "engine/type.h"
+
+#include "common/str_util.h"
+
+namespace sinew::engine {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kBool:
+      return "bool";
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kText:
+      return "text";
+    case ColumnType::kBytes:
+      return "bytes";
+  }
+  return "unknown";
+}
+
+std::optional<ColumnType> ColumnTypeFromName(std::string_view name) {
+  std::string lower = AsciiLower(name);
+  if (lower == "bool" || lower == "boolean") return ColumnType::kBool;
+  if (lower == "int" || lower == "integer" || lower == "bigint" ||
+      lower == "int8") {
+    return ColumnType::kInt;
+  }
+  if (lower == "double" || lower == "real" || lower == "float" ||
+      lower == "double precision") {
+    return ColumnType::kDouble;
+  }
+  if (lower == "text" || lower == "varchar" || lower == "string") {
+    return ColumnType::kText;
+  }
+  if (lower == "bytes" || lower == "bytea" || lower == "blob") {
+    return ColumnType::kBytes;
+  }
+  return std::nullopt;
+}
+
+ColumnType ColumnTypeForValueType(ValueType type) {
+  switch (type) {
+    case ValueType::kBool:
+      return ColumnType::kBool;
+    case ValueType::kInt:
+      return ColumnType::kInt;
+    case ValueType::kDouble:
+      return ColumnType::kDouble;
+    case ValueType::kString:
+      return ColumnType::kText;
+    case ValueType::kNull:
+    case ValueType::kArray:
+    case ValueType::kObject:
+      return ColumnType::kBytes;
+  }
+  return ColumnType::kBytes;
+}
+
+}  // namespace sinew::engine

@@ -1,0 +1,39 @@
+// Column types of the microdb storage engine.
+//
+// kBytes is the workhorse behind Sinew: the column reservoir, materialized
+// nested objects, and materialized arrays are all BYTES columns whose content
+// uses the serial/ formats.
+
+#ifndef SINEW_ENGINE_TYPE_H_
+#define SINEW_ENGINE_TYPE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/value.h"
+
+namespace sinew::engine {
+
+enum class ColumnType : uint8_t {
+  kBool = 0,
+  kInt = 1,
+  kDouble = 2,
+  kText = 3,
+  kBytes = 4,
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+/// Parses "bool"/"boolean", "int"/"integer"/"bigint", "double"/"real"/
+/// "float", "text"/"varchar", "bytes"/"bytea" (case-insensitive).
+std::optional<ColumnType> ColumnTypeFromName(std::string_view name);
+
+/// The storage type used to materialize a document attribute of the given
+/// logical type. Objects and arrays materialize as serialized BYTES
+/// (paper Section 6.1: "nested_obj (itself a serialized data column)").
+ColumnType ColumnTypeForValueType(ValueType type);
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_TYPE_H_

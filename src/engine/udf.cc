@@ -1,0 +1,65 @@
+#include "engine/udf.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace sinew::engine {
+
+void RegisterBuiltinFunctions(UdfRegistry* registry) {
+  registry->Register("abs", [](const UdfArgs& args) -> Result<Datum> {
+    if (args.size() != 1) return Status::InvalidArgument("abs expects 1 arg");
+    const Datum& v = *args[0];
+    if (v.is_null()) return Datum::Null();
+    if (v.is_int()) return Datum::Int(std::abs(v.int_value()));
+    if (v.is_double()) return Datum::Double(std::fabs(v.double_value()));
+    return Status::TypeError("abs on non-numeric");
+  });
+  registry->Register("lower",
+                     [](const UdfArgs& args) -> Result<Datum> {
+    if (args.size() != 1) return Status::InvalidArgument("lower expects 1 arg");
+    if (args[0]->is_null()) return Datum::Null();
+    if (!args[0]->is_text()) return Status::TypeError("lower on non-text");
+    return Datum::Text(AsciiLower(args[0]->str()));
+  });
+  registry->Register("upper",
+                     [](const UdfArgs& args) -> Result<Datum> {
+    if (args.size() != 1) return Status::InvalidArgument("upper expects 1 arg");
+    if (args[0]->is_null()) return Datum::Null();
+    if (!args[0]->is_text()) return Status::TypeError("upper on non-text");
+    std::string s = args[0]->str();
+    for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return Datum::Text(std::move(s));
+  });
+  registry->Register("length",
+                     [](const UdfArgs& args) -> Result<Datum> {
+    if (args.size() != 1) {
+      return Status::InvalidArgument("length expects 1 arg");
+    }
+    if (args[0]->is_null()) return Datum::Null();
+    if (!args[0]->is_text() && !args[0]->is_bytes()) {
+      return Status::TypeError("length on non-text");
+    }
+    return Datum::Int(static_cast<int64_t>(args[0]->str().size()));
+  });
+  registry->Register("substr",
+                     [](const UdfArgs& args) -> Result<Datum> {
+    if (args.size() != 3) {
+      return Status::InvalidArgument("substr expects 3 args");
+    }
+    if (args[0]->is_null() || args[1]->is_null() || args[2]->is_null()) {
+      return Datum::Null();
+    }
+    if (!args[0]->is_text() || !args[1]->is_int() || !args[2]->is_int()) {
+      return Status::TypeError("substr(text, int, int)");
+    }
+    const std::string& s = args[0]->str();
+    int64_t start = std::max<int64_t>(args[1]->int_value() - 1, 0);  // 1-based
+    int64_t len = std::max<int64_t>(args[2]->int_value(), 0);
+    if (start >= static_cast<int64_t>(s.size())) return Datum::Text("");
+    return Datum::Text(s.substr(static_cast<size_t>(start),
+                                static_cast<size_t>(len)));
+  });
+}
+
+}  // namespace sinew::engine

@@ -1,0 +1,49 @@
+// Scalar user-defined function registry. Sinew's extraction functions
+// (Section 3.2.2), the jsontext baseline's parse-per-call functions and the
+// text-search integration all enter the engine through here, mirroring how
+// the paper's prototype extends Postgres with UDFs (Section 5).
+
+#ifndef SINEW_ENGINE_UDF_H_
+#define SINEW_ENGINE_UDF_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/datum.h"
+
+namespace sinew::engine {
+
+/// UDF arguments are passed by pointer so that column values (notably the
+/// column reservoir) reach the function without being copied per row.
+using UdfArgs = std::vector<const Datum*>;
+using UdfFn = std::function<Result<Datum>(const UdfArgs&)>;
+
+class UdfRegistry {
+ public:
+  /// Registers (or replaces) a scalar function under a lower-case name.
+  void Register(std::string name, UdfFn fn) {
+    fns_[std::move(name)] = std::move(fn);
+  }
+
+  const UdfFn* Find(std::string_view name) const {
+    auto it = fns_.find(name);
+    return it == fns_.end() ? nullptr : &it->second;
+  }
+
+  bool Contains(std::string_view name) const { return Find(name) != nullptr; }
+
+ private:
+  std::map<std::string, UdfFn, std::less<>> fns_;
+};
+
+/// Registers the engine's built-in scalar functions: coalesce, abs, lower,
+/// upper, length, substr.
+void RegisterBuiltinFunctions(UdfRegistry* registry);
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_UDF_H_

@@ -1,0 +1,353 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace sinew::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    SkipWhitespace();
+    ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    return Status::ParseError(message, " at offset ", pos_);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    if (depth_ > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value::String(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return Value::Bool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Value::Bool(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Value::Null();
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject() {
+    ++depth_;
+    ++pos_;  // '{'
+    std::vector<Value::Member> members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      --depth_;
+      return Value::Object(std::move(members));
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      SkipWhitespace();
+      ASSIGN_OR_RETURN(Value v, ParseValue());
+      members.emplace_back(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    --depth_;
+    return Value::Object(std::move(members));
+  }
+
+  Result<Value> ParseArray() {
+    ++depth_;
+    ++pos_;  // '['
+    std::vector<Value> elements;
+    SkipWhitespace();
+    if (Consume(']')) {
+      --depth_;
+      return Value::Array(std::move(elements));
+    }
+    while (true) {
+      SkipWhitespace();
+      ASSIGN_OR_RETURN(Value v, ParseValue());
+      elements.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    --depth_;
+    return Value::Array(std::move(elements));
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+            if (cp >= 0xd800 && cp <= 0xdbff) {
+              // High surrogate: expect \uXXXX low surrogate next.
+              if (!ConsumeLiteral("\\u")) return Error("lone high surrogate");
+              ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+              if (lo < 0xdc00 || lo > 0xdfff) return Error("bad low surrogate");
+              cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+            } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+              return Error("lone low surrogate");
+            }
+            AppendUtf8(cp, &out);
+            break;
+          }
+          default:
+            return Error("invalid escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view num = text_.substr(start, pos_ - start);
+    if (num.empty() || num == "-") return Error("invalid number");
+    if (!is_double) {
+      int64_t iv = 0;
+      auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), iv);
+      if (ec == std::errc() && ptr == num.data() + num.size()) {
+        return Value::Int(iv);
+      }
+      // Integer overflow: fall back to double.
+    }
+    double dv = 0;
+    auto [dptr, dec] = std::from_chars(num.data(), num.data() + num.size(), dv);
+    if (dec != std::errc() || dptr != num.data() + num.size()) {
+      return Error("invalid number");
+    }
+    return Value::Double(dv);
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void AppendPretty(const Value& v, int indent, int depth, std::string* out) {
+  auto pad = [&](int d) { out->append(static_cast<size_t>(indent) * d, ' '); };
+  switch (v.type()) {
+    case ValueType::kArray: {
+      if (v.array().empty()) {
+        out->append("[]");
+        return;
+      }
+      out->append("[\n");
+      for (size_t i = 0; i < v.array().size(); ++i) {
+        pad(depth + 1);
+        AppendPretty(v.array()[i], indent, depth + 1, out);
+        if (i + 1 < v.array().size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      pad(depth);
+      out->push_back(']');
+      return;
+    }
+    case ValueType::kObject: {
+      if (v.members().empty()) {
+        out->append("{}");
+        return;
+      }
+      out->append("{\n");
+      for (size_t i = 0; i < v.members().size(); ++i) {
+        pad(depth + 1);
+        out->push_back('"');
+        AppendJsonEscaped(v.members()[i].first, out);
+        out->append("\": ");
+        AppendPretty(v.members()[i].second, indent, depth + 1, out);
+        if (i + 1 < v.members().size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      pad(depth);
+      out->push_back('}');
+      return;
+    }
+    default:
+      out->append(v.ToJson());
+  }
+}
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+Result<std::vector<Value>> ParseLines(std::string_view text) {
+  std::vector<Value> docs;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    // Skip blank lines.
+    if (line.find_first_not_of(" \t\r") != std::string_view::npos) {
+      ASSIGN_OR_RETURN(Value v, Parse(line));
+      docs.push_back(std::move(v));
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return docs;
+}
+
+std::string Write(const Value& value) { return value.ToJson(); }
+
+std::string WritePretty(const Value& value, int indent) {
+  std::string out;
+  AppendPretty(value, indent, 0, &out);
+  return out;
+}
+
+}  // namespace sinew::json

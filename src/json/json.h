@@ -1,0 +1,34 @@
+// JSON text <-> Value document model.
+//
+// The parser is a strict recursive-descent JSON parser (RFC 8259 subset:
+// \uXXXX escapes are decoded to UTF-8; surrogate pairs supported). Numbers
+// without '.', 'e' or 'E' parse as kInt, others as kDouble — this distinction
+// feeds the paper's attribute = (key, type) model.
+
+#ifndef SINEW_JSON_JSON_H_
+#define SINEW_JSON_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace sinew::json {
+
+/// Parses one JSON document. Trailing non-whitespace is an error.
+Result<Value> Parse(std::string_view text);
+
+/// Parses a stream of newline-delimited JSON documents (blank lines skipped).
+Result<std::vector<Value>> ParseLines(std::string_view text);
+
+/// Compact serialization (same output as Value::ToJson).
+std::string Write(const Value& value);
+
+/// Indented serialization for humans.
+std::string WritePretty(const Value& value, int indent = 2);
+
+}  // namespace sinew::json
+
+#endif  // SINEW_JSON_JSON_H_

@@ -1,0 +1,62 @@
+// An Avro-like schema-resolved binary format (Appendix A comparator).
+//
+// Faithful to the aspects of Avro that drive its Table 4 profile:
+//   - a writer schema fixed before encoding; every record stores a value (or
+//     an explicit null) for EVERY schema field in schema order
+//   - optionality via unions: each field is union(null, T1, ...); each record
+//     spends at least one branch-index byte per schema field, so wide/sparse
+//     schemas (NoBench's 1000 sparse keys) bloat dramatically
+//   - sequential access only: reading field k requires decode-skipping all
+//     earlier fields
+//   - Avro primitive encodings: zigzag varint longs, 8-byte doubles,
+//     length-prefixed strings, block-encoded arrays
+//
+// Use: call ObserveSchema() over the corpus (schema discovery), then
+// Serialize/Deserialize/Extract.
+
+#ifndef SINEW_SERIAL_AVROLIKE_H_
+#define SINEW_SERIAL_AVROLIKE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serial/serializer.h"
+
+namespace sinew::serial {
+
+class AvroLikeSerializer : public DocumentSerializer {
+ public:
+  std::string_view name() const override { return "avrolike"; }
+
+  Status ObserveSchema(const Value& doc) override;
+  Status Serialize(const Value& doc, std::string* out) override;
+  Result<Value> Deserialize(std::string_view data) const override;
+  Result<Value> Extract(std::string_view data,
+                        std::string_view key) const override;
+
+  /// Number of fields in the top-level record schema.
+  size_t top_level_field_count() const;
+
+ private:
+  struct FieldSchema {
+    std::string name;                 // leaf key
+    std::vector<ValueType> branches;  // union members after null, sorted
+  };
+  // Record schemas keyed by dotted path prefix ("" = top level,
+  // "nested_obj." = that sub-record).
+  struct RecordSchema {
+    std::vector<FieldSchema> fields;
+    std::map<std::string, size_t, std::less<>> index;  // name -> position
+  };
+
+  Status ObserveInto(const Value& doc, const std::string& prefix);
+  const RecordSchema* FindRecord(const std::string& prefix) const;
+
+  std::map<std::string, RecordSchema> records_;
+};
+
+}  // namespace sinew::serial
+
+#endif  // SINEW_SERIAL_AVROLIKE_H_

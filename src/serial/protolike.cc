@@ -1,0 +1,233 @@
+#include "serial/protolike.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace sinew::serial {
+
+namespace {
+
+enum WireType : uint32_t {
+  kVarint = 0,
+  kFixed64 = 1,
+  kLengthDelimited = 2,
+};
+
+WireType WireTypeFor(ValueType type) {
+  switch (type) {
+    case ValueType::kBool:
+    case ValueType::kInt:
+      return kVarint;
+    case ValueType::kDouble:
+      return kFixed64;
+    default:
+      return kLengthDelimited;
+  }
+}
+
+// Array messages use synthetic field numbers 1..7 equal to the element's
+// ValueType tag + 1 so heterogeneous arrays round-trip.
+uint32_t ArrayFieldNumber(ValueType type) {
+  return static_cast<uint32_t>(type) + 1;
+}
+
+Status EncodeField(uint32_t field, const Value& value,
+                   AttributeDictionary* dict, const std::string& prefix,
+                   BufferWriter* w);
+
+Status EncodeArrayMessage(const Value& value, AttributeDictionary* dict,
+                          const std::string& prefix, std::string* out) {
+  BufferWriter w;
+  for (const Value& e : value.array()) {
+    RETURN_NOT_OK(EncodeField(ArrayFieldNumber(e.type()), e, dict, prefix, &w));
+  }
+  *out = w.Release();
+  return Status::OK();
+}
+
+Status EncodeMessage(const Value& doc, AttributeDictionary* dict,
+                     const std::string& prefix, std::string* out) {
+  struct Entry {
+    uint32_t field;
+    const Value* value;
+    std::string path;
+  };
+  std::vector<Entry> entries;
+  for (const auto& [key, value] : doc.members()) {
+    if (value.is_null()) continue;
+    std::string path = prefix + key;
+    ASSIGN_OR_RETURN(uint32_t id, dict->Intern(path, value.type()));
+    entries.push_back(Entry{id + 1, &value, std::move(path)});
+  }
+  // Protobuf serializers emit fields in ascending field-number order.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.field < b.field; });
+  BufferWriter w;
+  for (const Entry& e : entries) {
+    RETURN_NOT_OK(EncodeField(e.field, *e.value, dict, e.path + ".", &w));
+  }
+  *out = w.Release();
+  return Status::OK();
+}
+
+Status EncodeField(uint32_t field, const Value& value,
+                   AttributeDictionary* dict, const std::string& prefix,
+                   BufferWriter* w) {
+  WireType wt = WireTypeFor(value.type());
+  w->PutVarint((static_cast<uint64_t>(field) << 3) | wt);
+  switch (value.type()) {
+    case ValueType::kBool:
+      w->PutVarint(value.bool_value() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      w->PutSignedVarint(value.int_value());
+      break;
+    case ValueType::kDouble:
+      w->PutDouble(value.double_value());
+      break;
+    case ValueType::kString:
+      w->PutLengthPrefixed(value.string_value());
+      break;
+    case ValueType::kObject: {
+      std::string sub;
+      RETURN_NOT_OK(EncodeMessage(value, dict, prefix, &sub));
+      w->PutLengthPrefixed(sub);
+      break;
+    }
+    case ValueType::kArray: {
+      std::string sub;
+      RETURN_NOT_OK(EncodeArrayMessage(value, dict, prefix, &sub));
+      w->PutLengthPrefixed(sub);
+      break;
+    }
+    case ValueType::kNull:
+      return Status::Internal("null field should have been skipped");
+  }
+  return Status::OK();
+}
+
+struct RawField {
+  uint32_t field;
+  WireType wire_type;
+  uint64_t varint = 0;       // kVarint payload
+  double fixed64 = 0;        // kFixed64 payload
+  std::string_view bytes;    // kLengthDelimited payload
+};
+
+/// Reads the next tag/value pair; positions the reader after the value.
+Result<RawField> ReadField(BufferReader* r) {
+  RawField out;
+  ASSIGN_OR_RETURN(uint64_t tag, r->ReadVarint());
+  out.field = static_cast<uint32_t>(tag >> 3);
+  out.wire_type = static_cast<WireType>(tag & 7);
+  switch (out.wire_type) {
+    case kVarint: {
+      ASSIGN_OR_RETURN(out.varint, r->ReadVarint());
+      return out;
+    }
+    case kFixed64: {
+      ASSIGN_OR_RETURN(out.fixed64, r->ReadDouble());
+      return out;
+    }
+    case kLengthDelimited: {
+      ASSIGN_OR_RETURN(out.bytes, r->ReadLengthPrefixed());
+      return out;
+    }
+  }
+  return Status::ParseError("bad wire type ", static_cast<int>(out.wire_type));
+}
+
+Result<Value> DecodeFieldValue(const RawField& raw, ValueType type,
+                               const AttributeDictionary& dict);
+
+Result<Value> DecodeArrayMessage(std::string_view data,
+                                 const AttributeDictionary& dict) {
+  BufferReader r(data);
+  std::vector<Value> elements;
+  while (!r.AtEnd()) {
+    ASSIGN_OR_RETURN(RawField raw, ReadField(&r));
+    ValueType type = static_cast<ValueType>(raw.field - 1);
+    ASSIGN_OR_RETURN(Value v, DecodeFieldValue(raw, type, dict));
+    elements.push_back(std::move(v));
+  }
+  return Value::Array(std::move(elements));
+}
+
+Result<Value> DecodeMessage(std::string_view data,
+                            const AttributeDictionary& dict) {
+  BufferReader r(data);
+  std::vector<Value::Member> members;
+  while (!r.AtEnd()) {
+    ASSIGN_OR_RETURN(RawField raw, ReadField(&r));
+    ASSIGN_OR_RETURN(Attribute attr, dict.Lookup(raw.field - 1));
+    ASSIGN_OR_RETURN(Value v, DecodeFieldValue(raw, attr.type, dict));
+    size_t dot = attr.key.rfind('.');
+    std::string name =
+        dot == std::string::npos ? attr.key : attr.key.substr(dot + 1);
+    members.emplace_back(std::move(name), std::move(v));
+  }
+  return Value::Object(std::move(members));
+}
+
+Result<Value> DecodeFieldValue(const RawField& raw, ValueType type,
+                               const AttributeDictionary& dict) {
+  switch (type) {
+    case ValueType::kBool:
+      return Value::Bool(raw.varint != 0);
+    case ValueType::kInt: {
+      uint64_t u = raw.varint;
+      return Value::Int(static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1)));
+    }
+    case ValueType::kDouble:
+      return Value::Double(raw.fixed64);
+    case ValueType::kString:
+      return Value::String(std::string(raw.bytes));
+    case ValueType::kObject:
+      return DecodeMessage(raw.bytes, dict);
+    case ValueType::kArray:
+      return DecodeArrayMessage(raw.bytes, dict);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Status::ParseError("bad value type");
+}
+
+}  // namespace
+
+Status ProtoLikeSerializer::Serialize(const Value& doc, std::string* out) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("can only serialize objects");
+  }
+  return EncodeMessage(doc, &dict_, "", out);
+}
+
+Result<Value> ProtoLikeSerializer::Deserialize(std::string_view data) const {
+  return DecodeMessage(data, dict_);
+}
+
+Result<Value> ProtoLikeSerializer::Extract(std::string_view data,
+                                           std::string_view key) const {
+  std::vector<Attribute> candidates = dict_.FindAllTypes(key);
+  if (candidates.empty()) return Value::Null();
+  uint32_t max_field = 0;
+  for (const Attribute& a : candidates) {
+    max_field = std::max(max_field, a.id + 1);
+  }
+  // Sequential scan with short-circuit once past the largest candidate field
+  // number (fields are in ascending order on the wire).
+  BufferReader r(data);
+  while (!r.AtEnd()) {
+    ASSIGN_OR_RETURN(RawField raw, ReadField(&r));
+    if (raw.field > max_field) break;
+    for (const Attribute& a : candidates) {
+      if (raw.field == a.id + 1) {
+        return DecodeFieldValue(raw, a.type, dict_);
+      }
+    }
+  }
+  return Value::Null();
+}
+
+}  // namespace sinew::serial

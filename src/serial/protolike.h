@@ -1,0 +1,42 @@
+// A Protocol-Buffers-like wire format (Appendix A comparator).
+//
+// Faithful to the aspects of protobuf that drive its Table 4 profile:
+//   - tag/value pairs: varint tag = (field_number << 3) | wire_type
+//   - wire types: 0 varint (bool, zigzag int), 1 fixed 64-bit (double),
+//     2 length-delimited (string, nested message, array message)
+//   - fields serialized in ascending field-number order, enabling the
+//     short-circuit "passed the expected position" optimization on lookup
+//   - no random access: extracting field k requires walking (and
+//     length-skipping) every earlier field
+//   - aggressive varint bit-packing makes it the smallest format
+//
+// Field numbers are allocated per (dotted key path, type) from an internal
+// dictionary, mirroring how a .proto schema fixes name->number->type.
+
+#ifndef SINEW_SERIAL_PROTOLIKE_H_
+#define SINEW_SERIAL_PROTOLIKE_H_
+
+#include <string>
+#include <string_view>
+
+#include "serial/dictionary.h"
+#include "serial/serializer.h"
+
+namespace sinew::serial {
+
+class ProtoLikeSerializer : public DocumentSerializer {
+ public:
+  std::string_view name() const override { return "protolike"; }
+
+  Status Serialize(const Value& doc, std::string* out) override;
+  Result<Value> Deserialize(std::string_view data) const override;
+  Result<Value> Extract(std::string_view data,
+                        std::string_view key) const override;
+
+ private:
+  SimpleDictionary dict_;
+};
+
+}  // namespace sinew::serial
+
+#endif  // SINEW_SERIAL_PROTOLIKE_H_

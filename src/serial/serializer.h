@@ -1,0 +1,41 @@
+// Common interface over the three document serializers compared in the
+// paper's Appendix A: Sinew's custom format, a Protocol-Buffers-like wire
+// format, and an Avro-like schema-resolved format.
+
+#ifndef SINEW_SERIAL_SERIALIZER_H_
+#define SINEW_SERIAL_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace sinew::serial {
+
+class DocumentSerializer {
+ public:
+  virtual ~DocumentSerializer() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Schema-discovery pass. Formats with a fixed writer schema (Avro-like)
+  /// must see every document before Serialize; the others may ignore this.
+  virtual Status ObserveSchema(const Value& doc) {
+    (void)doc;
+    return Status::OK();
+  }
+
+  virtual Status Serialize(const Value& doc, std::string* out) = 0;
+
+  /// Full logical reconstruction of the document.
+  virtual Result<Value> Deserialize(std::string_view data) const = 0;
+
+  /// Extracts a single top-level key (any observed type); Null if absent.
+  virtual Result<Value> Extract(std::string_view data,
+                                std::string_view key) const = 0;
+};
+
+}  // namespace sinew::serial
+
+#endif  // SINEW_SERIAL_SERIALIZER_H_

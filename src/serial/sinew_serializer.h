@@ -1,0 +1,49 @@
+// DocumentSerializer adapter over the Sinew reservoir format + a private
+// attribute dictionary (the role the catalog plays inside the full system).
+
+#ifndef SINEW_SERIAL_SINEW_SERIALIZER_H_
+#define SINEW_SERIAL_SINEW_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "serial/dictionary.h"
+#include "serial/serializer.h"
+#include "serial/sinew_format.h"
+
+namespace sinew::serial {
+
+class SinewSerializer : public DocumentSerializer {
+ public:
+  std::string_view name() const override { return "sinew"; }
+
+  Status Serialize(const Value& doc, std::string* out) override {
+    ASSIGN_OR_RETURN(*out, SerializeDocument(doc, &dict_));
+    return Status::OK();
+  }
+
+  Result<Value> Deserialize(std::string_view data) const override {
+    return DeserializeDocument(data, dict_);
+  }
+
+  Result<Value> Extract(std::string_view data,
+                        std::string_view key) const override {
+    DocumentView view(data);
+    for (const Attribute& attr : dict_.FindAllTypes(key)) {
+      if (std::optional<std::string_view> bytes = view.Extract(attr.id)) {
+        return DecodeValueBody(attr.type, *bytes, dict_);
+      }
+    }
+    return Value::Null();
+  }
+
+  const SimpleDictionary& dictionary() const { return dict_; }
+  SimpleDictionary* mutable_dictionary() { return &dict_; }
+
+ private:
+  SimpleDictionary dict_;
+};
+
+}  // namespace sinew::serial
+
+#endif  // SINEW_SERIAL_SINEW_SERIALIZER_H_

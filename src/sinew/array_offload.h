@@ -1,0 +1,47 @@
+// Array storage options (paper Section 4.2).
+//
+// By default Sinew stores an array attribute serialized (inside the
+// reservoir, or as its own serialized column once materialized). For arrays
+// that are logically unordered collections — or arrays of nested objects —
+// the paper lets the user ask for the elements to live in a separate table
+// of (parent id, index, element) tuples, so containment and other
+// predicates "reduce to trivial filters" and the RDBMS keeps aggregate
+// statistics over the elements.
+//
+// BuildArraySideTable materializes that layout: it creates
+// `<table>__<key>` with columns
+//     parent INT, idx INT, elem_text TEXT, elem_num DOUBLE, elem_bool BOOL
+// plus, for arrays of nested objects, one column per scalar sub-key
+// ("element divided into separate columns"), fills it from the current rows
+// and ANALYZEs it. Queries join it explicitly, as the paper prescribes:
+//
+//   SELECT t.str1 FROM nobench_main t, nobench_main__nested_arr a
+//   WHERE a.parent = t.__rid AND a.elem_text = 'XXXXX'
+//
+// The side table is a one-shot materialization of the current state
+// (rebuild after further loads); the primary copy remains the serialized
+// attribute.
+
+#ifndef SINEW_SINEW_ARRAY_OFFLOAD_H_
+#define SINEW_SINEW_ARRAY_OFFLOAD_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace sinew {
+
+class SinewDb;
+
+/// Builds (or rebuilds) the side table for array attribute `key` of `table`.
+/// Returns the number of element tuples produced.
+Result<uint64_t> BuildArraySideTable(SinewDb* db, const std::string& table,
+                                     const std::string& key);
+
+/// Side-table naming convention.
+std::string ArraySideTableName(const std::string& table,
+                               const std::string& key);
+
+}  // namespace sinew
+
+#endif  // SINEW_SINEW_ARRAY_OFFLOAD_H_

@@ -1,0 +1,132 @@
+#include "sinew/catalog.h"
+
+namespace sinew {
+
+Result<uint32_t> AttributeCatalog::Intern(std::string_view key,
+                                          ValueType type) {
+  std::lock_guard lock(mutex_);
+  return dict_.Intern(key, type);
+}
+
+std::optional<uint32_t> AttributeCatalog::FindId(std::string_view key,
+                                                 ValueType type) const {
+  std::lock_guard lock(mutex_);
+  return dict_.FindId(key, type);
+}
+
+Result<serial::Attribute> AttributeCatalog::Lookup(uint32_t id) const {
+  std::lock_guard lock(mutex_);
+  return dict_.Lookup(id);
+}
+
+std::vector<serial::Attribute> AttributeCatalog::FindAllTypes(
+    std::string_view key) const {
+  std::lock_guard lock(mutex_);
+  return dict_.FindAllTypes(key);
+}
+
+size_t AttributeCatalog::size() const {
+  std::lock_guard lock(mutex_);
+  return dict_.size();
+}
+
+void AttributeCatalog::RegisterTable(const std::string& table) {
+  std::lock_guard lock(mutex_);
+  tables_.try_emplace(table);
+  latches_.try_emplace(table, std::make_unique<std::mutex>());
+}
+
+bool AttributeCatalog::HasTable(const std::string& table) const {
+  std::lock_guard lock(mutex_);
+  return tables_.count(table) != 0;
+}
+
+void AttributeCatalog::AddOccurrences(const std::string& table,
+                                      uint32_t attr_id, uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  AttributeState& state = tables_[table][attr_id];
+  state.attr_id = attr_id;
+  state.count += delta;
+}
+
+Status AttributeCatalog::SetMaterialized(const std::string& table,
+                                         uint32_t attr_id, bool materialized) {
+  std::lock_guard lock(mutex_);
+  auto t = tables_.find(table);
+  if (t == tables_.end()) return Status::NotFound("table ", table);
+  auto a = t->second.find(attr_id);
+  if (a == t->second.end()) {
+    return Status::NotFound("attribute ", attr_id, " in table ", table);
+  }
+  if (a->second.materialized != materialized) {
+    a->second.materialized = materialized;
+    a->second.dirty = true;  // data movement now pending
+  }
+  return Status::OK();
+}
+
+Status AttributeCatalog::SetDirty(const std::string& table, uint32_t attr_id,
+                                  bool dirty) {
+  std::lock_guard lock(mutex_);
+  auto t = tables_.find(table);
+  if (t == tables_.end()) return Status::NotFound("table ", table);
+  auto a = t->second.find(attr_id);
+  if (a == t->second.end()) {
+    return Status::NotFound("attribute ", attr_id, " in table ", table);
+  }
+  a->second.dirty = dirty;
+  return Status::OK();
+}
+
+std::optional<AttributeState> AttributeCatalog::GetState(
+    const std::string& table, uint32_t attr_id) const {
+  std::lock_guard lock(mutex_);
+  auto t = tables_.find(table);
+  if (t == tables_.end()) return std::nullopt;
+  auto a = t->second.find(attr_id);
+  if (a == t->second.end()) return std::nullopt;
+  return a->second;
+}
+
+std::vector<AttributeState> AttributeCatalog::TableAttributes(
+    const std::string& table) const {
+  std::lock_guard lock(mutex_);
+  std::vector<AttributeState> out;
+  auto t = tables_.find(table);
+  if (t == tables_.end()) return out;
+  out.reserve(t->second.size());
+  for (const auto& [id, state] : t->second) out.push_back(state);
+  return out;
+}
+
+std::vector<uint32_t> AttributeCatalog::DirtyAttributes(
+    const std::string& table) const {
+  std::lock_guard lock(mutex_);
+  std::vector<uint32_t> out;
+  auto t = tables_.find(table);
+  if (t == tables_.end()) return out;
+  for (const auto& [id, state] : t->second) {
+    if (state.dirty) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::string> AttributeCatalog::TableNames() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, attrs] : tables_) {
+    (void)attrs;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::mutex& AttributeCatalog::MaintenanceLatch(const std::string& table) {
+  std::lock_guard lock(mutex_);
+  auto& latch = latches_[table];
+  if (latch == nullptr) latch = std::make_unique<std::mutex>();
+  return *latch;
+}
+
+}  // namespace sinew

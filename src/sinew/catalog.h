@@ -1,0 +1,90 @@
+// Sinew's catalog (paper Section 3.1.2, Figure 4).
+//
+// Two parts, exactly as in the paper:
+//  (a) a global attribute dictionary mapping (key path, type) -> attribute ID
+//      — the dictionary the serialization format compresses key names with;
+//  (b) per-table attribute state: occurrence counts, whether the attribute's
+//      target representation is a physical column or a virtual (reservoir)
+//      one, and the dirty flag that says data movement is still pending.
+//
+// The catalog also owns the per-table maintenance latch that keeps the
+// loader and the column materializer from running concurrently
+// (Section 3.1.4).
+
+#ifndef SINEW_SINEW_CATALOG_H_
+#define SINEW_SINEW_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "serial/dictionary.h"
+
+namespace sinew {
+
+/// Per-table, per-attribute bookkeeping (Figure 4b).
+struct AttributeState {
+  uint32_t attr_id = 0;
+  /// Rows of the table containing this attribute.
+  uint64_t count = 0;
+  /// Target representation: true = physical column.
+  bool materialized = false;
+  /// Data movement pending: values may be split between the physical column
+  /// and the reservoir; readers must COALESCE.
+  bool dirty = false;
+};
+
+class AttributeCatalog : public serial::AttributeDictionary {
+ public:
+  // --- global dictionary (Figure 4a); thread-safe ---
+  Result<uint32_t> Intern(std::string_view key, ValueType type) override;
+  std::optional<uint32_t> FindId(std::string_view key,
+                                 ValueType type) const override;
+  Result<serial::Attribute> Lookup(uint32_t id) const override;
+  std::vector<serial::Attribute> FindAllTypes(std::string_view key) const override;
+  size_t size() const override;
+
+  // --- per-table state ---
+  /// Registers a table (idempotent).
+  void RegisterTable(const std::string& table);
+  bool HasTable(const std::string& table) const;
+
+  /// Bumps the occurrence count of an attribute in a table.
+  void AddOccurrences(const std::string& table, uint32_t attr_id,
+                      uint64_t delta);
+
+  /// Sets the target representation; flips the dirty bit when it changes.
+  Status SetMaterialized(const std::string& table, uint32_t attr_id,
+                         bool materialized);
+  Status SetDirty(const std::string& table, uint32_t attr_id, bool dirty);
+
+  std::optional<AttributeState> GetState(const std::string& table,
+                                         uint32_t attr_id) const;
+  /// Snapshot of all attribute states of a table, ordered by attribute ID.
+  std::vector<AttributeState> TableAttributes(const std::string& table) const;
+  /// Attribute IDs currently marked dirty.
+  std::vector<uint32_t> DirtyAttributes(const std::string& table) const;
+
+  /// Names of all registered tables.
+  std::vector<std::string> TableNames() const;
+
+  /// The loader/materializer mutual-exclusion latch for a table.
+  std::mutex& MaintenanceLatch(const std::string& table);
+
+ private:
+  mutable std::mutex mutex_;
+  serial::SimpleDictionary dict_;
+  std::map<std::string, std::map<uint32_t, AttributeState>> tables_;
+  // Stable-address latches (std::mutex is not movable).
+  std::map<std::string, std::unique_ptr<std::mutex>> latches_;
+};
+
+}  // namespace sinew
+
+#endif  // SINEW_SINEW_CATALOG_H_

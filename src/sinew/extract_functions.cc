@@ -1,0 +1,335 @@
+#include "sinew/extract_functions.h"
+
+#include <optional>
+
+#include "serial/sinew_format.h"
+
+namespace sinew {
+
+namespace {
+
+using engine::Datum;
+using engine::UdfArgs;
+
+Status CheckDataPathArgs(const UdfArgs& args, const char* fn) {
+  if (args.size() < 2) {
+    return Status::InvalidArgument(fn, " expects (data, path, ...)");
+  }
+  if (!args[0]->is_null() && !args[0]->is_bytes()) {
+    return Status::TypeError(fn, ": first argument must be serialized data");
+  }
+  if (!args[1]->is_text()) {
+    return Status::TypeError(fn, ": path must be text");
+  }
+  return Status::OK();
+}
+
+/// Extracts the raw bytes of (path, type) from a serialized document,
+/// descending through nested objects as needed.
+std::optional<std::string_view> ExtractTyped(const AttributeCatalog& catalog,
+                                             std::string_view data,
+                                             std::string_view path,
+                                             ValueType type) {
+  serial::DocumentView view(data);
+  return view.ExtractPath(path, type, catalog);
+}
+
+Result<Datum> DecodeScalarTyped(const AttributeCatalog& catalog,
+                                ValueType type, std::string_view bytes) {
+  ASSIGN_OR_RETURN(Value v, serial::DecodeValueBody(type, bytes, catalog));
+  return Datum::FromValue(v);
+}
+
+engine::UdfFn MakeTypedExtractor(AttributeCatalog* catalog, ValueType type,
+                                 const char* fn_name) {
+  return [catalog, type, fn_name](
+             const UdfArgs& args) -> Result<Datum> {
+    RETURN_NOT_OK(CheckDataPathArgs(args, fn_name));
+    if (args[0]->is_null()) return Datum::Null();
+    std::optional<std::string_view> bytes =
+        ExtractTyped(*catalog, args[0]->str(), args[1]->str(), type);
+    if (!bytes.has_value()) return Datum::Null();
+    return DecodeScalarTyped(*catalog, type, *bytes);
+  };
+}
+
+/// Encodes a scalar datum with the reservoir value encoding; returns its
+/// ValueType alongside.
+Result<std::pair<ValueType, std::string>> EncodeScalarDatum(const Datum& v) {
+  Value value = v.ToValue();
+  ASSIGN_OR_RETURN(std::string body,
+                   serial::EncodeValueBody(value, nullptr, ""));
+  return std::make_pair(value.type(), std::move(body));
+}
+
+}  // namespace
+
+void RegisterSinewFunctions(engine::UdfRegistry* registry,
+                            AttributeCatalog* catalog) {
+  registry->Register("sinew_extract_text",
+                     MakeTypedExtractor(catalog, ValueType::kString,
+                                        "sinew_extract_text"));
+  registry->Register(
+      "sinew_extract_int",
+      MakeTypedExtractor(catalog, ValueType::kInt, "sinew_extract_int"));
+  registry->Register("sinew_extract_double",
+                     MakeTypedExtractor(catalog, ValueType::kDouble,
+                                        "sinew_extract_double"));
+  registry->Register(
+      "sinew_extract_bool",
+      MakeTypedExtractor(catalog, ValueType::kBool, "sinew_extract_bool"));
+
+  registry->Register(
+      "sinew_extract_num",
+      [catalog](const UdfArgs& args) -> Result<Datum> {
+        RETURN_NOT_OK(CheckDataPathArgs(args, "sinew_extract_num"));
+        if (args[0]->is_null()) return Datum::Null();
+        for (ValueType type : {ValueType::kInt, ValueType::kDouble}) {
+          std::optional<std::string_view> bytes =
+              ExtractTyped(*catalog, args[0]->str(), args[1]->str(), type);
+          if (bytes.has_value()) {
+            return DecodeScalarTyped(*catalog, type, *bytes);
+          }
+        }
+        return Datum::Null();
+      });
+
+  registry->Register(
+      "sinew_extract_any",
+      [catalog](const UdfArgs& args) -> Result<Datum> {
+        RETURN_NOT_OK(CheckDataPathArgs(args, "sinew_extract_any"));
+        if (args[0]->is_null()) return Datum::Null();
+        static constexpr ValueType kOrder[] = {
+            ValueType::kBool,   ValueType::kInt,   ValueType::kDouble,
+            ValueType::kString, ValueType::kArray, ValueType::kObject};
+        for (ValueType type : kOrder) {
+          std::optional<std::string_view> bytes =
+              ExtractTyped(*catalog, args[0]->str(), args[1]->str(), type);
+          if (!bytes.has_value()) continue;
+          if (type == ValueType::kArray || type == ValueType::kObject) {
+            ASSIGN_OR_RETURN(Value v,
+                             serial::DecodeValueBody(type, *bytes, *catalog));
+            return Datum::Text(v.ToJson());
+          }
+          return DecodeScalarTyped(*catalog, type, *bytes);
+        }
+        return Datum::Null();
+      });
+
+  registry->Register(
+      "sinew_extract_bytes",
+      [catalog](const UdfArgs& args) -> Result<Datum> {
+        RETURN_NOT_OK(CheckDataPathArgs(args, "sinew_extract_bytes"));
+        if (args[0]->is_null()) return Datum::Null();
+        for (ValueType type : {ValueType::kObject, ValueType::kArray}) {
+          std::optional<std::string_view> bytes =
+              ExtractTyped(*catalog, args[0]->str(), args[1]->str(), type);
+          if (bytes.has_value()) return Datum::Bytes(std::string(*bytes));
+        }
+        return Datum::Null();
+      });
+
+  // Chain extraction: the query rewriter resolves a dotted path to the
+  // attribute-ID descent chain at rewrite time, so the per-row work is pure
+  // header binary searches with no dictionary access at all.
+  //   sinew_extract_chain(data, type_tag, id0, id1, ..., idN)
+  // descends through object ids id0..idN-1 and decodes idN as `type_tag`
+  // (objects/arrays render as JSON text, as in sinew_extract_any).
+  auto chain_extract = [catalog](const UdfArgs& args,
+                                 bool raw_bytes) -> Result<Datum> {
+    if (args.size() < 3) {
+      return Status::InvalidArgument(
+          "sinew_extract_chain expects (data, type, id...)");
+    }
+    if (args[0]->is_null()) return Datum::Null();
+    if (!args[0]->is_bytes() || !args[1]->is_int()) {
+      return Status::TypeError("sinew_extract_chain(bytes, int, int...)");
+    }
+    std::string_view current = args[0]->str();
+    for (size_t i = 2; i + 1 < args.size(); ++i) {
+      if (!args[i]->is_int()) {
+        return Status::TypeError("chain ids must be integers");
+      }
+      serial::DocumentView view(current);
+      std::optional<std::string_view> sub =
+          view.Extract(static_cast<uint32_t>(args[i]->int_value()));
+      if (!sub.has_value()) return Datum::Null();
+      current = *sub;
+    }
+    serial::DocumentView view(current);
+    std::optional<std::string_view> bytes = view.Extract(
+        static_cast<uint32_t>(args.back()->int_value()));
+    if (!bytes.has_value()) return Datum::Null();
+    ValueType type = static_cast<ValueType>(args[1]->int_value());
+    if (raw_bytes) return Datum::Bytes(std::string(*bytes));
+    if (type == ValueType::kObject || type == ValueType::kArray) {
+      ASSIGN_OR_RETURN(Value v,
+                       serial::DecodeValueBody(type, *bytes, *catalog));
+      return Datum::Text(v.ToJson());
+    }
+    return DecodeScalarTyped(*catalog, type, *bytes);
+  };
+  registry->Register("sinew_extract_chain",
+                     [chain_extract](const UdfArgs& args) {
+                       return chain_extract(args, /*raw_bytes=*/false);
+                     });
+  registry->Register("sinew_extract_chain_bytes",
+                     [chain_extract](const UdfArgs& args) {
+                       return chain_extract(args, /*raw_bytes=*/true);
+                     });
+
+  // Array containment without materializing the array: walks the serialized
+  // element table and memcmps candidate payloads.
+  //   sinew_array_contains_chain(data, value, id0, ..., idN)
+  registry->Register(
+      "sinew_array_contains_chain",
+      [](const UdfArgs& args) -> Result<Datum> {
+        if (args.size() < 3) {
+          return Status::InvalidArgument(
+              "sinew_array_contains_chain expects (data, value, id...)");
+        }
+        if (args[0]->is_null() || args[1]->is_null()) return Datum::Null();
+        if (!args[0]->is_bytes()) {
+          return Status::TypeError("first argument must be serialized data");
+        }
+        std::string_view current = args[0]->str();
+        for (size_t i = 2; i + 1 < args.size(); ++i) {
+          serial::DocumentView view(current);
+          std::optional<std::string_view> sub =
+              view.Extract(static_cast<uint32_t>(args[i]->int_value()));
+          if (!sub.has_value()) return Datum::Null();
+          current = *sub;
+        }
+        serial::DocumentView view(current);
+        std::optional<std::string_view> arr = view.Extract(
+            static_cast<uint32_t>(args.back()->int_value()));
+        if (!arr.has_value()) return Datum::Null();
+        ASSIGN_OR_RETURN(bool contains,
+                         serial::ArrayContainsScalar(*arr, args[1]->ToValue()));
+        return Datum::Bool(contains);
+      });
+
+  registry->Register(
+      "sinew_array_contains",
+      [catalog](const UdfArgs& args) -> Result<Datum> {
+        if (args.size() != 3) {
+          return Status::InvalidArgument(
+              "sinew_array_contains expects (data, path, value)");
+        }
+        RETURN_NOT_OK(CheckDataPathArgs(args, "sinew_array_contains"));
+        if (args[0]->is_null() || args[2]->is_null()) return Datum::Null();
+        std::optional<std::string_view> bytes;
+        std::string_view path = args[1]->str();
+        if (path.empty()) {
+          // The first argument is itself the serialized array.
+          bytes = args[0]->str();
+        } else {
+          bytes = ExtractTyped(*catalog, args[0]->str(), path,
+                               ValueType::kArray);
+        }
+        if (!bytes.has_value()) return Datum::Null();
+        ASSIGN_OR_RETURN(bool contains, serial::ArrayContainsScalar(
+                                            *bytes, args[2]->ToValue()));
+        return Datum::Bool(contains);
+      });
+
+  registry->Register(
+      "sinew_reservoir_set",
+      [catalog](const UdfArgs& args) -> Result<Datum> {
+        if (args.size() != 3) {
+          return Status::InvalidArgument(
+              "sinew_reservoir_set expects (data, path, value)");
+        }
+        RETURN_NOT_OK(CheckDataPathArgs(args, "sinew_reservoir_set"));
+        std::string data;
+        if (args[0]->is_null()) {
+          ASSIGN_OR_RETURN(
+              data, serial::SerializeDocument(Value::Object({}), catalog));
+        } else {
+          data = args[0]->str();
+        }
+        const std::string& path = args[1]->str();
+        if (args[2]->is_null()) {
+          // Setting NULL removes every typed variant of the attribute.
+          for (const serial::Attribute& attr : catalog->FindAllTypes(path)) {
+            ASSIGN_OR_RETURN(data, serial::RemoveAttribute(data, attr.id));
+          }
+          return Datum::Bytes(std::move(data));
+        }
+        ASSIGN_OR_RETURN(auto typed, EncodeScalarDatum(*args[2]));
+        ASSIGN_OR_RETURN(uint32_t id, catalog->Intern(path, typed.first));
+        // Remove other-typed variants of the key first, then set.
+        for (const serial::Attribute& attr : catalog->FindAllTypes(path)) {
+          if (attr.id != id) {
+            ASSIGN_OR_RETURN(data, serial::RemoveAttribute(data, attr.id));
+          }
+        }
+        ASSIGN_OR_RETURN(data, serial::SetAttribute(data, id, typed.second));
+        return Datum::Bytes(std::move(data));
+      });
+
+  registry->Register(
+      "sinew_reservoir_remove",
+      [catalog](const UdfArgs& args) -> Result<Datum> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument(
+              "sinew_reservoir_remove expects (data, path)");
+        }
+        RETURN_NOT_OK(CheckDataPathArgs(args, "sinew_reservoir_remove"));
+        if (args[0]->is_null()) return Datum::Null();
+        std::string data = args[0]->str();
+        for (const serial::Attribute& attr :
+             catalog->FindAllTypes(args[1]->str())) {
+          ASSIGN_OR_RETURN(data, serial::RemoveAttribute(data, attr.id));
+        }
+        return Datum::Bytes(std::move(data));
+      });
+
+  registry->Register(
+      "sinew_render_object",
+      [catalog](const UdfArgs& args) -> Result<Datum> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("sinew_render_object expects (data)");
+        }
+        if (args[0]->is_null()) return Datum::Null();
+        if (!args[0]->is_bytes()) {
+          return Status::TypeError("sinew_render_object on non-bytes");
+        }
+        ASSIGN_OR_RETURN(Value v, serial::DeserializeDocument(args[0]->str(),
+                                                              *catalog));
+        return Datum::Text(v.ToJson());
+      });
+
+  registry->Register(
+      "sinew_render_array",
+      [catalog](const UdfArgs& args) -> Result<Datum> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("sinew_render_array expects (data)");
+        }
+        if (args[0]->is_null()) return Datum::Null();
+        if (!args[0]->is_bytes()) {
+          return Status::TypeError("sinew_render_array on non-bytes");
+        }
+        ASSIGN_OR_RETURN(Value v, serial::DecodeValueBody(
+                                      ValueType::kArray, args[0]->str(),
+                                      *catalog));
+        return Datum::Text(v.ToJson());
+      });
+
+  registry->Register(
+      "sinew_reconstruct",
+      [catalog](const UdfArgs& args) -> Result<Datum> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("sinew_reconstruct expects (data)");
+        }
+        if (args[0]->is_null()) return Datum::Null();
+        if (!args[0]->is_bytes()) {
+          return Status::TypeError("sinew_reconstruct on non-bytes");
+        }
+        ASSIGN_OR_RETURN(Value doc, serial::DeserializeDocument(
+                                        args[0]->str(), *catalog));
+        return Datum::Text(doc.ToJson());
+      });
+}
+
+}  // namespace sinew

@@ -1,0 +1,39 @@
+// Sinew's extraction UDFs (paper Sections 3.2.2 and 4.1), registered into
+// the engine's UDF registry exactly as the prototype installs C UDFs into
+// Postgres (Section 5).
+//
+//   sinew_extract_text/int/double/bool(data, 'path')
+//       typed extraction; returns NULL when the path is absent OR holds a
+//       value of a different type (the multi-typed-key behaviour).
+//   sinew_extract_num(data, 'path')
+//       numeric extraction accepting int- or double-typed attributes.
+//   sinew_extract_any(data, 'path')
+//       untyped extraction for projection contexts; scalars come back in
+//       their natural type, objects/arrays as canonical JSON text.
+//       (Deviation from the paper, which downcasts everything to string in
+//       untyped contexts: natural types keep results comparable across the
+//       benchmarked systems. Recorded in DESIGN.md.)
+//   sinew_extract_bytes(data, 'path')
+//       raw serialized body (nested objects/arrays) for re-extraction.
+//   sinew_array_contains(data, 'path', value)
+//       array containment over a serialized array attribute.
+//   sinew_reservoir_set(data, 'path', value) / sinew_reservoir_remove(...)
+//       functional updates used by the UPDATE rewrite path.
+//   sinew_reconstruct(data)
+//       the full document as canonical JSON text.
+
+#ifndef SINEW_SINEW_EXTRACT_FUNCTIONS_H_
+#define SINEW_SINEW_EXTRACT_FUNCTIONS_H_
+
+#include "engine/udf.h"
+#include "sinew/catalog.h"
+
+namespace sinew {
+
+/// Registers all Sinew UDFs. `catalog` must outlive the registry.
+void RegisterSinewFunctions(engine::UdfRegistry* registry,
+                            AttributeCatalog* catalog);
+
+}  // namespace sinew
+
+#endif  // SINEW_SINEW_EXTRACT_FUNCTIONS_H_

@@ -1,0 +1,152 @@
+#include "sinew/loader.h"
+
+#include <set>
+
+#include "json/json.h"
+#include "serial/sinew_format.h"
+
+namespace sinew {
+
+namespace {
+
+/// Collects the attribute IDs present in a document (recursively, including
+/// attributes nested inside objects and inside arrays of objects), mirroring
+/// the paths SerializeDocument interns.
+Status CollectAttributeIds(const Value& doc, const std::string& prefix,
+                           const AttributeCatalog& catalog,
+                           std::set<uint32_t>* out) {
+  for (const auto& [key, value] : doc.members()) {
+    if (value.is_null()) continue;
+    std::string path = prefix + key;
+    std::optional<uint32_t> id = catalog.FindId(path, value.type());
+    if (!id.has_value()) {
+      return Status::Internal("attribute ", path,
+                              " missing from catalog after serialization");
+    }
+    out->insert(*id);
+    if (value.is_object()) {
+      RETURN_NOT_OK(CollectAttributeIds(value, path + ".", catalog, out));
+    } else if (value.is_array()) {
+      for (const Value& e : value.array()) {
+        if (e.is_object()) {
+          RETURN_NOT_OK(CollectAttributeIds(e, path + ".", catalog, out));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void IndexDocument(const Value& doc, const std::string& prefix, uint64_t rid,
+                   textindex::InvertedIndex* index) {
+  for (const auto& [key, value] : doc.members()) {
+    std::string path = prefix + key;
+    switch (value.type()) {
+      case ValueType::kString:
+        index->AddText(rid, path, value.string_value());
+        break;
+      case ValueType::kInt:
+        index->AddNumber(rid, path, static_cast<double>(value.int_value()));
+        break;
+      case ValueType::kDouble:
+        index->AddNumber(rid, path, value.double_value());
+        break;
+      case ValueType::kBool:
+        index->AddText(rid, path, value.bool_value() ? "true" : "false");
+        break;
+      case ValueType::kObject:
+        IndexDocument(value, path + ".", rid, index);
+        break;
+      case ValueType::kArray:
+        for (const Value& e : value.array()) {
+          if (e.is_string()) {
+            index->AddText(rid, path, e.string_value());
+          } else if (e.is_number()) {
+            index->AddNumber(rid, path, e.AsDouble());
+          } else if (e.is_object()) {
+            IndexDocument(e, path + ".", rid, index);
+          }
+        }
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<uint64_t> Loader::LoadDocuments(const std::string& table,
+                                       const std::vector<Value>& docs,
+                                       textindex::InvertedIndex* index) {
+  // Ensure the engine table and catalog entry exist.
+  if (!catalog_->HasTable(table)) {
+    catalog_->RegisterTable(table);
+  }
+  engine::Table* engine_table;
+  Result<engine::Table*> existing = db_->catalog()->GetTable(table);
+  if (existing.ok()) {
+    engine_table = *existing;
+    if (!engine_table->schema().FindColumn(kReservoirColumn).has_value()) {
+      return Status::InvalidArgument("table ", table,
+                                     " has no column reservoir");
+    }
+  } else {
+    engine::Schema schema;
+    RETURN_NOT_OK(schema.AddColumn(engine::Column{
+        std::string(kReservoirColumn), engine::ColumnType::kBytes, false}));
+    ASSIGN_OR_RETURN(engine_table,
+                     db_->catalog()->CreateTable(table, std::move(schema)));
+  }
+
+  // Loader and materializer are mutually exclusive (paper Section 3.1.4).
+  std::lock_guard maintenance(catalog_->MaintenanceLatch(table));
+
+  uint64_t loaded = 0;
+  for (const Value& doc : docs) {
+    if (!doc.is_object()) {
+      return Status::InvalidArgument(
+          "document ", loaded, " is not an object (",
+          ValueTypeName(doc.type()), ")");
+    }
+    for (const auto& [key, value] : doc.members()) {
+      (void)value;
+      if (key == kReservoirColumn || key == "__rid" || key.starts_with("$")) {
+        return Status::InvalidArgument("reserved key name '", key, "'");
+      }
+    }
+    ASSIGN_OR_RETURN(std::string reservoir,
+                     serial::SerializeDocument(doc, catalog_));
+    const engine::Schema& schema = engine_table->schema();
+    std::optional<size_t> data_slot = schema.FindColumn(kReservoirColumn);
+    engine::DatumRow row(schema.num_slots());
+    row[*data_slot] = engine::Datum::Bytes(std::move(reservoir));
+    ASSIGN_OR_RETURN(uint64_t rid, engine_table->AppendRow(row));
+
+    std::set<uint32_t> ids;
+    RETURN_NOT_OK(CollectAttributeIds(doc, "", *catalog_, &ids));
+    for (uint32_t id : ids) {
+      catalog_->AddOccurrences(table, id, 1);
+      // Data for already-materialized attributes lands in the reservoir
+      // first; flag the column dirty so the materializer moves it.
+      std::optional<AttributeState> state = catalog_->GetState(table, id);
+      if (state.has_value() && state->materialized && !state->dirty) {
+        RETURN_NOT_OK(catalog_->SetDirty(table, id, true));
+      }
+    }
+    if (index != nullptr) {
+      IndexDocument(doc, "", rid, index);
+    }
+    ++loaded;
+  }
+  return loaded;
+}
+
+Result<uint64_t> Loader::LoadJsonLines(const std::string& table,
+                                       std::string_view jsonl,
+                                       textindex::InvertedIndex* index) {
+  ASSIGN_OR_RETURN(std::vector<Value> docs, json::ParseLines(jsonl));
+  return LoadDocuments(table, docs, index);
+}
+
+}  // namespace sinew

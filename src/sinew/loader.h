@@ -1,0 +1,52 @@
+// Bulk loader (paper Section 3.2.1).
+//
+// A load is serialization + insertion: each document is validated, serialized
+// into the reservoir format (interning new attributes into the catalog as a
+// side effect — "the cost of adding a new attribute to the schema is just the
+// cost to insert it into the catalog"), and appended as a row whose only
+// non-null column is `_data`. The loader never looks at the physical schema:
+// data always lands in the reservoir, and affected materialized columns are
+// flagged dirty for the materializer to move later.
+
+#ifndef SINEW_SINEW_LOADER_H_
+#define SINEW_SINEW_LOADER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "sinew/catalog.h"
+#include "textindex/inverted_index.h"
+
+namespace sinew {
+
+/// Name of the column reservoir column in every Sinew-managed table.
+inline constexpr std::string_view kReservoirColumn = "_data";
+
+class Loader {
+ public:
+  Loader(engine::Database* db, AttributeCatalog* catalog)
+      : db_(db), catalog_(catalog) {}
+
+  /// Loads parsed documents; creates the table (schema: `_data BYTES`) on
+  /// first use. Returns the number of rows loaded. If `index` is non-null,
+  /// scalar fields are added to it under their dotted paths.
+  Result<uint64_t> LoadDocuments(const std::string& table,
+                                 const std::vector<Value>& docs,
+                                 textindex::InvertedIndex* index = nullptr);
+
+  /// Parses newline-delimited JSON and loads it.
+  Result<uint64_t> LoadJsonLines(const std::string& table,
+                                 std::string_view jsonl,
+                                 textindex::InvertedIndex* index = nullptr);
+
+ private:
+  engine::Database* db_;
+  AttributeCatalog* catalog_;
+};
+
+}  // namespace sinew
+
+#endif  // SINEW_SINEW_LOADER_H_

@@ -1,0 +1,149 @@
+#include "sinew/persistence.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "engine/persist.h"
+#include "sinew/sinew_db.h"
+
+namespace sinew {
+
+namespace {
+
+constexpr std::string_view kCatalogMagic = "SINEWCAT";
+constexpr uint32_t kCatalogVersion = 1;
+
+Status WriteFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open ", path, " for writing");
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::IOError("short write to ", path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open ", path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string TableImagePath(const std::string& dir, const std::string& table) {
+  return dir + "/table_" + table + ".tbl";
+}
+
+}  // namespace
+
+Result<std::string> SerializeCatalogImage(SinewDb* db) {
+  AttributeCatalog* catalog = db->catalog();
+  BufferWriter w;
+  w.PutBytes(kCatalogMagic);
+  w.PutU32(kCatalogVersion);
+  // Global dictionary, dense ids in order.
+  uint32_t n = static_cast<uint32_t>(catalog->size());
+  w.PutU32(n);
+  for (uint32_t id = 0; id < n; ++id) {
+    ASSIGN_OR_RETURN(serial::Attribute attr, catalog->Lookup(id));
+    w.PutLengthPrefixed(attr.key);
+    w.PutU8(static_cast<uint8_t>(attr.type));
+  }
+  // Per-table attribute state.
+  std::vector<std::string> tables = catalog->TableNames();
+  w.PutU32(static_cast<uint32_t>(tables.size()));
+  for (const std::string& table : tables) {
+    w.PutLengthPrefixed(table);
+    std::vector<AttributeState> attrs = catalog->TableAttributes(table);
+    w.PutU32(static_cast<uint32_t>(attrs.size()));
+    for (const AttributeState& state : attrs) {
+      w.PutU32(state.attr_id);
+      w.PutU64(state.count);
+      w.PutU8(static_cast<uint8_t>((state.materialized ? 1 : 0) |
+                                   (state.dirty ? 2 : 0)));
+    }
+  }
+  return w.Release();
+}
+
+Status RestoreCatalogImage(SinewDb* db, std::string_view image) {
+  AttributeCatalog* catalog = db->catalog();
+  if (catalog->size() != 0) {
+    return Status::InvalidArgument(
+        "catalog restore requires a fresh SinewDb");
+  }
+  BufferReader r(image);
+  ASSIGN_OR_RETURN(std::string_view magic, r.ReadBytes(kCatalogMagic.size()));
+  if (magic != kCatalogMagic) {
+    return Status::ParseError("bad catalog image magic");
+  }
+  ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kCatalogVersion) {
+    return Status::ParseError("unsupported catalog image version ", version);
+  }
+  ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  for (uint32_t id = 0; id < n; ++id) {
+    ASSIGN_OR_RETURN(std::string_view key, r.ReadLengthPrefixed());
+    ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+    ASSIGN_OR_RETURN(uint32_t assigned,
+                     catalog->Intern(key, static_cast<ValueType>(type)));
+    if (assigned != id) {
+      return Status::Internal("catalog id mismatch on restore: got ",
+                              assigned, ", expected ", id);
+    }
+  }
+  ASSIGN_OR_RETURN(uint32_t num_tables, r.ReadU32());
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    ASSIGN_OR_RETURN(std::string_view table_view, r.ReadLengthPrefixed());
+    std::string table(table_view);
+    catalog->RegisterTable(table);
+    ASSIGN_OR_RETURN(uint32_t num_attrs, r.ReadU32());
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      ASSIGN_OR_RETURN(uint32_t id, r.ReadU32());
+      ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+      ASSIGN_OR_RETURN(uint8_t flags, r.ReadU8());
+      catalog->AddOccurrences(table, id, count);
+      if ((flags & 1) != 0) {
+        RETURN_NOT_OK(catalog->SetMaterialized(table, id, true));
+      }
+      // SetMaterialized flips dirty; restore the saved bit exactly.
+      RETURN_NOT_OK(catalog->SetDirty(table, id, (flags & 2) != 0));
+    }
+    db->NoteTable(table);
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes in catalog image");
+  return Status::OK();
+}
+
+Status SaveDatabase(SinewDb* db, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create ", directory, ": ", ec.message());
+  }
+  ASSIGN_OR_RETURN(std::string catalog_image, SerializeCatalogImage(db));
+  RETURN_NOT_OK(WriteFile(directory + "/catalog.sinew", catalog_image));
+  for (const std::string& table : db->Tables()) {
+    ASSIGN_OR_RETURN(engine::Table * engine_table,
+                     db->engine()->catalog()->GetTable(table));
+    RETURN_NOT_OK(
+        engine::SaveTable(*engine_table, TableImagePath(directory, table)));
+  }
+  return Status::OK();
+}
+
+Status LoadDatabase(SinewDb* db, const std::string& directory) {
+  if (!db->Tables().empty()) {
+    return Status::InvalidArgument("LoadDatabase requires a fresh SinewDb");
+  }
+  ASSIGN_OR_RETURN(std::string catalog_image,
+                   ReadFile(directory + "/catalog.sinew"));
+  RETURN_NOT_OK(RestoreCatalogImage(db, catalog_image));
+  for (const std::string& table : db->Tables()) {
+    RETURN_NOT_OK(engine::LoadTable(TableImagePath(directory, table),
+                                    db->engine()->catalog())
+                      .status());
+  }
+  return Status::OK();
+}
+
+}  // namespace sinew

@@ -1,0 +1,37 @@
+// Whole-database persistence: saves/restores a SinewDb — the attribute
+// catalog (global dictionary + per-table state) and every engine table —
+// to a directory of binary images. The paper's prototype inherits
+// durability from Postgres; microdb provides table images (engine/persist),
+// and this module adds the Sinew-layer state on top.
+//
+// Layout:
+//   <dir>/catalog.sinew          dictionary + per-table attribute state
+//   <dir>/table_<name>.tbl       one engine table image per table
+//
+// Text indexes are not persisted (the paper's Solr index is likewise an
+// external, rebuildable artifact): call EnableTextIndex() again after Load.
+
+#ifndef SINEW_SINEW_PERSISTENCE_H_
+#define SINEW_SINEW_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace sinew {
+
+class SinewDb;
+
+/// Saves the database to `directory` (created if missing).
+Status SaveDatabase(SinewDb* db, const std::string& directory);
+
+/// Restores into `db`, which must be freshly constructed (no tables).
+Status LoadDatabase(SinewDb* db, const std::string& directory);
+
+/// (De)serializes just the catalog image (exposed for tests).
+Result<std::string> SerializeCatalogImage(SinewDb* db);
+Status RestoreCatalogImage(SinewDb* db, std::string_view image);
+
+}  // namespace sinew
+
+#endif  // SINEW_SINEW_PERSISTENCE_H_

@@ -1,0 +1,141 @@
+#include "sinew/schema_analyzer.h"
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "engine/table.h"
+#include "serial/sinew_format.h"
+#include "sinew/loader.h"
+
+namespace sinew {
+
+Result<std::vector<SchemaAnalyzer::Decision>> SchemaAnalyzer::AnalyzeTable(
+    const std::string& table) {
+  ASSIGN_OR_RETURN(engine::Table * engine_table,
+                   db_->catalog()->GetTable(table));
+  std::vector<AttributeState> attrs = catalog_->TableAttributes(table);
+  const uint64_t rows = engine_table->LiveRowCount();
+
+  // Cardinality estimation over a bounded sample. A single pass over the
+  // reservoir accumulates distinct-value hashes per attribute id; physical
+  // values of dirty columns are in the column itself, so sample those too.
+  std::map<uint32_t, std::unordered_set<uint64_t>> distinct;
+  std::map<uint32_t, bool> saturated;
+  constexpr size_t kDistinctCap = 4096;
+  std::optional<size_t> data_slot =
+      engine_table->schema().FindColumn(kReservoirColumn);
+  if (!data_slot.has_value()) {
+    return Status::InvalidArgument("table ", table, " has no reservoir");
+  }
+
+  // Pre-resolve the physical slot of each materialized attribute.
+  std::map<uint32_t, size_t> physical_slot;
+  for (const AttributeState& state : attrs) {
+    if (!state.materialized) continue;
+    ASSIGN_OR_RETURN(serial::Attribute attr, catalog_->Lookup(state.attr_id));
+    std::optional<size_t> slot = engine_table->schema().FindColumn(attr.key);
+    if (slot.has_value()) physical_slot[state.attr_id] = *slot;
+  }
+
+  auto note_value = [&](uint32_t id, uint64_t hash) {
+    if (saturated[id]) return;
+    auto& set = distinct[id];
+    set.insert(hash);
+    if (set.size() > kDistinctCap) saturated[id] = true;
+  };
+
+  uint64_t sampled = 0;
+  const uint64_t slot_count = engine_table->RowSlotCount();
+  for (uint64_t rid = 0; rid < slot_count && sampled < options_.sample_rows;
+       ++rid) {
+    Result<engine::DatumRow> row = engine_table->ReadRow(rid);
+    if (!row.ok()) continue;  // deleted
+    ++sampled;
+    const engine::Datum& data = (*row)[*data_slot];
+    if (!data.is_null()) {
+      serial::DocumentView view(data.str());
+      ASSIGN_OR_RETURN(uint32_t n, view.attribute_count());
+      for (uint32_t i = 0; i < n; ++i) {
+        uint32_t id = view.AttributeIdAt(i);
+        std::optional<std::string_view> bytes = view.Extract(id);
+        if (bytes.has_value()) {
+          note_value(id, std::hash<std::string_view>()(*bytes));
+        }
+      }
+    }
+    for (const auto& [id, slot] : physical_slot) {
+      const engine::Datum& v = (*row)[slot];
+      if (!v.is_null()) note_value(id, v.Hash());
+    }
+  }
+
+  std::vector<Decision> decisions;
+  // Detect multi-typed key names: all attr ids sharing a key.
+  std::map<std::string, int> types_per_key;
+  for (const AttributeState& state : attrs) {
+    ASSIGN_OR_RETURN(serial::Attribute attr, catalog_->Lookup(state.attr_id));
+    if (state.count > 0) ++types_per_key[attr.key];
+  }
+
+  for (const AttributeState& state : attrs) {
+    ASSIGN_OR_RETURN(serial::Attribute attr, catalog_->Lookup(state.attr_id));
+    Decision d;
+    d.attr_id = state.attr_id;
+    d.key = attr.key;
+    d.type = attr.type;
+    d.density = rows == 0 ? 0.0
+                          : static_cast<double>(state.count) /
+                                static_cast<double>(rows);
+    if (attr.type == ValueType::kObject || attr.type == ValueType::kArray) {
+      // Collections materialize as serialized columns; treat as
+      // high-cardinality so density alone decides.
+      d.cardinality = options_.cardinality_threshold;
+    } else if (saturated.count(state.attr_id) != 0 &&
+               saturated[state.attr_id]) {
+      // Saturated sample: extrapolate linearly.
+      double seen = static_cast<double>(distinct[state.attr_id].size());
+      d.cardinality = seen * (static_cast<double>(rows) /
+                              std::max<double>(static_cast<double>(sampled), 1));
+    } else {
+      d.cardinality = static_cast<double>(distinct[state.attr_id].size());
+    }
+    d.multi_typed = types_per_key[attr.key] > 1;
+
+    bool should_materialize = !d.multi_typed &&
+                              d.density >= options_.density_threshold &&
+                              d.cardinality >= options_.cardinality_threshold;
+    // Never materialize nested children of an attribute that is itself
+    // materialized as a serialized column when the parent is dense enough —
+    // but DO catalog them (paper Section 4.2 default: one serialized column
+    // per dense nested object; children stay extractable).
+    if (should_materialize && d.key.find('.') != std::string::npos) {
+      size_t dot = d.key.rfind('.');
+      std::string parent = d.key.substr(0, dot);
+      std::optional<uint32_t> parent_id =
+          catalog_->FindId(parent, ValueType::kObject);
+      if (parent_id.has_value()) {
+        std::optional<AttributeState> parent_state =
+            catalog_->GetState(table, *parent_id);
+        if (parent_state.has_value() && parent_state->materialized) {
+          should_materialize = false;
+        }
+      }
+    }
+
+    d.materialize = should_materialize;
+    if (!options_.allow_dematerialize && state.materialized &&
+        !should_materialize) {
+      d.materialize = true;  // keep as is
+    }
+    if (d.materialize != state.materialized) {
+      RETURN_NOT_OK(
+          catalog_->SetMaterialized(table, state.attr_id, d.materialize));
+      d.changed = true;
+    }
+    decisions.push_back(std::move(d));
+  }
+  return decisions;
+}
+
+}  // namespace sinew

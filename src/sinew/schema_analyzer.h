@@ -1,0 +1,73 @@
+// Schema analyzer (paper Section 3.1.3).
+//
+// Periodically re-evaluates which attributes deserve physical columns.
+// Policy (matching the paper's experimental configuration, Section 6.1):
+// an attribute is marked for materialization when its density (fraction of
+// rows containing it) reaches `density_threshold` AND its value cardinality
+// reaches `cardinality_threshold`; already-materialized attributes falling
+// below threshold are marked for dematerialization. Object- and array-typed
+// attributes count as high-cardinality (they materialize as serialized BYTES
+// columns when dense — "nested_obj, itself a serialized data column").
+//
+// Keys observed with more than one runtime type stay virtual: a physical
+// column has a single type, and typed extraction over the reservoir already
+// handles the mixed case (documented deviation — the paper does not specify
+// multi-typed materialization either, and its benchmark keeps dyn1/dyn2
+// virtual).
+//
+// Cardinality of virtual attributes is estimated from a bounded sample of
+// reservoir rows; density comes from exact catalog counts.
+
+#ifndef SINEW_SINEW_SCHEMA_ANALYZER_H_
+#define SINEW_SINEW_SCHEMA_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "sinew/catalog.h"
+
+namespace sinew {
+
+struct AnalyzerOptions {
+  double density_threshold = 0.6;
+  double cardinality_threshold = 200;
+  /// Rows sampled when estimating virtual-attribute cardinality.
+  uint64_t sample_rows = 20000;
+  bool allow_dematerialize = true;
+};
+
+class SchemaAnalyzer {
+ public:
+  struct Decision {
+    uint32_t attr_id = 0;
+    std::string key;
+    ValueType type = ValueType::kNull;
+    double density = 0;
+    double cardinality = 0;
+    bool multi_typed = false;
+    bool materialize = false;  // target state after this pass
+    bool changed = false;      // did the pass flip the target?
+  };
+
+  SchemaAnalyzer(engine::Database* db, AttributeCatalog* catalog,
+                 AnalyzerOptions options = {})
+      : db_(db), catalog_(catalog), options_(options) {}
+
+  /// One analysis pass over a table: updates catalog target flags (setting
+  /// dirty bits where movement is now pending) and returns the decisions.
+  Result<std::vector<Decision>> AnalyzeTable(const std::string& table);
+
+  const AnalyzerOptions& options() const { return options_; }
+  void set_options(AnalyzerOptions options) { options_ = options; }
+
+ private:
+  engine::Database* db_;
+  AttributeCatalog* catalog_;
+  AnalyzerOptions options_;
+};
+
+}  // namespace sinew
+
+#endif  // SINEW_SINEW_SCHEMA_ANALYZER_H_

@@ -1,0 +1,259 @@
+#include "sinew/sinew_db.h"
+
+#include <algorithm>
+
+#include "engine/table.h"
+#include "json/json.h"
+#include "serial/sinew_format.h"
+#include "sinew/extract_functions.h"
+
+namespace sinew {
+
+SinewDb::SinewDb(SinewOptions options)
+    : db_(options.planner, options.exec),
+      loader_(&db_, &catalog_),
+      analyzer_(&db_, &catalog_, options.analyzer),
+      materializer_(&db_, &catalog_),
+      rewriter_(&db_, &catalog_, &indexes_) {
+  RegisterSinewFunctions(db_.udfs(), &catalog_);
+}
+
+SinewDb::~SinewDb() { StopBackgroundMaintenance(); }
+
+Result<uint64_t> SinewDb::LoadJsonLines(const std::string& table,
+                                        std::string_view jsonl) {
+  ASSIGN_OR_RETURN(std::vector<Value> docs, json::ParseLines(jsonl));
+  return LoadDocuments(table, docs);
+}
+
+Result<uint64_t> SinewDb::LoadDocuments(const std::string& table,
+                                        const std::vector<Value>& docs) {
+  bool fresh = !catalog_.HasTable(table);
+  textindex::InvertedIndex* index = nullptr;
+  auto it = indexes_.find(table);
+  if (it != indexes_.end()) index = it->second.get();
+  ASSIGN_OR_RETURN(uint64_t loaded, loader_.LoadDocuments(table, docs, index));
+  if (fresh) {
+    std::lock_guard lock(tables_mutex_);
+    if (std::find(tables_.begin(), tables_.end(), table) == tables_.end()) {
+      tables_.push_back(table);
+    }
+  }
+  return loaded;
+}
+
+Result<engine::QueryResult> SinewDb::Query(std::string_view sql) {
+  // A query planned just before a background schema change (column added by
+  // the materializer, dropped by dematerialization) fails fast with
+  // kAborted instead of misreading rows; rewrite + replan and try again.
+  Status last;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    ASSIGN_OR_RETURN(engine::Statement stmt, rewriter_.Rewrite(sql));
+    Result<engine::QueryResult> result = db_.ExecuteStatement(stmt);
+    if (result.ok() || !result.status().IsAborted() ||
+        result.status().message().find("schema changed") ==
+            std::string::npos) {
+      return result;
+    }
+    last = result.status();
+  }
+  return last;
+}
+
+Result<std::string> SinewDb::Explain(std::string_view sql) {
+  ASSIGN_OR_RETURN(engine::Statement stmt, rewriter_.Rewrite(sql));
+  if (stmt.kind != engine::StatementKind::kSelect &&
+      stmt.kind != engine::StatementKind::kExplain) {
+    return Status::InvalidArgument("EXPLAIN requires a SELECT");
+  }
+  ASSIGN_OR_RETURN(engine::PlanPtr plan, db_.PlanStatement(*stmt.select));
+  return plan->DebugString();
+}
+
+Result<std::vector<SchemaAnalyzer::Decision>> SinewDb::AnalyzeSchema(
+    const std::string& table) {
+  return analyzer_.AnalyzeTable(table);
+}
+
+Result<uint64_t> SinewDb::MaterializeStep(const std::string& table,
+                                          uint64_t max_rows) {
+  return materializer_.Step(table, max_rows);
+}
+
+Status SinewDb::MaterializeAll(const std::string& table) {
+  return materializer_.RunToCompletion(table);
+}
+
+Status SinewDb::AnalyzeAndMaterialize(const std::string& table) {
+  RETURN_NOT_OK(analyzer_.AnalyzeTable(table).status());
+  return materializer_.RunToCompletion(table);
+}
+
+Status SinewDb::ForceMaterialization(const std::string& table,
+                                     const std::string& key,
+                                     bool materialized) {
+  std::vector<serial::Attribute> attrs = catalog_.FindAllTypes(key);
+  bool any = false;
+  for (const serial::Attribute& attr : attrs) {
+    std::optional<AttributeState> state = catalog_.GetState(table, attr.id);
+    if (!state.has_value()) continue;
+    any = true;
+    RETURN_NOT_OK(catalog_.SetMaterialized(table, attr.id, materialized));
+  }
+  if (!any) {
+    return Status::NotFound("attribute ", key, " not observed in table ",
+                            table);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<LogicalColumn>> SinewDb::LogicalSchema(
+    const std::string& table) {
+  if (!catalog_.HasTable(table)) {
+    return Status::NotFound("table ", table, " is not a Sinew table");
+  }
+  std::vector<LogicalColumn> out;
+  std::map<std::string, size_t> by_name;
+  for (const AttributeState& state : catalog_.TableAttributes(table)) {
+    ASSIGN_OR_RETURN(serial::Attribute attr, catalog_.Lookup(state.attr_id));
+    auto [it, inserted] = by_name.try_emplace(attr.key, out.size());
+    if (inserted) {
+      LogicalColumn col;
+      col.name = attr.key;
+      out.push_back(std::move(col));
+    }
+    LogicalColumn& col = out[it->second];
+    col.types.push_back(attr.type);
+    col.count = std::max(col.count, state.count);
+    col.materialized |= state.materialized;
+    col.dirty |= state.dirty;
+  }
+  return out;
+}
+
+Status SinewDb::EnableTextIndex(const std::string& table) {
+  if (!catalog_.HasTable(table)) {
+    return Status::NotFound("table ", table, " is not a Sinew table");
+  }
+  ASSIGN_OR_RETURN(engine::Table * engine_table,
+                   db_.catalog()->GetTable(table));
+  auto index = std::make_unique<textindex::InvertedIndex>();
+  std::optional<size_t> data_slot =
+      engine_table->schema().FindColumn(kReservoirColumn);
+  if (!data_slot.has_value()) {
+    return Status::InvalidArgument("table has no reservoir column");
+  }
+  // Index existing rows: reconstruct each document (values may be split
+  // between reservoir and physical columns mid-materialization, so extract
+  // through the logical view).
+  uint64_t slots = engine_table->RowSlotCount();
+  for (uint64_t rid = 0; rid < slots; ++rid) {
+    Result<engine::DatumRow> row = engine_table->ReadRow(rid);
+    if (!row.ok()) continue;
+    // Reservoir attributes.
+    const engine::Datum& data = (*row)[*data_slot];
+    Value doc = Value::Object({});
+    if (!data.is_null() && !data.str().empty()) {
+      ASSIGN_OR_RETURN(doc,
+                       serial::DeserializeDocument(data.str(), catalog_));
+    }
+    // Physical columns overlay.
+    const engine::Schema& schema = engine_table->schema();
+    for (size_t slot : schema.LiveSlots()) {
+      const engine::Column& col = schema.columns()[slot];
+      if (col.name == kReservoirColumn) continue;
+      const engine::Datum& v = (*row)[slot];
+      if (v.is_null()) continue;
+      if (col.type == engine::ColumnType::kBytes) {
+        // Serialized nested object or array: decode per the attribute's
+        // catalog type and index its scalar leaves.
+        if (catalog_.FindId(col.name, ValueType::kArray).has_value()) {
+          Result<Value> arr =
+              serial::DecodeValueBody(ValueType::kArray, v.str(), catalog_);
+          if (arr.ok()) doc.Set(col.name, std::move(*arr));
+        } else {
+          Result<Value> sub = serial::DeserializeDocument(v.str(), catalog_);
+          if (sub.ok()) doc.Set(col.name, std::move(*sub));
+        }
+        continue;
+      }
+      doc.Set(col.name, v.ToValue());
+    }
+    // Reuse the loader's traversal by inlining a minimal version here.
+    struct Walker {
+      textindex::InvertedIndex* index;
+      uint64_t rid;
+      void Walk(const Value& node, const std::string& prefix) {
+        for (const auto& [key, value] : node.members()) {
+          std::string path = prefix + key;
+          if (value.is_string()) {
+            index->AddText(rid, path, value.string_value());
+          } else if (value.is_number()) {
+            index->AddNumber(rid, path, value.AsDouble());
+          } else if (value.is_bool()) {
+            index->AddText(rid, path, value.bool_value() ? "true" : "false");
+          } else if (value.is_object()) {
+            Walk(value, path + ".");
+          } else if (value.is_array()) {
+            for (const Value& e : value.array()) {
+              if (e.is_string()) {
+                index->AddText(rid, path, e.string_value());
+              } else if (e.is_number()) {
+                index->AddNumber(rid, path, e.AsDouble());
+              } else if (e.is_object()) {
+                Walk(e, path + ".");
+              }
+            }
+          }
+        }
+      }
+    };
+    Walker{index.get(), rid}.Walk(doc, "");
+  }
+  indexes_[table] = std::move(index);
+  return Status::OK();
+}
+
+bool SinewDb::HasTextIndex(const std::string& table) const {
+  return indexes_.count(table) != 0;
+}
+
+std::vector<std::string> SinewDb::Tables() const {
+  std::lock_guard lock(tables_mutex_);
+  return tables_;
+}
+
+void SinewDb::NoteTable(const std::string& table) {
+  std::lock_guard lock(tables_mutex_);
+  if (std::find(tables_.begin(), tables_.end(), table) == tables_.end()) {
+    tables_.push_back(table);
+  }
+}
+
+void SinewDb::StartBackgroundMaintenance(std::chrono::milliseconds period) {
+  StopBackgroundMaintenance();
+  background_stop_ = false;
+  background_ = std::thread([this, period] { BackgroundLoop(period); });
+}
+
+void SinewDb::StopBackgroundMaintenance() {
+  background_stop_ = true;
+  if (background_.joinable()) background_.join();
+}
+
+void SinewDb::BackgroundLoop(std::chrono::milliseconds period) {
+  while (!background_stop_.load()) {
+    for (const std::string& table : Tables()) {
+      if (background_stop_.load()) break;
+      // Analyzer pass, then a bounded materializer increment — the
+      // "background process running when there are spare resources".
+      (void)analyzer_.AnalyzeTable(table);
+      (void)materializer_.Step(table, 4096);
+    }
+    for (int i = 0; i < 10 && !background_stop_.load(); ++i) {
+      std::this_thread::sleep_for(period / 10);
+    }
+  }
+}
+
+}  // namespace sinew

@@ -1,0 +1,139 @@
+// SinewDb: the public API of the system (paper Figure 1).
+//
+// A SinewDb owns one embedded microdb instance plus the Sinew components
+// layered over it: attribute catalog, loader, schema analyzer, column
+// materializer, query rewriter and optional per-table inverted text indexes.
+//
+// Typical use:
+//
+//   sinew::SinewDb db;
+//   db.LoadJsonLines("webrequests", jsonl);
+//   auto result = db.Query(
+//       "SELECT url, owner FROM webrequests WHERE hits > 20");
+//   db.AnalyzeSchema("webrequests");       // decide physical columns
+//   db.MaterializeAll("webrequests");      // move the data, refresh stats
+//
+// or enable background maintenance and let the analyzer/materializer run as
+// an invisible process, as the paper deploys them.
+
+#ifndef SINEW_SINEW_SINEW_DB_H_
+#define SINEW_SINEW_SINEW_DB_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "sinew/catalog.h"
+#include "sinew/loader.h"
+#include "sinew/materializer.h"
+#include "sinew/rewriter.h"
+#include "sinew/schema_analyzer.h"
+#include "textindex/inverted_index.h"
+
+namespace sinew {
+
+struct SinewOptions {
+  engine::PlannerOptions planner;
+  engine::ExecOptions exec;
+  AnalyzerOptions analyzer;
+};
+
+/// One logical column of the user-facing universal relation view.
+struct LogicalColumn {
+  std::string name;
+  std::vector<ValueType> types;  // >1 entry for multi-typed keys
+  uint64_t count = 0;            // rows containing the key (max over types)
+  bool materialized = false;
+  bool dirty = false;
+};
+
+class SinewDb {
+ public:
+  explicit SinewDb(SinewOptions options = {});
+  ~SinewDb();
+
+  SinewDb(const SinewDb&) = delete;
+  SinewDb& operator=(const SinewDb&) = delete;
+
+  engine::Database* engine() { return &db_; }
+  AttributeCatalog* catalog() { return &catalog_; }
+  ColumnMaterializer* materializer() { return &materializer_; }
+  SchemaAnalyzer* analyzer() { return &analyzer_; }
+  const QueryRewriter& rewriter() const { return rewriter_; }
+
+  // --- loading ---
+  Result<uint64_t> LoadJsonLines(const std::string& table,
+                                 std::string_view jsonl);
+  Result<uint64_t> LoadDocuments(const std::string& table,
+                                 const std::vector<Value>& docs);
+
+  // --- querying (standard SQL over the logical schema) ---
+  Result<engine::QueryResult> Query(std::string_view sql);
+  /// EXPLAIN of the rewritten query.
+  Result<std::string> Explain(std::string_view sql);
+
+  // --- schema maintenance ---
+  /// One schema-analyzer pass (threshold evaluation; flags columns dirty).
+  Result<std::vector<SchemaAnalyzer::Decision>> AnalyzeSchema(
+      const std::string& table);
+  /// Bounded materializer increment; returns rows examined.
+  Result<uint64_t> MaterializeStep(const std::string& table,
+                                   uint64_t max_rows);
+  /// Runs the materializer until clean and refreshes engine statistics.
+  Status MaterializeAll(const std::string& table);
+  /// Analyzer pass + full materialization (the common pairing).
+  Status AnalyzeAndMaterialize(const std::string& table);
+
+  /// Explicitly set one attribute's target representation (used by tests,
+  /// benchmarks and ablations to pin a physical design).
+  Status ForceMaterialization(const std::string& table,
+                              const std::string& key, bool materialized);
+
+  /// The user-facing logical schema (universal relation view, Figure 3).
+  Result<std::vector<LogicalColumn>> LogicalSchema(const std::string& table);
+
+  // --- text search (Section 4.3) ---
+  /// Builds an inverted index over the table's current rows; matches() in
+  /// queries over this table resolves through it. Note: the index reflects
+  /// load-time contents (like the paper's external Solr index).
+  Status EnableTextIndex(const std::string& table);
+  bool HasTextIndex(const std::string& table) const;
+
+  // --- background maintenance (paper Section 5: Postgres background
+  //     workers running the analyzer and materializer) ---
+  void StartBackgroundMaintenance(std::chrono::milliseconds period);
+  void StopBackgroundMaintenance();
+
+  /// Tables managed by Sinew.
+  std::vector<std::string> Tables() const;
+
+  /// Registers a table name in the managed list (persistence restore path).
+  void NoteTable(const std::string& table);
+
+ private:
+  void BackgroundLoop(std::chrono::milliseconds period);
+
+  engine::Database db_;
+  AttributeCatalog catalog_;
+  TextIndexMap indexes_;
+  Loader loader_;
+  SchemaAnalyzer analyzer_;
+  ColumnMaterializer materializer_;
+  QueryRewriter rewriter_;
+  std::vector<std::string> tables_;
+  mutable std::mutex tables_mutex_;
+
+  std::thread background_;
+  std::atomic<bool> background_stop_{false};
+};
+
+}  // namespace sinew
+
+#endif  // SINEW_SINEW_SINEW_DB_H_

@@ -1,0 +1,172 @@
+#include "textindex/inverted_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace sinew::textindex {
+
+namespace {
+
+constexpr char kSep = '\x1f';
+
+std::vector<uint64_t> SortedUnique(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<uint64_t> Intersect(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b) {
+  std::vector<uint64_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::string InvertedIndex::Key(std::string_view field, std::string_view term) {
+  std::string key(field);
+  key.push_back(kSep);
+  key.append(term);
+  return key;
+}
+
+void InvertedIndex::AddPosting(const std::string& key, uint64_t rid) {
+  std::vector<uint64_t>& list = postings_[key];
+  if (list.empty() || list.back() < rid) {
+    list.push_back(rid);
+  } else if (!std::binary_search(list.begin(), list.end(), rid)) {
+    list.insert(std::upper_bound(list.begin(), list.end(), rid), rid);
+  }
+  doc_terms_[rid].push_back(key);
+}
+
+void InvertedIndex::AddText(uint64_t rid, std::string_view field,
+                            std::string_view text) {
+  for (const std::string& token : Tokenize(text)) {
+    AddPosting(Key(field, token), rid);
+  }
+}
+
+void InvertedIndex::AddNumber(uint64_t rid, std::string_view field,
+                              double value) {
+  // Postings entry for exact term search plus the sorted numeric facet.
+  AddPosting(Key(field, FormatDouble(value)), rid);
+  auto& facet = numerics_[std::string(field)];
+  facet.emplace_back(value, rid);
+  std::inplace_merge(facet.begin(), facet.end() - 1, facet.end());
+  doc_terms_[rid].push_back(std::string());  // marker: numeric facet member
+}
+
+void InvertedIndex::RemoveDocument(uint64_t rid) {
+  auto it = doc_terms_.find(rid);
+  if (it == doc_terms_.end()) return;
+  for (const std::string& key : it->second) {
+    if (key.empty()) continue;  // numeric marker, handled below
+    auto p = postings_.find(key);
+    if (p == postings_.end()) continue;
+    auto pos = std::lower_bound(p->second.begin(), p->second.end(), rid);
+    if (pos != p->second.end() && *pos == rid) p->second.erase(pos);
+    if (p->second.empty()) postings_.erase(p);
+  }
+  for (auto& [field, facet] : numerics_) {
+    facet.erase(std::remove_if(
+                    facet.begin(), facet.end(),
+                    [rid](const auto& pair) { return pair.second == rid; }),
+                facet.end());
+  }
+  doc_terms_.erase(it);
+}
+
+std::vector<uint64_t> InvertedIndex::SearchTerm(std::string_view field,
+                                                std::string_view term) const {
+  std::string lowered = AsciiLower(term);
+  if (field == "*") {
+    std::vector<uint64_t> out;
+    std::string suffix;
+    suffix.push_back(kSep);
+    suffix.append(lowered);
+    for (const auto& [key, list] : postings_) {
+      if (key.size() >= suffix.size() &&
+          key.compare(key.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        out.insert(out.end(), list.begin(), list.end());
+      }
+    }
+    return SortedUnique(std::move(out));
+  }
+  auto it = postings_.find(Key(field, lowered));
+  return it == postings_.end() ? std::vector<uint64_t>() : it->second;
+}
+
+std::vector<uint64_t> InvertedIndex::SearchAll(std::string_view field,
+                                               std::string_view query) const {
+  std::vector<std::string> tokens = Tokenize(query);
+  if (tokens.empty()) return {};
+  std::vector<uint64_t> result = SearchTerm(field, tokens[0]);
+  for (size_t i = 1; i < tokens.size() && !result.empty(); ++i) {
+    result = Intersect(result, SearchTerm(field, tokens[i]));
+  }
+  return result;
+}
+
+std::vector<uint64_t> InvertedIndex::SearchPrefix(
+    std::string_view field, std::string_view prefix) const {
+  std::string lowered = AsciiLower(prefix);
+  std::vector<uint64_t> out;
+  if (field == "*") {
+    std::string sep(1, kSep);
+    for (const auto& [key, list] : postings_) {
+      size_t pos = key.find(kSep);
+      if (pos == std::string::npos) continue;
+      std::string_view term = std::string_view(key).substr(pos + 1);
+      if (StartsWith(term, lowered)) {
+        out.insert(out.end(), list.begin(), list.end());
+      }
+    }
+    return SortedUnique(std::move(out));
+  }
+  std::string start = Key(field, lowered);
+  for (auto it = postings_.lower_bound(start);
+       it != postings_.end() && StartsWith(it->first, start); ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return SortedUnique(std::move(out));
+}
+
+std::vector<uint64_t> InvertedIndex::SearchNumericRange(std::string_view field,
+                                                        double lo,
+                                                        double hi) const {
+  auto it = numerics_.find(field);
+  if (it == numerics_.end()) return {};
+  const auto& facet = it->second;
+  auto begin = std::lower_bound(
+      facet.begin(), facet.end(), lo,
+      [](const auto& pair, double v) { return pair.first < v; });
+  std::vector<uint64_t> out;
+  for (auto p = begin; p != facet.end() && p->first <= hi; ++p) {
+    out.push_back(p->second);
+  }
+  return SortedUnique(std::move(out));
+}
+
+}  // namespace sinew::textindex

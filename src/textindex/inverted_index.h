@@ -1,0 +1,70 @@
+// Inverted text index (the paper's Apache Solr substitute, Section 4.3).
+//
+// Documents are sets of (field, value) pairs keyed by a row id. String
+// values are tokenized into lower-cased alphanumeric terms; numeric values
+// are also kept in per-field sorted arrays so range queries work. Queries
+// return sorted row-id sets, which Sinew applies as a filter over the
+// original relation (`__rid IN (...)`).
+
+#ifndef SINEW_TEXTINDEX_INVERTED_INDEX_H_
+#define SINEW_TEXTINDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sinew::textindex {
+
+/// Lower-cased alphanumeric tokens of `text`.
+std::vector<std::string> Tokenize(std::string_view text);
+
+class InvertedIndex {
+ public:
+  /// Indexes a string value under (rid, field).
+  void AddText(uint64_t rid, std::string_view field, std::string_view text);
+  /// Indexes a numeric value under (rid, field).
+  void AddNumber(uint64_t rid, std::string_view field, double value);
+
+  /// Removes everything indexed for `rid` (used on update: remove + re-add).
+  void RemoveDocument(uint64_t rid);
+
+  /// Row ids whose `field` contains the term. field "*" searches all fields.
+  std::vector<uint64_t> SearchTerm(std::string_view field,
+                                   std::string_view term) const;
+
+  /// Conjunction: row ids containing every token of `query` in `field`
+  /// (field "*" = any field per token).
+  std::vector<uint64_t> SearchAll(std::string_view field,
+                                  std::string_view query) const;
+
+  /// Terms with a given prefix (dictionary-assisted wildcard match).
+  std::vector<uint64_t> SearchPrefix(std::string_view field,
+                                     std::string_view prefix) const;
+
+  /// Numeric range query over a faceted field, inclusive bounds.
+  std::vector<uint64_t> SearchNumericRange(std::string_view field, double lo,
+                                           double hi) const;
+
+  size_t term_count() const { return postings_.size(); }
+  size_t document_count() const { return doc_terms_.size(); }
+
+ private:
+  static std::string Key(std::string_view field, std::string_view term);
+  void AddPosting(const std::string& key, uint64_t rid);
+
+  // (field \x1f term) -> sorted unique rid postings list.
+  std::map<std::string, std::vector<uint64_t>> postings_;
+  // field -> sorted (value, rid) pairs for range queries.
+  std::map<std::string, std::vector<std::pair<double, uint64_t>>, std::less<>>
+      numerics_;
+  // rid -> posting keys (for removal).
+  std::map<uint64_t, std::vector<std::string>> doc_terms_;
+};
+
+}  // namespace sinew::textindex
+
+#endif  // SINEW_TEXTINDEX_INVERTED_INDEX_H_

@@ -1,0 +1,149 @@
+#include "workloads/nobench/generator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace sinew::workloads::nobench {
+
+namespace {
+
+/// Deterministic pool strings: base32-flavoured, like NoBench's base64-ish
+/// values ("GBRDCMBQGA======").
+std::string PoolValue(std::string_view pool, uint64_t index) {
+  static constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+  Rng rng(0x9000 + std::hash<std::string_view>()(pool) * 31 + index * 1013);
+  std::string out;
+  out.reserve(16);
+  for (int i = 0; i < 12; ++i) {
+    out.push_back(kAlphabet[rng.Uniform(32)]);
+  }
+  out.append("====");
+  return out;
+}
+
+}  // namespace
+
+std::string PoolString(std::string_view pool_name, uint64_t index) {
+  return PoolValue(pool_name, index);
+}
+
+Value GenerateRecord(const Config& config, uint64_t i) {
+  Rng rng(config.seed * 0x1000193 + i);
+  Value doc = Value::Object({});
+
+  uint64_t str1_idx = rng.Uniform(config.str1_pool());
+  int64_t num = static_cast<int64_t>(rng.Uniform(config.num_records));
+  doc.Set("str1", Value::String(PoolValue("str1", str1_idx)));
+  doc.Set("str2", Value::String(PoolValue("str2",
+                                          rng.Uniform(Config::kStr2Pool))));
+  doc.Set("num", Value::Int(num));
+  doc.Set("bool", Value::Bool(rng.NextBool()));
+
+  // dyn1: 50% int in [0, 1000), 45% string, 5% bool.
+  double roll = rng.NextDouble();
+  if (roll < 0.50) {
+    doc.Set("dyn1", Value::Int(static_cast<int64_t>(rng.Uniform(1000))));
+  } else if (roll < 0.95) {
+    doc.Set("dyn1", Value::String(PoolValue("dyn1", rng.Uniform(500))));
+  } else {
+    doc.Set("dyn1", Value::Bool(rng.NextBool()));
+  }
+  // dyn2: 80% string, 20% int.
+  if (rng.NextDouble() < 0.8) {
+    doc.Set("dyn2", Value::String(PoolValue("dyn2", rng.Uniform(500))));
+  } else {
+    doc.Set("dyn2", Value::Int(static_cast<int64_t>(rng.Uniform(1000))));
+  }
+
+  // nested_obj duplicates str1/num under nested keys (NoBench).
+  Value nested = Value::Object({});
+  nested.Set("str", Value::String(PoolValue("str1", str1_idx)));
+  nested.Set("num", Value::Int(num));
+  doc.Set("nested_obj", std::move(nested));
+
+  // nested_arr: 0..8 strings from a pool of 1000.
+  uint64_t arr_len = rng.Uniform(9);
+  std::vector<Value> elements;
+  elements.reserve(arr_len);
+  for (uint64_t k = 0; k < arr_len; ++k) {
+    elements.push_back(
+        Value::String(PoolValue("arr", rng.Uniform(Config::kArrayPool))));
+  }
+  doc.Set("nested_arr", Value::Array(std::move(elements)));
+
+  // Sparse keys: group i % 100 covers sparse_{g*10}..sparse_{g*10+9}.
+  uint64_t group = i % Config::kSparseGroups;
+  for (uint64_t k = 0; k < 10; ++k) {
+    uint64_t key_index = group * 10 + k;
+    char name[32];
+    std::snprintf(name, sizeof(name), "sparse_%03u",
+                  static_cast<unsigned>(key_index));
+    doc.Set(name, Value::String(PoolValue(
+                      "sparse", rng.Uniform(Config::kSparseValuePool))));
+  }
+
+  doc.Set("thousandth", Value::Int(num % 1000));
+  return doc;
+}
+
+std::vector<Value> Generate(const Config& config) {
+  std::vector<Value> docs;
+  docs.reserve(config.num_records);
+  for (uint64_t i = 0; i < config.num_records; ++i) {
+    docs.push_back(GenerateRecord(config, i));
+  }
+  return docs;
+}
+
+namespace {
+
+/// Value of a key in a deterministically chosen record, so equality
+/// predicates are guaranteed to hit at any scale.
+std::string RecordString(const Config& config, uint64_t i,
+                         const std::string& key) {
+  Value doc = GenerateRecord(config, i % config.num_records);
+  const Value* v = doc.Find(key);
+  return v != nullptr && v->is_string() ? v->string_value() : std::string();
+}
+
+}  // namespace
+
+QueryParams MakeQueryParams(const Config& config) {
+  QueryParams p;
+  p.q5_str1 = RecordString(config, 5, "str1");
+  int64_t n = static_cast<int64_t>(config.num_records);
+  // ~0.1% of the num domain (which equals the record count).
+  p.q6_lo = n / 4;
+  p.q6_hi = p.q6_lo + std::max<int64_t>(n / 1000, 1);
+  // dyn1 ints are uniform over [0,1000) and cover 50% of records; a 20-wide
+  // range selects ~1% of all records.
+  p.q7_lo = 100;
+  p.q7_hi = 119;
+  // Pick an array element that exists: walk records until one has a
+  // non-empty nested_arr.
+  p.q8_arr_value = PoolValue("arr", 33);
+  for (uint64_t i = 0; i < std::min<uint64_t>(config.num_records, 64); ++i) {
+    Value doc = GenerateRecord(config, i);
+    const Value* arr = doc.Find("nested_arr");
+    if (arr != nullptr && arr->is_array() && !arr->array().empty()) {
+      p.q8_arr_value = arr->array()[0].string_value();
+      break;
+    }
+  }
+  p.q9_sparse_key = "sparse_110";
+  // Record 11 has sparse group 11 (keys sparse_110..sparse_119).
+  p.q9_value = RecordString(config, 11, "sparse_110");
+  p.q10_lo = n / 2;
+  p.q10_hi = p.q10_lo + std::max<int64_t>(n / 10, 1);
+  p.q11_lo = n / 3;
+  p.q11_hi = p.q11_lo + std::max<int64_t>(n / 1000, 1);
+  p.q12_match_key = "sparse_589";
+  // Record 58 has sparse group 58 (keys sparse_580..sparse_589).
+  p.q12_match_value = RecordString(config, 58, "sparse_589");
+  p.q12_set_key = "sparse_588";
+  return p;
+}
+
+}  // namespace sinew::workloads::nobench

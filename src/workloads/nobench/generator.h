@@ -1,0 +1,76 @@
+// NoBench data generator (Chasseur, Li, Patel — WebDB 2013), the benchmark
+// the paper's Section 6 evaluation runs.
+//
+// Each record carries ~15 keys (paper Section 6):
+//   str1        random string drawn from a pool of max(1024, n/16) values
+//               (dense, high-cardinality -> materializes)
+//   str2        string from a pool of 100 values (dense, LOW cardinality ->
+//               stays virtual, matching the paper's materialized set)
+//   num         uniform integer in [0, n)   (dense, high-cardinality)
+//   bool        random boolean              (cardinality 2 -> virtual)
+//   dyn1        dynamically typed: int / string / bool by distribution
+//   dyn2        dynamically typed: string-heavy distribution
+//   nested_obj  object { str: <str1 value>, num: <num value> }
+//   nested_arr  array of strings from a pool of 1000, varying length
+//   sparse_XXX  10 sparse keys from one of 100 groups of 10 (pool of 1000);
+//               each record's group is i % 100, so each sparse key appears
+//               in ~1% of records and same-group keys co-occur
+//   thousandth  num % 1000
+//
+// Generation is fully deterministic in (record index, seed).
+
+#ifndef SINEW_WORKLOADS_NOBENCH_GENERATOR_H_
+#define SINEW_WORKLOADS_NOBENCH_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sinew::workloads::nobench {
+
+struct Config {
+  uint64_t num_records = 10000;
+  uint64_t seed = 42;
+
+  uint64_t str1_pool() const {
+    return std::max<uint64_t>(1024, num_records / 16);
+  }
+  static constexpr uint64_t kStr2Pool = 100;
+  static constexpr uint64_t kArrayPool = 1000;
+  static constexpr uint64_t kSparseKeys = 1000;
+  static constexpr uint64_t kSparseGroups = 100;
+  static constexpr uint64_t kSparseValuePool = 100;
+};
+
+/// The i-th record (deterministic).
+Value GenerateRecord(const Config& config, uint64_t i);
+
+/// All records.
+std::vector<Value> Generate(const Config& config);
+
+/// Pool member strings (used to build query parameters that actually hit).
+std::string PoolString(std::string_view pool_name, uint64_t index);
+
+/// Benchmark query parameters derived from the config so each query touches
+/// its intended fraction of the data (Section 6 selectivities).
+struct QueryParams {
+  std::string q5_str1;            // equality match, ~n/str1_pool rows
+  int64_t q6_lo = 0, q6_hi = 0;   // num range, ~0.1%
+  int64_t q7_lo = 0, q7_hi = 0;   // dyn1 int range, ~1% of records
+  std::string q8_arr_value;       // array containment
+  std::string q9_sparse_key;      // "sparse_110"
+  std::string q9_value;
+  int64_t q10_lo = 0, q10_hi = 0;  // num range, ~10%, GROUP BY thousandth
+  int64_t q11_lo = 0, q11_hi = 0;  // join filter range, ~0.1%
+  std::string q12_match_key;       // "sparse_589"
+  std::string q12_match_value;     // ~1 in 10000 records
+  std::string q12_set_key;         // "sparse_588"
+};
+
+QueryParams MakeQueryParams(const Config& config);
+
+}  // namespace sinew::workloads::nobench
+
+#endif  // SINEW_WORKLOADS_NOBENCH_GENERATOR_H_

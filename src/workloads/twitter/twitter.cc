@@ -1,0 +1,141 @@
+#include "workloads/twitter/twitter.h"
+
+#include "common/rng.h"
+
+namespace sinew::workloads::twitter {
+
+namespace {
+
+constexpr const char* kLanguages[] = {"en", "es", "pt", "ja", "ar",
+                                      "msa", "fr", "de", "tr", "ko"};
+// Skewed language distribution; 'msa' (the Table 1 predicate) is rare.
+constexpr double kLanguageCdf[] = {0.55, 0.70, 0.80, 0.88, 0.93,
+                                   0.945, 0.965, 0.98, 0.99, 1.0};
+
+std::string ScreenName(uint64_t user) {
+  return "user_" + std::to_string(user);
+}
+
+}  // namespace
+
+Value GenerateTweet(const Config& config, uint64_t i) {
+  Rng rng(config.seed * 0x9e3779b1 + i);
+  Value tweet = Value::Object({});
+  tweet.Set("id_str", Value::String("t" + std::to_string(i)));
+  tweet.Set("text", Value::String("tweet body " + rng.AlphaNumeric(24)));
+  tweet.Set("retweet_count",
+            Value::Int(static_cast<int64_t>(rng.Uniform(100))));
+  tweet.Set("created_at",
+            Value::String("2013-08-" +
+                          std::to_string(1 + rng.Uniform(28)) + "T12:00:00Z"));
+
+  uint64_t user_id = rng.Uniform(config.users());
+  Value user = Value::Object({});
+  user.Set("id", Value::Int(static_cast<int64_t>(user_id)));
+  user.Set("screen_name", Value::String(ScreenName(user_id)));
+  double roll = rng.NextDouble();
+  int lang = 0;
+  while (roll > kLanguageCdf[lang]) ++lang;
+  user.Set("lang", Value::String(kLanguages[lang]));
+  user.Set("friends_count",
+           Value::Int(static_cast<int64_t>(rng.Uniform(5000))));
+  user.Set("followers_count",
+           Value::Int(static_cast<int64_t>(rng.Uniform(100000))));
+  if (rng.WithProbability(0.3)) {
+    user.Set("description", Value::String(rng.AlphaNumeric(40)));
+  }
+  tweet.Set("user", std::move(user));
+
+  // ~25% of tweets are replies (in_reply_to_screen_name sparse).
+  if (rng.WithProbability(0.25)) {
+    tweet.Set("in_reply_to_screen_name",
+              Value::String(ScreenName(rng.Uniform(config.users()))));
+  }
+  // Optional entities (hashtags / urls), sparsity ~40%.
+  if (rng.WithProbability(0.4)) {
+    Value entities = Value::Object({});
+    uint64_t n_tags = rng.Uniform(3);
+    std::vector<Value> tags;
+    for (uint64_t t = 0; t < n_tags; ++t) {
+      tags.push_back(Value::String("#tag" + std::to_string(rng.Uniform(500))));
+    }
+    entities.Set("hashtags", Value::Array(std::move(tags)));
+    if (rng.WithProbability(0.5)) {
+      entities.Set("urls",
+                   Value::Array({Value::String(
+                       "http://example.com/" + rng.AlphaNumeric(8))}));
+    }
+    tweet.Set("entities", std::move(entities));
+  }
+  // Long tail of rarely present metadata (sparsities ~1-10%).
+  if (rng.WithProbability(0.10)) {
+    tweet.Set("geo_lat", Value::Double(rng.NextDouble() * 180.0 - 90.0));
+    tweet.Set("geo_lon", Value::Double(rng.NextDouble() * 360.0 - 180.0));
+  }
+  if (rng.WithProbability(0.05)) {
+    tweet.Set("source", Value::String("web"));
+  }
+  if (rng.WithProbability(0.02)) {
+    tweet.Set("withheld_in_countries", Value::Array({Value::String("XY")}));
+  }
+  if (rng.WithProbability(0.01)) {
+    tweet.Set("contributors", Value::Array({Value::Int(
+                                  static_cast<int64_t>(rng.Uniform(1000)))}));
+  }
+  return tweet;
+}
+
+Value GenerateDelete(const Config& config, uint64_t i) {
+  Rng rng(config.seed * 0x85ebca6b + 0xdeadbeef + i);
+  Value status = Value::Object({});
+  // Deletes reference real tweet ids so the Table 1 joins produce output.
+  status.Set("id_str",
+             Value::String("t" + std::to_string(rng.Uniform(config.num_tweets))));
+  status.Set("user_id", Value::Int(static_cast<int64_t>(
+                            rng.Uniform(config.users()))));
+  Value del = Value::Object({});
+  del.Set("status", std::move(status));
+  Value doc = Value::Object({});
+  doc.Set("delete", std::move(del));
+  return doc;
+}
+
+std::vector<Value> GenerateTweets(const Config& config) {
+  std::vector<Value> out;
+  out.reserve(config.num_tweets);
+  for (uint64_t i = 0; i < config.num_tweets; ++i) {
+    out.push_back(GenerateTweet(config, i));
+  }
+  return out;
+}
+
+std::vector<Value> GenerateDeletes(const Config& config) {
+  std::vector<Value> out;
+  out.reserve(config.num_deletes);
+  for (uint64_t i = 0; i < config.num_deletes; ++i) {
+    out.push_back(GenerateDelete(config, i));
+  }
+  return out;
+}
+
+std::vector<std::string> Table1Queries() {
+  return {
+      // #1
+      "SELECT DISTINCT \"user.id\" FROM tweets",
+      // #2
+      "SELECT SUM(retweet_count) FROM tweets GROUP BY \"user.id\"",
+      // #3
+      "SELECT t1.\"user.id\" FROM tweets t1, deletes d1, deletes d2 "
+      "WHERE t1.id_str = d1.\"delete.status.id_str\" "
+      "AND d1.\"delete.status.user_id\" = d2.\"delete.status.user_id\" "
+      "AND t1.\"user.lang\" = 'msa'",
+      // #4
+      "SELECT t1.\"user.screen_name\", t2.\"user.screen_name\" "
+      "FROM tweets t1, tweets t2, tweets t3 "
+      "WHERE t1.\"user.screen_name\" = t3.\"user.screen_name\" "
+      "AND t1.\"user.screen_name\" = t2.in_reply_to_screen_name "
+      "AND t2.\"user.screen_name\" = t3.in_reply_to_screen_name",
+  };
+}
+
+}  // namespace sinew::workloads::twitter

@@ -1,0 +1,41 @@
+// Synthetic Twitter-firehose workload (paper Sections 3.1.1, Appendix B).
+//
+// Generates `tweets` documents shaped like the Twitter API objects the paper
+// loads (nested `user` object, optional entities, sparse optional metadata
+// with sparsities from <1% to 100%) and `deletes` records
+// ({delete: {status: {id_str, user_id}}}). Used by the Table 1/2 query-plan
+// experiment and the Table 5 virtual-column-overhead experiment.
+
+#ifndef SINEW_WORKLOADS_TWITTER_TWITTER_H_
+#define SINEW_WORKLOADS_TWITTER_TWITTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sinew::workloads::twitter {
+
+struct Config {
+  uint64_t num_tweets = 10000;
+  uint64_t num_deletes = 2000;
+  uint64_t num_users = 0;  // 0 -> num_tweets / 3
+  uint64_t seed = 7;
+
+  uint64_t users() const { return num_users != 0 ? num_users : num_tweets / 3; }
+};
+
+Value GenerateTweet(const Config& config, uint64_t i);
+Value GenerateDelete(const Config& config, uint64_t i);
+
+std::vector<Value> GenerateTweets(const Config& config);
+std::vector<Value> GenerateDeletes(const Config& config);
+
+/// The four queries of the paper's Table 1 (expressed in this repo's SQL
+/// surface; tables `tweets` and `deletes`).
+std::vector<std::string> Table1Queries();
+
+}  // namespace sinew::workloads::twitter
+
+#endif  // SINEW_WORKLOADS_TWITTER_TWITTER_H_

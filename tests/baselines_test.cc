@@ -1,0 +1,140 @@
+// EAV shredder and PG-JSON-like comparator tests.
+
+#include <gtest/gtest.h>
+
+#include "baselines/eav/eav_store.h"
+#include "baselines/jsontext/jsontext_db.h"
+#include "json/json.h"
+
+namespace sinew {
+namespace {
+
+Value Doc(const std::string& json) { return *json::Parse(json); }
+
+TEST(EavStore, ShredsIntoTriples) {
+  eav::EavStore store;
+  auto tuples = store.Load({Doc(
+      R"({"s": "x", "n": 3, "b": true, "o": {"k": 1}, "a": ["p", "q"]})")});
+  ASSERT_TRUE(tuples.ok());
+  // s, n, b, o.k, a (x2) = 6 tuples.
+  EXPECT_EQ(*tuples, 6u);
+  EXPECT_EQ(store.document_count(), 1u);
+  auto r = store.engine()->Execute(
+      "SELECT sval FROM eav WHERE key = 'o.k' OR key = 's' ORDER BY key");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_TRUE(r->rows[0][0].is_null());  // o.k is numeric -> sval NULL
+  EXPECT_EQ(r->rows[1][0].str(), "x");
+}
+
+TEST(EavStore, ValueColumnsByType) {
+  EXPECT_STREQ(eav::EavStore::ValueColumnFor(ValueType::kString), "sval");
+  EXPECT_STREQ(eav::EavStore::ValueColumnFor(ValueType::kInt), "nval");
+  EXPECT_STREQ(eav::EavStore::ValueColumnFor(ValueType::kBool), "bval");
+}
+
+TEST(EavStore, ReconstructByPredicate) {
+  eav::EavStore store;
+  ASSERT_TRUE(store
+                  .Load({Doc(R"({"name": "a", "v": 1})"),
+                         Doc(R"({"name": "b", "v": 2, "tags": ["t1", "t2"]})"),
+                         Doc(R"({"name": "c", "v": 3})")})
+                  .ok());
+  ASSERT_TRUE(store.Analyze().ok());
+  auto docs = store.ReconstructByPredicate("m.key = 'name' AND m.sval = 'b'");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 1u);
+  const Value& doc = (*docs)[0];
+  EXPECT_EQ(doc.Find("name")->string_value(), "b");
+  EXPECT_EQ(doc.Find("v")->double_value(), 2.0);  // EAV numerics are doubles
+  ASSERT_NE(doc.Find("tags"), nullptr);
+  EXPECT_TRUE(doc.Find("tags")->is_array());  // repeated key -> array
+  EXPECT_EQ(doc.Find("tags")->array().size(), 2u);
+}
+
+TEST(EavStore, UpdateWhereUpsertsMissingKeys) {
+  eav::EavStore store;
+  ASSERT_TRUE(store
+                  .Load({Doc(R"({"k": "hit", "target": "old"})"),
+                         Doc(R"({"k": "hit"})"),  // lacks 'target'
+                         Doc(R"({"k": "miss", "target": "old"})")})
+                  .ok());
+  auto updated = store.UpdateWhere("k", "hit", "target", "NEW");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 2u);  // one update + one upsert
+  auto r = store.engine()->Execute(
+      "SELECT COUNT(*) FROM eav WHERE key = 'target' AND sval = 'NEW'");
+  EXPECT_EQ(r->rows[0][0].int_value(), 2);
+  // The 'miss' document keeps its old value.
+  auto old = store.engine()->Execute(
+      "SELECT COUNT(*) FROM eav WHERE key = 'target' AND sval = 'old'");
+  EXPECT_EQ(old->rows[0][0].int_value(), 1);
+}
+
+TEST(JsonTextDb, LoadStoresRawText) {
+  jsontext::JsonTextDb db;
+  ASSERT_TRUE(db.Load("t", {Doc(R"({"a": 1})")}).ok());
+  auto r = db.Execute("SELECT data FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].str(), R"({"a":1})");
+  EXPECT_FALSE(db.LoadJsonLines("t", {"not json"}).ok());
+  EXPECT_GT(*db.StorageBytes("t"), 0u);
+}
+
+TEST(JsonTextDb, ExtractionFunctionsParsePerCall) {
+  jsontext::JsonTextDb db;
+  ASSERT_TRUE(
+      db.Load("t", {Doc(R"({"a": 1, "s": "x", "o": {"k": true}, "d": 2.5})")})
+          .ok());
+  EXPECT_EQ(db.Execute("SELECT json_extract_int(data, 'a') FROM t")
+                ->rows[0][0]
+                .int_value(),
+            1);
+  EXPECT_EQ(db.Execute("SELECT json_extract_text(data, 's') FROM t")
+                ->rows[0][0]
+                .str(),
+            "x");
+  EXPECT_TRUE(db.Execute("SELECT json_extract_bool(data, 'o.k') FROM t")
+                  ->rows[0][0]
+                  .bool_value());
+  EXPECT_EQ(db.Execute("SELECT json_extract_double(data, 'd') FROM t")
+                ->rows[0][0]
+                .double_value(),
+            2.5);
+  // Missing keys are NULL.
+  EXPECT_TRUE(db.Execute("SELECT json_extract_any(data, 'zzz') FROM t")
+                  ->rows[0][0]
+                  .is_null());
+}
+
+TEST(JsonTextDb, TypedCastErrorsOnWrongType) {
+  // The Postgres cast semantics behind the paper's Q7 anecdote.
+  jsontext::JsonTextDb db;
+  ASSERT_TRUE(db.Load("t", {Doc(R"({"dyn": 1})"), Doc(R"({"dyn": "one"})")})
+                  .ok());
+  auto r = db.Execute(
+      "SELECT data FROM t WHERE json_extract_int(data, 'dyn') BETWEEN 0 AND 9");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+}
+
+TEST(JsonTextDb, JsonSetTextRewritesWholeDocument) {
+  jsontext::JsonTextDb db;
+  ASSERT_TRUE(db.Load("t", {Doc(R"({"a": 1, "o": {"k": 2}})")}).ok());
+  ASSERT_TRUE(db.Execute("UPDATE t SET data = json_set_text(data, 'o.k', 9)")
+                  .ok());
+  EXPECT_EQ(db.Execute("SELECT json_extract_int(data, 'o.k') FROM t")
+                ->rows[0][0]
+                .int_value(),
+            9);
+  ASSERT_TRUE(
+      db.Execute("UPDATE t SET data = json_set_text(data, 'brand_new', 'v')")
+          .ok());
+  EXPECT_EQ(db.Execute("SELECT json_extract_text(data, 'brand_new') FROM t")
+                ->rows[0][0]
+                .str(),
+            "v");
+}
+
+}  // namespace
+}  // namespace sinew

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/value.h"
+
+namespace sinew {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st.message(), "");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("table ", "foo", " missing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "table foo missing");
+  EXPECT_EQ(st.ToString(), "Not found: table foo missing");
+}
+
+TEST(Status, CopyAndMove) {
+  Status st = Status::Internal("boom");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsInternal());
+  EXPECT_TRUE(st.IsInternal());
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsInternal());
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= 10; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = ParsePositive(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(std::move(bad).ValueOr(42), 42);
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(UseAssignOrReturn(-7, &out).ok());
+}
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  BufferWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(1ull << 60);
+  w.PutI64(-12345);
+  w.PutDouble(3.25);
+  BufferReader r(w.buffer());
+  EXPECT_EQ(*r.ReadU8(), 0xab);
+  EXPECT_EQ(*r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.ReadU64(), 1ull << 60);
+  EXPECT_EQ(*r.ReadI64(), -12345);
+  EXPECT_EQ(*r.ReadDouble(), 3.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, VarintRoundTrip) {
+  BufferWriter w;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20, ~0ull};
+  for (uint64_t v : values) w.PutVarint(v);
+  BufferReader r(w.buffer());
+  for (uint64_t v : values) EXPECT_EQ(*r.ReadVarint(), v);
+}
+
+TEST(Bytes, SignedVarintRoundTrip) {
+  BufferWriter w;
+  const int64_t values[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  for (int64_t v : values) w.PutSignedVarint(v);
+  BufferReader r(w.buffer());
+  for (int64_t v : values) EXPECT_EQ(*r.ReadSignedVarint(), v);
+}
+
+TEST(Bytes, LengthPrefixedAndBoundsChecks) {
+  BufferWriter w;
+  w.PutLengthPrefixed("hello");
+  BufferReader r(w.buffer());
+  EXPECT_EQ(*r.ReadLengthPrefixed(), "hello");
+  // Short reads error instead of walking off the end.
+  BufferReader short_reader(std::string_view("\x05"));
+  EXPECT_FALSE(short_reader.ReadLengthPrefixed().ok());
+  BufferReader empty(std::string_view(""));
+  EXPECT_FALSE(empty.ReadU32().ok());
+  EXPECT_FALSE(empty.ReadVarint().ok());
+}
+
+TEST(Bytes, PatchU32) {
+  BufferWriter w;
+  w.PutU32(0);
+  w.PutBytes("xyz");
+  w.PatchU32(0, 77);
+  BufferReader r(w.buffer());
+  EXPECT_EQ(*r.ReadU32(), 77u);
+}
+
+TEST(StrUtil, LikeMatch) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%llo"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("hello", "h_lo"));
+  EXPECT_FALSE(LikeMatch("hello", "%z%"));
+  EXPECT_TRUE(LikeMatch("aaa", "%a%a%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+}
+
+TEST(StrUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2.0");  // keeps double-ness
+  EXPECT_EQ(FormatDouble(-0.25), "-0.25");
+}
+
+TEST(StrUtil, JsonEscaping) {
+  std::string out;
+  AppendJsonEscaped("a\"b\\c\n\t\x01", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\n\\t\\u0001");
+}
+
+TEST(StrUtil, Misc) {
+  EXPECT_EQ(AsciiLower("AbC"), "abc");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_TRUE(StartsWith("user.id", "user"));
+  auto parts = SplitString("a.b..c", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(43);
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).int_value(), 5);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Int(5).AsDouble(), 5.0);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(Value, ObjectFindAndSet) {
+  Value obj = Value::Object({});
+  obj.Set("a", Value::Int(1));
+  obj.Set("b", Value::String("two"));
+  obj.Set("a", Value::Int(3));  // replace
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("a")->int_value(), 3);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_EQ(obj.members().size(), 2u);
+}
+
+TEST(Value, IntAndDoubleAreDistinctTypes) {
+  // The paper's attribute = (key, type) model depends on this.
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+}
+
+TEST(Value, DeepEqualityAndOrdering) {
+  Value a = Value::Object({{"x", Value::Array({Value::Int(1), Value::Int(2)})}});
+  Value b = Value::Object({{"x", Value::Array({Value::Int(1), Value::Int(2)})}});
+  Value c = Value::Object({{"x", Value::Array({Value::Int(1), Value::Int(3)})}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(Value::Compare(a, c), 0);
+  EXPECT_EQ(Value::Compare(c, c), 0);
+}
+
+TEST(Value, ToJson) {
+  Value v = Value::Object(
+      {{"s", Value::String("hi\n")},
+       {"n", Value::Int(3)},
+       {"arr", Value::Array({Value::Bool(true), Value::Null()})}});
+  EXPECT_EQ(v.ToJson(), R"({"s":"hi\n","n":3,"arr":[true,null]})");
+}
+
+}  // namespace
+}  // namespace sinew

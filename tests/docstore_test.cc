@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "baselines/docstore/collection.h"
+#include "common/rng.h"
+#include "json/json.h"
+
+namespace sinew::docstore {
+namespace {
+
+Value Doc(const std::string& json) { return *json::Parse(json); }
+
+TEST(Bson, RoundTrip) {
+  Value doc = Doc(R"({"s": "x", "i": -5, "d": 2.5, "b": true, "n": null,
+                      "o": {"k": 1}, "a": [1, "two", {"x": 3}]})");
+  auto bson = ToBson(doc);
+  ASSERT_TRUE(bson.ok());
+  auto back = FromBson(*bson);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, doc);
+}
+
+TEST(Bson, ExtractDottedPaths) {
+  auto bson = ToBson(Doc(R"({"a": {"b": {"c": 42}}, "x": 1})"));
+  EXPECT_EQ(BsonExtract(*bson, "a.b.c")->int_value(), 42);
+  EXPECT_TRUE(BsonExtract(*bson, "a.b.zzz")->is_null());
+  EXPECT_TRUE(BsonExtract(*bson, "x.y")->is_null());  // scalar has no child
+  EXPECT_TRUE(*BsonHasPath(*bson, "a.b.c"));
+  EXPECT_FALSE(*BsonHasPath(*bson, "a.zzz"));
+}
+
+TEST(Bson, KeyOverheadMakesItLargerThanSinewStyleEncoding) {
+  // Keys are embedded per element, so long keys inflate every document.
+  Value doc = Value::Object({});
+  for (int i = 0; i < 20; ++i) {
+    doc.Set("quite_a_long_attribute_name_" + std::to_string(i),
+            Value::Int(i));
+  }
+  auto bson = ToBson(doc);
+  // 20 keys x ~30 chars >= 600 bytes of key text alone.
+  EXPECT_GT(bson->size(), 600u);
+}
+
+class CollectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    (void)coll_.Insert(Doc(R"({"id": 1, "kind": "a", "score": 10, "tags": ["x", "y"]})"));
+    (void)coll_.Insert(Doc(R"({"id": 2, "kind": "b", "score": 20})"));
+    (void)coll_.Insert(Doc(R"({"id": 3, "kind": "a", "score": 30, "extra": true})"));
+  }
+  Collection coll_{"c"};
+};
+
+TEST_F(CollectionTest, FindWithConditions) {
+  Filter eq{{"kind", Condition::Op::kEq, Value::String("a")}};
+  EXPECT_EQ(coll_.Find(eq)->size(), 2u);
+  Filter range{{"score", Condition::Op::kGe, Value::Int(15)},
+               {"score", Condition::Op::kLt, Value::Int(30)}};
+  auto r = coll_.Find(range);
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].Find("id")->int_value(), 2);
+  Filter exists{{"extra", Condition::Op::kExists, Value::Null()}};
+  EXPECT_EQ(coll_.Find(exists)->size(), 1u);
+  Filter contains{{"tags", Condition::Op::kContains, Value::String("y")}};
+  EXPECT_EQ(coll_.Find(contains)->size(), 1u);
+  Filter ne{{"kind", Condition::Op::kNe, Value::String("a")}};
+  EXPECT_EQ(coll_.Find(ne)->size(), 1u);
+}
+
+TEST_F(CollectionTest, TypeMismatchNeverMatches) {
+  Filter f{{"kind", Condition::Op::kEq, Value::Int(1)}};
+  EXPECT_EQ(coll_.Find(f)->size(), 0u);
+  // But int/double compare across types.
+  Filter g{{"score", Condition::Op::kEq, Value::Double(20.0)}};
+  EXPECT_EQ(coll_.Find(g)->size(), 1u);
+}
+
+TEST_F(CollectionTest, ProjectionReturnsRequestedPaths) {
+  auto rows = coll_.Find({}, {"id", "tags"});
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0].Find("id")->int_value(), 1);
+  EXPECT_TRUE((*rows)[1].Find("tags")->is_null());
+}
+
+TEST_F(CollectionTest, CountAndUpdate) {
+  EXPECT_EQ(*coll_.Count({{"kind", Condition::Op::kEq, Value::String("a")}}),
+            2u);
+  auto updated = coll_.UpdateMany(
+      {{"kind", Condition::Op::kEq, Value::String("a")}},
+      {{"reviewed", Value::String("yes")}, {"nested.flag", Value::Bool(true)}});
+  EXPECT_EQ(*updated, 2u);
+  Filter f{{"reviewed", Condition::Op::kEq, Value::String("yes")}};
+  EXPECT_EQ(coll_.Find(f)->size(), 2u);
+  Filter nested{{"nested.flag", Condition::Op::kEq, Value::Bool(true)}};
+  EXPECT_EQ(coll_.Find(nested)->size(), 2u);
+}
+
+TEST_F(CollectionTest, Aggregate) {
+  auto counts = coll_.Aggregate({}, "kind", "count", "");
+  ASSERT_EQ(counts->size(), 2u);
+  auto sums = coll_.Aggregate({}, "kind", "sum", "score");
+  for (const Value& g : *sums) {
+    if (g.Find("_id")->string_value() == "a") {
+      EXPECT_EQ(g.Find("value")->double_value(), 40.0);
+    }
+  }
+}
+
+TEST(DocStore, ClientSideJoin) {
+  DocStore store;
+  Collection* users = store.GetOrCreate("users");
+  Collection* posts = store.GetOrCreate("posts");
+  (void)users->Insert(Doc(R"({"uid": 1, "name": "ann"})"));
+  (void)users->Insert(Doc(R"({"uid": 2, "name": "bob"})"));
+  (void)posts->Insert(Doc(R"({"author": 1, "t": "p1"})"));
+  (void)posts->Insert(Doc(R"({"author": 1, "t": "p2"})"));
+  (void)posts->Insert(Doc(R"({"author": 3, "t": "orphan"})"));
+  auto joined = store.ClientSideJoin("users", "uid", {}, "posts", "author",
+                                     {"l.name", "r.t"}, 0);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  EXPECT_EQ(joined->size(), 2u);
+  for (const Value& pair : *joined) {
+    EXPECT_EQ(pair.Find("l.name")->string_value(), "ann");
+  }
+  // Temporary collections are cleaned up.
+  EXPECT_FALSE(store.Get("$tmp_join_left").ok());
+  EXPECT_FALSE(store.Get("$tmp_join_out").ok());
+}
+
+TEST(DocStore, JoinAbortsWhenScratchBudgetExceeded) {
+  DocStore store;
+  Collection* c = store.GetOrCreate("c");
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Value doc = Value::Object({});
+    doc.Set("k", Value::String("same_key"));  // every row joins every row
+    doc.Set("pad", Value::String(rng.AlphaNumeric(64)));
+    (void)c->Insert(doc);
+  }
+  auto joined =
+      store.ClientSideJoin("c", "k", {}, "c", "k", {}, /*budget=*/64 << 10);
+  ASSERT_FALSE(joined.ok());
+  EXPECT_TRUE(joined.status().IsAborted());
+  // Failure cleans up scratch collections too.
+  EXPECT_FALSE(store.Get("$tmp_join_left").ok());
+  EXPECT_FALSE(store.Get("$tmp_join_out").ok());
+}
+
+}  // namespace
+}  // namespace sinew::docstore

@@ -1,0 +1,134 @@
+// Remaining engine surfaces: EXPLAIN rendering, file-based persistence,
+// pseudo-columns, and executor edge cases.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "engine/database.h"
+#include "engine/persist.h"
+
+namespace sinew::engine {
+namespace {
+
+class MiscTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (a int, s text)").ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (3, 'c'), (1, 'a'), "
+                            "(2, 'b'), (1, 'z')")
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST_F(MiscTest, RowIdPseudoColumn) {
+  auto r = db_.Execute("SELECT __rid, a FROM t WHERE __rid = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].int_value(), 2);
+  EXPECT_EQ(r->rows[0][1].int_value(), 2);
+  // __rid is addressable in UPDATE/DELETE too.
+  ASSERT_TRUE(db_.Execute("DELETE FROM t WHERE __rid = 0").ok());
+  EXPECT_EQ(db_.Execute("SELECT COUNT(*) FROM t")->rows[0][0].int_value(), 3);
+  // Row ids of surviving rows are stable after the delete.
+  EXPECT_EQ(db_.Execute("SELECT a FROM t WHERE __rid = 2")
+                ->rows[0][0]
+                .int_value(),
+            2);
+}
+
+TEST_F(MiscTest, SortIsStableOnTies) {
+  // Two rows with a = 1 keep their scan order under a stable sort.
+  auto r = db_.Execute("SELECT s FROM t ORDER BY a");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 4u);
+  EXPECT_EQ(r->rows[0][0].str(), "a");
+  EXPECT_EQ(r->rows[1][0].str(), "z");
+}
+
+TEST_F(MiscTest, LimitAppliesAfterJoinAndSort) {
+  auto r = db_.Execute(
+      "SELECT x.a FROM t x, t y WHERE x.a = y.a ORDER BY x.a DESC LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].int_value(), 3);
+}
+
+TEST_F(MiscTest, LargeInList) {
+  std::string sql = "SELECT COUNT(*) FROM t WHERE a IN (1";
+  for (int i = 100; i < 400; ++i) sql += ", " + std::to_string(i);
+  sql += ")";
+  auto r = db_.Execute(sql);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].int_value(), 2);
+}
+
+TEST_F(MiscTest, ExplainStatementReturnsRows) {
+  auto r = db_.Execute("EXPLAIN SELECT a FROM t WHERE a > 1 ORDER BY a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column_names[0], "QUERY PLAN");
+  ASSERT_GE(r->rows.size(), 3u);
+  EXPECT_NE(r->rows[0][0].str().find("Sort"), std::string::npos);
+}
+
+TEST_F(MiscTest, PlanSummariesNameOperators) {
+  auto plan = db_.Plan("SELECT s, COUNT(*) FROM t GROUP BY s");
+  ASSERT_TRUE(plan.ok());
+  std::string text = (*plan)->DebugString();
+  EXPECT_NE(text.find("Project"), std::string::npos);
+  EXPECT_NE(text.find("Aggregate"), std::string::npos);
+  EXPECT_NE(text.find("Seq Scan on t"), std::string::npos);
+  EXPECT_NE(text.find("rows="), std::string::npos);
+}
+
+TEST_F(MiscTest, SaveAndLoadTableFiles) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "sinew_engine_misc.tbl")
+          .string();
+  auto table = db_.catalog()->GetTable("t");
+  ASSERT_TRUE(SaveTable(**table, path).ok());
+  Catalog fresh;
+  auto loaded = LoadTable(path, &fresh);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->LiveRowCount(), 4u);
+  EXPECT_FALSE(LoadTable("/no/such/file.tbl", &fresh).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(MiscTest, InsertPartialColumnList) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO t (s) VALUES ('only_s')").ok());
+  auto r = db_.Execute("SELECT a FROM t WHERE s = 'only_s'");
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_TRUE(r->rows[0][0].is_null());
+  EXPECT_FALSE(db_.Execute("INSERT INTO t (nope) VALUES (1)").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO t (a) VALUES (1, 2)").ok());
+}
+
+TEST_F(MiscTest, DeleteWithoutWhereClearsTable) {
+  ASSERT_TRUE(db_.Execute("DELETE FROM t").ok());
+  EXPECT_EQ(db_.Execute("SELECT COUNT(*) FROM t")->rows[0][0].int_value(), 0);
+  // Aggregation over the now-empty table still yields one row.
+  EXPECT_TRUE(db_.Execute("SELECT SUM(a) FROM t")->rows[0][0].is_null());
+}
+
+TEST_F(MiscTest, UpdateSeesPreUpdateValues) {
+  // Classic swap: both assignments read the old row image.
+  ASSERT_TRUE(db_.Execute("CREATE TABLE sw (x int, y int)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO sw VALUES (1, 2)").ok());
+  ASSERT_TRUE(db_.Execute("UPDATE sw SET x = y, y = x").ok());
+  auto r = db_.Execute("SELECT x, y FROM sw");
+  EXPECT_EQ(r->rows[0][0].int_value(), 2);
+  EXPECT_EQ(r->rows[0][1].int_value(), 1);
+}
+
+TEST_F(MiscTest, OrderByExpressionOverAggregates) {
+  auto r = db_.Execute(
+      "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY COUNT(*) DESC, a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0][0].int_value(), 1);  // the duplicated key first
+}
+
+}  // namespace
+}  // namespace sinew::engine

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "json/json.h"
+
+namespace sinew {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json::Parse("null")->is_null());
+  EXPECT_TRUE(json::Parse("true")->bool_value());
+  EXPECT_FALSE(json::Parse("false")->bool_value());
+  EXPECT_EQ(json::Parse("42")->int_value(), 42);
+  EXPECT_EQ(json::Parse("-7")->int_value(), -7);
+  EXPECT_EQ(json::Parse("2.5")->double_value(), 2.5);
+  EXPECT_EQ(json::Parse("1e3")->double_value(), 1000.0);
+  EXPECT_EQ(json::Parse("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonParse, IntVsDoubleDistinction) {
+  EXPECT_TRUE(json::Parse("3")->is_int());
+  EXPECT_TRUE(json::Parse("3.0")->is_double());
+  EXPECT_TRUE(json::Parse("3e0")->is_double());
+  // Overflowing integers degrade to double rather than failing.
+  EXPECT_TRUE(json::Parse("99999999999999999999999999")->is_double());
+}
+
+TEST(JsonParse, NestedStructures) {
+  auto v = json::Parse(R"({"a": {"b": [1, {"c": true}]}, "d": null})");
+  ASSERT_TRUE(v.ok());
+  const Value* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  const Value* b = a->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array().size(), 2u);
+  EXPECT_TRUE(b->array()[1].Find("c")->bool_value());
+  EXPECT_TRUE(v->Find("d")->is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto v = json::Parse(R"("a\"b\\c\/d\n\tA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "a\"b\\c/d\n\tA");
+}
+
+TEST(JsonParse, UnicodeAndSurrogates) {
+  EXPECT_EQ(json::Parse(R"("é")")->string_value(), "\xc3\xa9");  // é
+  EXPECT_EQ(json::Parse(R"("中")")->string_value(), "\xe4\xb8\xad");
+  // Surrogate pair: U+1F600
+  EXPECT_EQ(json::Parse(R"("😀")")->string_value(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_FALSE(json::Parse(R"("\ud83d")").ok());  // lone high surrogate
+  EXPECT_FALSE(json::Parse(R"("\ude00")").ok());  // lone low surrogate
+}
+
+TEST(JsonParse, Errors) {
+  const char* bad[] = {
+      "",        "{",         "[1,",      "{\"a\":}", "tru",
+      "1.2.3",   "\"unterm",  "{1: 2}",   "[1 2]",    "{\"a\":1,}",
+      "nulll",   "{} {}",     "\"\x01\"",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(json::Parse(text).ok()) << text;
+  }
+}
+
+TEST(JsonParse, DepthLimit) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(json::Parse(deep).ok());
+}
+
+TEST(JsonParse, ParseLines) {
+  auto docs = json::ParseLines("{\"a\":1}\n\n  \n{\"a\":2}\n");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 2u);
+  EXPECT_EQ((*docs)[1].Find("a")->int_value(), 2);
+  EXPECT_FALSE(json::ParseLines("{\"a\":1}\nnot json\n").ok());
+}
+
+TEST(JsonWrite, PrettyPrint) {
+  Value v = Value::Object({{"a", Value::Array({Value::Int(1)})}});
+  EXPECT_EQ(json::WritePretty(v), "{\n  \"a\": [\n    1\n  ]\n}");
+  EXPECT_EQ(json::WritePretty(Value::Object({})), "{}");
+}
+
+// ---- property: random documents survive a write/parse round trip ----
+
+Value RandomValue(Rng* rng, int depth);
+
+Value RandomScalar(Rng* rng) {
+  switch (rng->Uniform(5)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Bool(rng->NextBool());
+    case 2:
+      return Value::Int(rng->UniformRange(-1000000, 1000000));
+    case 3:
+      return Value::Double(rng->NextDouble() * 100 - 50);
+    default:
+      return Value::String(rng->AlphaNumeric(rng->Uniform(20)));
+  }
+}
+
+Value RandomValue(Rng* rng, int depth) {
+  if (depth <= 0 || rng->WithProbability(0.6)) return RandomScalar(rng);
+  if (rng->NextBool()) {
+    std::vector<Value> elements;
+    for (uint64_t i = 0, n = rng->Uniform(5); i < n; ++i) {
+      elements.push_back(RandomValue(rng, depth - 1));
+    }
+    return Value::Array(std::move(elements));
+  }
+  Value obj = Value::Object({});
+  for (uint64_t i = 0, n = rng->Uniform(5); i < n; ++i) {
+    obj.Set("k" + std::to_string(i), RandomValue(rng, depth - 1));
+  }
+  return obj;
+}
+
+class JsonRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTripTest, RandomDocumentRoundTrips) {
+  Rng rng(GetParam());
+  Value original = RandomValue(&rng, 4);
+  auto reparsed = json::Parse(original.ToJson());
+  ASSERT_TRUE(reparsed.ok()) << original.ToJson();
+  EXPECT_EQ(original, *reparsed) << original.ToJson();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace sinew

@@ -1,0 +1,195 @@
+// Failure-injection / robustness: corrupted inputs must produce error
+// Statuses, never crashes or silent garbage; concurrent readers must be safe
+// against the background materializer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.h"
+#include "baselines/docstore/bson.h"
+#include "json/json.h"
+#include "engine/row_codec.h"
+#include "serial/dictionary.h"
+#include "serial/sinew_format.h"
+#include "sinew/sinew_db.h"
+#include "workloads/nobench/generator.h"
+#include "workloads/nobench/runners.h"
+
+namespace sinew {
+namespace {
+
+namespace nb = workloads::nobench;
+
+// ---- corruption sweeps: every mutated blob either validates-and-decodes
+// or errors out; no UB (run under the normal test harness, the invariant is
+// "returns", which a crash would break). ----
+
+class SerialCorruptionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerialCorruptionTest, MutatedReservoirBlobsNeverMisbehave) {
+  serial::SimpleDictionary dict;
+  nb::Config config;
+  config.num_records = 4;
+  Value doc = nb::GenerateRecord(config, GetParam() % 4);
+  auto blob = serial::SerializeDocument(doc, &dict);
+  ASSERT_TRUE(blob.ok());
+
+  Rng rng(31 + GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = *blob;
+    int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] = static_cast<char>(rng.Uniform(256));
+    }
+    // Truncation too.
+    if (rng.WithProbability(0.3)) {
+      mutated.resize(rng.Uniform(mutated.size() + 1));
+    }
+    serial::DocumentView view(mutated);
+    Status valid = view.Validate();
+    if (valid.ok()) {
+      // If the header still validates, extraction of any id must not fault;
+      // decode may still error (body bytes can be garbage) but must return.
+      for (uint32_t id = 0; id < dict.size(); ++id) {
+        (void)view.ExtractValue(id, dict);
+      }
+      (void)serial::DeserializeDocument(mutated, dict);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialCorruptionTest, ::testing::Range(0, 8));
+
+TEST(RowCodecCorruption, MutatedRowsErrorCleanly) {
+  engine::Schema schema;
+  (void)schema.AddColumn({"a", engine::ColumnType::kInt});
+  (void)schema.AddColumn({"s", engine::ColumnType::kText});
+  (void)schema.AddColumn({"b", engine::ColumnType::kBytes});
+  engine::DatumRow row{engine::Datum::Int(7), engine::Datum::Text("hello"),
+                       engine::Datum::Bytes("\x01\x02\x03")};
+  auto encoded = engine::EncodeRow(schema, row);
+  ASSERT_TRUE(encoded.ok());
+  Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = *encoded;
+    mutated[rng.Uniform(mutated.size())] =
+        static_cast<char>(rng.Uniform(256));
+    if (rng.WithProbability(0.3)) {
+      mutated.resize(rng.Uniform(mutated.size() + 1));
+    }
+    (void)engine::DecodeRow(schema, mutated);  // must return, ok or error
+  }
+}
+
+TEST(BsonCorruption, MutatedDocumentsErrorCleanly) {
+  nb::Config config;
+  config.num_records = 2;
+  auto bson = docstore::ToBson(nb::GenerateRecord(config, 0));
+  ASSERT_TRUE(bson.ok());
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = *bson;
+    mutated[rng.Uniform(mutated.size())] =
+        static_cast<char>(rng.Uniform(256));
+    if (rng.WithProbability(0.3)) {
+      mutated.resize(rng.Uniform(mutated.size() + 1));
+    }
+    (void)docstore::FromBson(mutated);
+    (void)docstore::BsonExtract(mutated, "str1");
+    (void)docstore::BsonHasPath(mutated, "nested_obj.str");
+  }
+}
+
+TEST(JsonFuzz, RandomTextNeverCrashesParser) {
+  Rng rng(123);
+  const char* pieces[] = {"{", "}", "[", "]", "\"", ":", ",", "1", "true",
+                          "null", "\\u00", "e9", "-", ".", "x"};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text;
+    for (uint64_t i = 0, n = rng.Uniform(24); i < n; ++i) {
+      text += pieces[rng.Uniform(std::size(pieces))];
+    }
+    (void)json::Parse(text);  // Result either way
+  }
+}
+
+// ---- concurrency: readers vs. the background materializer ----
+
+TEST(Concurrency, ParallelQueriesDuringMaterialization) {
+  SinewDb db;
+  nb::Config config;
+  config.num_records = 3000;
+  ASSERT_TRUE(db.LoadDocuments(nb::kTableName, nb::Generate(config)).ok());
+  ASSERT_TRUE(db.AnalyzeSchema(nb::kTableName).ok());
+
+  const std::string sql = "SELECT COUNT(*) FROM nobench_main WHERE num >= 0";
+  const int64_t expected = db.Query(sql)->rows[0][0].int_value();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        auto result = db.Query(sql);
+        if (!result.ok() || result->rows[0][0].int_value() != expected) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  // Drive the materializer on the main thread in small increments.
+  while (true) {
+    auto examined = db.MaterializeStep(nb::kTableName, 128);
+    ASSERT_TRUE(examined.ok());
+    if (*examined == 0) break;
+  }
+  done = true;
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(db.Query(sql)->rows[0][0].int_value(), expected);
+}
+
+TEST(Concurrency, LoaderAndMaterializerAreMutuallyExclusive) {
+  // Interleave loads and materializer steps from two threads; the catalog
+  // latch must serialize them and the final state must be consistent.
+  SinewDb db;
+  nb::Config config;
+  config.num_records = 200;
+  std::vector<Value> docs = nb::Generate(config);
+  ASSERT_TRUE(
+      db.LoadDocuments(nb::kTableName,
+                       std::vector<Value>(docs.begin(), docs.begin() + 100))
+          .ok());
+  ASSERT_TRUE(db.AnalyzeSchema(nb::kTableName).ok());
+
+  std::thread loader([&] {
+    for (int i = 100; i < 200; i += 10) {
+      ASSERT_TRUE(db.LoadDocuments(
+                        nb::kTableName,
+                        std::vector<Value>(docs.begin() + i,
+                                           docs.begin() + i + 10))
+                      .ok());
+    }
+  });
+  std::thread mover([&] {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(db.MaterializeStep(nb::kTableName, 32).ok());
+    }
+  });
+  loader.join();
+  mover.join();
+  ASSERT_TRUE(db.MaterializeAll(nb::kTableName).ok());
+  EXPECT_EQ(db.Query("SELECT COUNT(*) FROM nobench_main")
+                ->rows[0][0]
+                .int_value(),
+            200);
+  EXPECT_TRUE(db.catalog()->DirtyAttributes(nb::kTableName).empty());
+}
+
+}  // namespace
+}  // namespace sinew

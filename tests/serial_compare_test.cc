@@ -1,0 +1,158 @@
+// Cross-format tests for the Appendix A comparators: all three serializers
+// must preserve document content; their size and access profiles must match
+// the mechanisms the paper attributes to them.
+
+#include <gtest/gtest.h>
+
+#include "serial/avrolike.h"
+#include "serial/protolike.h"
+#include "serial/sinew_serializer.h"
+#include "workloads/nobench/generator.h"
+#include "workloads/nobench/runners.h"
+
+namespace sinew::serial {
+namespace {
+
+namespace nb = workloads::nobench;
+
+std::vector<Value> Corpus() {
+  nb::Config config;
+  config.num_records = 256;
+  return nb::Generate(config);
+}
+
+std::vector<std::unique_ptr<DocumentSerializer>> AllFormats() {
+  std::vector<std::unique_ptr<DocumentSerializer>> out;
+  out.push_back(std::make_unique<SinewSerializer>());
+  out.push_back(std::make_unique<ProtoLikeSerializer>());
+  out.push_back(std::make_unique<AvroLikeSerializer>());
+  return out;
+}
+
+TEST(SerializerComparison, AllFormatsRoundTripNoBench) {
+  std::vector<Value> docs = Corpus();
+  for (auto& format : AllFormats()) {
+    SCOPED_TRACE(std::string(format->name()));
+    for (const Value& doc : docs) {
+      ASSERT_TRUE(format->ObserveSchema(doc).ok());
+    }
+    for (const Value& doc : docs) {
+      std::string blob;
+      ASSERT_TRUE(format->Serialize(doc, &blob).ok());
+      auto back = format->Deserialize(blob);
+      ASSERT_TRUE(back.ok()) << back.status().ToString();
+      // Member-by-member equality, order-insensitive.
+      EXPECT_EQ(nb::CanonicalizeDocument(*back).ToJson(),
+                nb::CanonicalizeDocument(doc).ToJson());
+    }
+  }
+}
+
+class ExtractAgreementTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExtractAgreementTest, AllFormatsAgreeOnExtraction) {
+  const char* key = GetParam();
+  std::vector<Value> docs = Corpus();
+  auto formats = AllFormats();
+  std::vector<std::vector<std::string>> blobs(formats.size());
+  for (size_t f = 0; f < formats.size(); ++f) {
+    for (const Value& doc : docs) {
+      ASSERT_TRUE(formats[f]->ObserveSchema(doc).ok());
+    }
+    for (const Value& doc : docs) {
+      std::string blob;
+      ASSERT_TRUE(formats[f]->Serialize(doc, &blob).ok());
+      blobs[f].push_back(std::move(blob));
+    }
+  }
+  for (size_t d = 0; d < docs.size(); ++d) {
+    const Value* expected = docs[d].Find(key);
+    for (size_t f = 0; f < formats.size(); ++f) {
+      auto v = formats[f]->Extract(blobs[f][d], key);
+      ASSERT_TRUE(v.ok()) << formats[f]->name();
+      if (expected == nullptr) {
+        EXPECT_TRUE(v->is_null()) << formats[f]->name() << " doc " << d;
+      } else if (!expected->is_object()) {
+        EXPECT_EQ(*v, *expected) << formats[f]->name() << " doc " << d;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoBenchKeys, ExtractAgreementTest,
+                         ::testing::Values("str1", "str2", "num", "bool",
+                                           "dyn1", "dyn2", "thousandth",
+                                           "sparse_110", "sparse_550",
+                                           "nested_arr", "does_not_exist"));
+
+TEST(SerializerComparison, AvroBloatsOnSparseSchemas) {
+  // The Avro mechanism: one union-branch byte per schema field per record,
+  // so 1000 sparse keys cost ~1KB per record even when absent.
+  std::vector<Value> docs = Corpus();
+  SinewSerializer sinew_format;
+  AvroLikeSerializer avro;
+  for (const Value& doc : docs) ASSERT_TRUE(avro.ObserveSchema(doc).ok());
+  EXPECT_GT(avro.top_level_field_count(), 500u);  // sparse keys accumulated
+  uint64_t sinew_bytes = 0, avro_bytes = 0;
+  for (const Value& doc : docs) {
+    std::string a, b;
+    ASSERT_TRUE(sinew_format.Serialize(doc, &a).ok());
+    ASSERT_TRUE(avro.Serialize(doc, &b).ok());
+    sinew_bytes += a.size();
+    avro_bytes += b.size();
+  }
+  EXPECT_GT(avro_bytes, sinew_bytes * 2) << "Avro should bloat dramatically";
+}
+
+TEST(SerializerComparison, ProtoLikePacksTighterThanSinew) {
+  // Varint packing: the ProtoLike format should be the smallest (Table 4).
+  std::vector<Value> docs = Corpus();
+  SinewSerializer sinew_format;
+  ProtoLikeSerializer proto;
+  uint64_t sinew_bytes = 0, proto_bytes = 0;
+  for (const Value& doc : docs) {
+    std::string a, b;
+    ASSERT_TRUE(sinew_format.Serialize(doc, &a).ok());
+    ASSERT_TRUE(proto.Serialize(doc, &b).ok());
+    sinew_bytes += a.size();
+    proto_bytes += b.size();
+  }
+  EXPECT_LT(proto_bytes, sinew_bytes);
+}
+
+TEST(SerializerComparison, AvroRequiresSchemaFirst) {
+  AvroLikeSerializer avro;
+  std::string blob;
+  Value doc = Value::Object({{"a", Value::Int(1)}});
+  EXPECT_FALSE(avro.Serialize(doc, &blob).ok());
+  ASSERT_TRUE(avro.ObserveSchema(doc).ok());
+  EXPECT_TRUE(avro.Serialize(doc, &blob).ok());
+}
+
+TEST(SerializerComparison, AvroRejectsUnknownTypeBranch) {
+  AvroLikeSerializer avro;
+  ASSERT_TRUE(avro.ObserveSchema(Value::Object({{"a", Value::Int(1)}})).ok());
+  std::string blob;
+  // 'a' was observed as int; writing a string is not in the union.
+  EXPECT_FALSE(
+      avro.Serialize(Value::Object({{"a", Value::String("x")}}), &blob).ok());
+}
+
+TEST(SerializerComparison, ProtoShortCircuitsMissingFields) {
+  // Behavioural check of the ascending-field-order property: extracting a
+  // key that was never interned returns Null quickly and correctly.
+  ProtoLikeSerializer proto;
+  std::string blob;
+  ASSERT_TRUE(
+      proto.Serialize(Value::Object({{"a", Value::Int(1)},
+                                     {"z", Value::Int(2)}}),
+                      &blob)
+          .ok());
+  auto v = proto.Extract(blob, "never_seen");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+}  // namespace
+}  // namespace sinew::serial

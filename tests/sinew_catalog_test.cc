@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "sinew/catalog.h"
+
+namespace sinew {
+namespace {
+
+TEST(AttributeCatalog, InternAssignsDenseStableIds) {
+  AttributeCatalog catalog;
+  uint32_t a = *catalog.Intern("url", ValueType::kString);
+  uint32_t b = *catalog.Intern("hits", ValueType::kInt);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  // Idempotent.
+  EXPECT_EQ(*catalog.Intern("url", ValueType::kString), a);
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+TEST(AttributeCatalog, AttributeIsKeyPlusType) {
+  AttributeCatalog catalog;
+  uint32_t s = *catalog.Intern("dyn", ValueType::kString);
+  uint32_t i = *catalog.Intern("dyn", ValueType::kInt);
+  EXPECT_NE(s, i);
+  EXPECT_EQ(*catalog.FindId("dyn", ValueType::kString), s);
+  EXPECT_EQ(*catalog.FindId("dyn", ValueType::kInt), i);
+  EXPECT_FALSE(catalog.FindId("dyn", ValueType::kBool).has_value());
+  auto all = catalog.FindAllTypes("dyn");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_LT(all[0].id, all[1].id);  // deterministic order
+}
+
+TEST(AttributeCatalog, LookupRoundTrip) {
+  AttributeCatalog catalog;
+  uint32_t id = *catalog.Intern("user.lang", ValueType::kString);
+  auto attr = catalog.Lookup(id);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->key, "user.lang");
+  EXPECT_EQ(attr->type, ValueType::kString);
+  EXPECT_FALSE(catalog.Lookup(999).ok());
+}
+
+TEST(AttributeCatalog, PerTableStateLifecycle) {
+  AttributeCatalog catalog;
+  catalog.RegisterTable("t");
+  EXPECT_TRUE(catalog.HasTable("t"));
+  EXPECT_FALSE(catalog.HasTable("u"));
+  uint32_t id = *catalog.Intern("k", ValueType::kInt);
+  catalog.AddOccurrences("t", id, 3);
+  catalog.AddOccurrences("t", id, 2);
+  auto state = catalog.GetState("t", id);
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->count, 5u);
+  EXPECT_FALSE(state->materialized);
+  EXPECT_FALSE(state->dirty);
+}
+
+TEST(AttributeCatalog, MaterializationFlipSetsDirty) {
+  AttributeCatalog catalog;
+  catalog.RegisterTable("t");
+  uint32_t id = *catalog.Intern("k", ValueType::kInt);
+  catalog.AddOccurrences("t", id, 1);
+  ASSERT_TRUE(catalog.SetMaterialized("t", id, true).ok());
+  auto state = catalog.GetState("t", id);
+  EXPECT_TRUE(state->materialized);
+  EXPECT_TRUE(state->dirty);  // movement pending
+  ASSERT_TRUE(catalog.SetDirty("t", id, false).ok());
+  EXPECT_FALSE(catalog.GetState("t", id)->dirty);
+  // Setting the same target again does NOT re-dirty.
+  ASSERT_TRUE(catalog.SetMaterialized("t", id, true).ok());
+  EXPECT_FALSE(catalog.GetState("t", id)->dirty);
+  // Flipping back marks dirty again (dematerialization pending).
+  ASSERT_TRUE(catalog.SetMaterialized("t", id, false).ok());
+  EXPECT_TRUE(catalog.GetState("t", id)->dirty);
+  EXPECT_EQ(catalog.DirtyAttributes("t"), std::vector<uint32_t>{id});
+}
+
+TEST(AttributeCatalog, UnknownTableOrAttributeErrors) {
+  AttributeCatalog catalog;
+  EXPECT_FALSE(catalog.SetMaterialized("missing", 0, true).ok());
+  catalog.RegisterTable("t");
+  EXPECT_FALSE(catalog.SetDirty("t", 42, true).ok());
+  EXPECT_FALSE(catalog.GetState("t", 42).has_value());
+  EXPECT_TRUE(catalog.TableAttributes("missing").empty());
+}
+
+TEST(AttributeCatalog, TableAttributesOrderedById) {
+  AttributeCatalog catalog;
+  catalog.RegisterTable("t");
+  for (const char* key : {"c", "a", "b"}) {
+    catalog.AddOccurrences("t", *catalog.Intern(key, ValueType::kInt), 1);
+  }
+  auto attrs = catalog.TableAttributes("t");
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_LT(attrs[0].attr_id, attrs[1].attr_id);
+  EXPECT_LT(attrs[1].attr_id, attrs[2].attr_id);
+}
+
+TEST(AttributeCatalog, MaintenanceLatchIsPerTableAndStable) {
+  AttributeCatalog catalog;
+  catalog.RegisterTable("a");
+  catalog.RegisterTable("b");
+  std::mutex& la = catalog.MaintenanceLatch("a");
+  std::mutex& lb = catalog.MaintenanceLatch("b");
+  EXPECT_NE(&la, &lb);
+  EXPECT_EQ(&la, &catalog.MaintenanceLatch("a"));
+  // Both lockable independently.
+  std::scoped_lock lock(la, lb);
+}
+
+}  // namespace
+}  // namespace sinew

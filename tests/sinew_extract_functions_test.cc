@@ -1,0 +1,197 @@
+// Direct tests of the Sinew UDFs (Sections 3.2.2 / 4.1): typed extraction,
+// chain extraction, reservoir functional updates, rendering.
+
+#include <gtest/gtest.h>
+
+#include "engine/udf.h"
+#include "json/json.h"
+#include "serial/sinew_format.h"
+#include "sinew/catalog.h"
+#include "sinew/extract_functions.h"
+
+namespace sinew {
+namespace {
+
+using engine::Datum;
+
+class ExtractFunctionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterSinewFunctions(&udfs_, &catalog_);
+    Value doc = *json::Parse(
+        R"({"url": "x.com", "hits": 22, "ok": true, "score": 1.5,
+            "user": {"id": 7, "geo": {"cc": "pl"}},
+            "tags": ["a", "b"]})");
+    auto blob = serial::SerializeDocument(doc, &catalog_);
+    ASSERT_TRUE(blob.ok());
+    data_ = Datum::Bytes(*blob);
+  }
+
+  Result<Datum> Call(const std::string& fn, std::vector<Datum> args) {
+    const engine::UdfFn* f = udfs_.Find(fn);
+    EXPECT_NE(f, nullptr) << fn;
+    engine::UdfArgs ptrs;
+    for (const Datum& a : args) ptrs.push_back(&a);
+    return (*f)(ptrs);
+  }
+
+  uint32_t Id(const std::string& key, ValueType type) {
+    return *catalog_.FindId(key, type);
+  }
+
+  AttributeCatalog catalog_;
+  engine::UdfRegistry udfs_;
+  Datum data_;
+};
+
+TEST_F(ExtractFunctionsTest, TypedExtractorsRespectTypes) {
+  EXPECT_EQ(Call("sinew_extract_text", {data_, Datum::Text("url")})->str(),
+            "x.com");
+  EXPECT_EQ(Call("sinew_extract_int", {data_, Datum::Text("hits")})
+                ->int_value(),
+            22);
+  EXPECT_TRUE(Call("sinew_extract_bool", {data_, Datum::Text("ok")})
+                  ->bool_value());
+  EXPECT_EQ(Call("sinew_extract_double", {data_, Datum::Text("score")})
+                ->double_value(),
+            1.5);
+  // Wrong type -> NULL, not an error (the multi-typed-key contract).
+  EXPECT_TRUE(Call("sinew_extract_int", {data_, Datum::Text("url")})
+                  ->is_null());
+  EXPECT_TRUE(Call("sinew_extract_text", {data_, Datum::Text("missing")})
+                  ->is_null());
+  // NULL data -> NULL.
+  EXPECT_TRUE(
+      Call("sinew_extract_text", {Datum::Null(), Datum::Text("url")})
+          ->is_null());
+}
+
+TEST_F(ExtractFunctionsTest, NumAndAnyExtractors) {
+  EXPECT_EQ(Call("sinew_extract_num", {data_, Datum::Text("hits")})
+                ->int_value(),
+            22);
+  EXPECT_EQ(Call("sinew_extract_num", {data_, Datum::Text("score")})
+                ->double_value(),
+            1.5);
+  EXPECT_TRUE(Call("sinew_extract_num", {data_, Datum::Text("url")})
+                  ->is_null());
+  // Any: natural type for scalars, JSON text for collections.
+  EXPECT_EQ(Call("sinew_extract_any", {data_, Datum::Text("hits")})
+                ->int_value(),
+            22);
+  EXPECT_EQ(Call("sinew_extract_any", {data_, Datum::Text("tags")})->str(),
+            R"(["a","b"])");
+  EXPECT_EQ(Call("sinew_extract_any", {data_, Datum::Text("user")})->str(),
+            R"({"id":7,"geo":{"cc":"pl"}})");
+}
+
+TEST_F(ExtractFunctionsTest, DeepNestedPaths) {
+  EXPECT_EQ(
+      Call("sinew_extract_text", {data_, Datum::Text("user.geo.cc")})->str(),
+      "pl");
+  EXPECT_EQ(Call("sinew_extract_int", {data_, Datum::Text("user.id")})
+                ->int_value(),
+            7);
+}
+
+TEST_F(ExtractFunctionsTest, ChainExtraction) {
+  // Chain ids resolved by hand: descend user -> user.geo -> user.geo.cc.
+  auto v = Call("sinew_extract_chain",
+                {data_, Datum::Int(static_cast<int64_t>(ValueType::kString)),
+                 Datum::Int(Id("user", ValueType::kObject)),
+                 Datum::Int(Id("user.geo", ValueType::kObject)),
+                 Datum::Int(Id("user.geo.cc", ValueType::kString))});
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->str(), "pl");
+  // Missing id along the chain -> NULL.
+  auto miss = Call("sinew_extract_chain",
+                   {data_, Datum::Int(static_cast<int64_t>(ValueType::kInt)),
+                    Datum::Int(99999)});
+  EXPECT_TRUE(miss->is_null());
+  // Bytes variant returns the raw nested document.
+  auto raw = Call("sinew_extract_chain_bytes",
+                  {data_, Datum::Int(static_cast<int64_t>(ValueType::kObject)),
+                   Datum::Int(Id("user", ValueType::kObject))});
+  ASSERT_TRUE(raw.ok());
+  EXPECT_TRUE(raw->is_bytes());
+  EXPECT_TRUE(serial::DocumentView(raw->str()).Validate().ok());
+}
+
+TEST_F(ExtractFunctionsTest, ArrayContains) {
+  EXPECT_TRUE(Call("sinew_array_contains",
+                   {data_, Datum::Text("tags"), Datum::Text("a")})
+                  ->bool_value());
+  EXPECT_FALSE(Call("sinew_array_contains",
+                    {data_, Datum::Text("tags"), Datum::Text("z")})
+                   ->bool_value());
+  auto chain = Call("sinew_array_contains_chain",
+                    {data_, Datum::Text("b"),
+                     Datum::Int(Id("tags", ValueType::kArray))});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->bool_value());
+}
+
+TEST_F(ExtractFunctionsTest, ReservoirSetReplaceAndTypeSwap) {
+  // Replace an int with an int.
+  auto updated = Call("sinew_reservoir_set",
+                      {data_, Datum::Text("hits"), Datum::Int(99)});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(Call("sinew_extract_int", {*updated, Datum::Text("hits")})
+                ->int_value(),
+            99);
+  // Swap the type: int attribute disappears, string appears.
+  auto swapped = Call("sinew_reservoir_set",
+                      {*updated, Datum::Text("hits"), Datum::Text("many")});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_TRUE(Call("sinew_extract_int", {*swapped, Datum::Text("hits")})
+                  ->is_null());
+  EXPECT_EQ(Call("sinew_extract_text", {*swapped, Datum::Text("hits")})
+                ->str(),
+            "many");
+  // Set NULL removes every typed variant.
+  auto cleared = Call("sinew_reservoir_set",
+                      {*swapped, Datum::Text("hits"), Datum::Null()});
+  EXPECT_TRUE(Call("sinew_extract_any", {*cleared, Datum::Text("hits")})
+                  ->is_null());
+  // Remove is equivalent for existing values.
+  auto removed =
+      Call("sinew_reservoir_remove", {data_, Datum::Text("url")});
+  EXPECT_TRUE(Call("sinew_extract_any", {*removed, Datum::Text("url")})
+                  ->is_null());
+  // Untouched keys survive every transformation.
+  EXPECT_TRUE(Call("sinew_extract_bool", {*removed, Datum::Text("ok")})
+                  ->bool_value());
+}
+
+TEST_F(ExtractFunctionsTest, ReservoirSetOnNullStartsEmptyDocument) {
+  auto fresh = Call("sinew_reservoir_set",
+                    {Datum::Null(), Datum::Text("k"), Datum::Int(1)});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(Call("sinew_extract_int", {*fresh, Datum::Text("k")})
+                ->int_value(),
+            1);
+}
+
+TEST_F(ExtractFunctionsTest, RenderFunctions) {
+  auto user_bytes = Call("sinew_extract_bytes", {data_, Datum::Text("user")});
+  ASSERT_TRUE(user_bytes->is_bytes());
+  EXPECT_EQ(Call("sinew_render_object", {*user_bytes})->str(),
+            R"({"id":7,"geo":{"cc":"pl"}})");
+  auto tags_bytes = Call("sinew_extract_bytes", {data_, Datum::Text("tags")});
+  EXPECT_EQ(Call("sinew_render_array", {*tags_bytes})->str(), R"(["a","b"])");
+  EXPECT_EQ(Call("sinew_reconstruct", {data_})->str(),
+            R"({"url":"x.com","hits":22,"ok":true,"score":1.5,)"
+            R"("user":{"id":7,"geo":{"cc":"pl"}},"tags":["a","b"]})");
+}
+
+TEST_F(ExtractFunctionsTest, ArgumentValidation) {
+  EXPECT_FALSE(Call("sinew_extract_text", {data_}).ok());
+  EXPECT_FALSE(
+      Call("sinew_extract_text", {Datum::Text("not bytes"), Datum::Text("k")})
+          .ok());
+  EXPECT_FALSE(Call("sinew_extract_chain", {data_, Datum::Int(2)}).ok());
+  EXPECT_FALSE(Call("sinew_render_object", {Datum::Int(1)}).ok());
+}
+
+}  // namespace
+}  // namespace sinew

@@ -1,0 +1,203 @@
+// Schema analyzer + column materializer tests (paper Sections 3.1.3/3.1.4),
+// including the invariant the design hinges on: queries are correct at every
+// intermediate point of an incremental materialization.
+
+#include <gtest/gtest.h>
+
+#include "engine/table.h"
+#include "workloads/nobench/generator.h"
+#include "workloads/nobench/runners.h"
+#include "sinew/sinew_db.h"
+
+namespace sinew {
+namespace {
+
+namespace nb = workloads::nobench;
+
+std::vector<Value> SmallNoBench(uint64_t n) {
+  nb::Config config;
+  config.num_records = n;
+  return nb::Generate(config);
+}
+
+TEST(SchemaAnalyzer, MaterializesExactlyThePaperSet) {
+  // Paper Section 6.1: thresholds 60% density / 200 cardinality materialize
+  // str1, num, nested_arr, nested_obj and thousandth; sparse keys, booleans
+  // and the dynamically typed keys stay virtual.
+  SinewDb db;
+  ASSERT_TRUE(db.LoadDocuments(nb::kTableName, SmallNoBench(2000)).ok());
+  auto decisions = db.AnalyzeSchema(nb::kTableName);
+  ASSERT_TRUE(decisions.ok());
+  std::set<std::string> materialized;
+  for (const auto& d : *decisions) {
+    if (d.materialize) materialized.insert(d.key);
+  }
+  EXPECT_EQ(materialized,
+            (std::set<std::string>{"str1", "num", "nested_arr", "nested_obj",
+                                   "thousandth"}));
+}
+
+TEST(SchemaAnalyzer, MultiTypedKeysStayVirtual) {
+  SinewDb db;
+  ASSERT_TRUE(db.LoadDocuments(nb::kTableName, SmallNoBench(2000)).ok());
+  auto decisions = db.AnalyzeSchema(nb::kTableName);
+  for (const auto& d : *decisions) {
+    if (d.key == "dyn1" || d.key == "dyn2") {
+      EXPECT_TRUE(d.multi_typed) << d.key;
+      EXPECT_FALSE(d.materialize) << d.key;
+    }
+  }
+}
+
+TEST(SchemaAnalyzer, DematerializesWhenDensityDrops) {
+  SinewDb db;
+  // 'fading' is dense at first...
+  std::vector<Value> dense;
+  for (int i = 0; i < 300; ++i) {
+    Value doc = Value::Object({});
+    doc.Set("fading", Value::String("v" + std::to_string(i)));
+    dense.push_back(std::move(doc));
+  }
+  ASSERT_TRUE(db.LoadDocuments("t", dense).ok());
+  ASSERT_TRUE(db.AnalyzeAndMaterialize("t").ok());
+  uint32_t id = *db.catalog()->FindId("fading", ValueType::kString);
+  EXPECT_TRUE(db.catalog()->GetState("t", id)->materialized);
+
+  // ...then a flood of documents without it drops density below threshold.
+  std::vector<Value> sparse;
+  for (int i = 0; i < 1500; ++i) {
+    Value doc = Value::Object({});
+    doc.Set("other", Value::Int(i));
+    sparse.push_back(std::move(doc));
+  }
+  ASSERT_TRUE(db.LoadDocuments("t", sparse).ok());
+  ASSERT_TRUE(db.AnalyzeAndMaterialize("t").ok());
+  EXPECT_FALSE(db.catalog()->GetState("t", id)->materialized);
+  // The column is gone from the engine schema...
+  auto table = db.engine()->catalog()->GetTable("t");
+  EXPECT_FALSE((*table)->schema().FindColumn("fading").has_value());
+  // ...but the data still answers queries (back in the reservoir).
+  EXPECT_EQ(db.Query("SELECT fading FROM t WHERE fading = 'v7'")->rows.size(),
+            1u);
+}
+
+TEST(Materializer, QueriesCorrectAtEveryIncrement) {
+  SinewDb db;
+  ASSERT_TRUE(db.LoadDocuments(nb::kTableName, SmallNoBench(512)).ok());
+  ASSERT_TRUE(db.AnalyzeSchema(nb::kTableName).ok());
+
+  const std::string sql =
+      "SELECT COUNT(*) FROM nobench_main WHERE num BETWEEN 10 AND 200";
+  int64_t expected = db.Query(sql)->rows[0][0].int_value();
+  ASSERT_GT(expected, 0);
+
+  // Step the materializer in small increments; the answer never changes.
+  int steps = 0;
+  while (true) {
+    auto examined = db.MaterializeStep(nb::kTableName, 64);
+    ASSERT_TRUE(examined.ok());
+    if (*examined == 0) break;
+    ++steps;
+    EXPECT_EQ(db.Query(sql)->rows[0][0].int_value(), expected)
+        << "after step " << steps;
+  }
+  EXPECT_GT(steps, 3);  // actually incremental
+  EXPECT_TRUE(db.catalog()->DirtyAttributes(nb::kTableName).empty());
+  EXPECT_EQ(db.Query(sql)->rows[0][0].int_value(), expected);
+}
+
+TEST(Materializer, MovesValuesOutOfReservoirForTopLevelAttrs) {
+  SinewDb db;
+  ASSERT_TRUE(db.LoadJsonLines("t", R"(
+{"a": 1, "b": "keep"}
+{"a": 2, "b": "keep2"}
+)")
+                  .ok());
+  ASSERT_TRUE(db.ForceMaterialization("t", "a", true).ok());
+  ASSERT_TRUE(db.MaterializeAll("t").ok());
+  // 'a' now lives in a physical column and is gone from the reservoir.
+  auto table = db.engine()->catalog()->GetTable("t");
+  ASSERT_TRUE((*table)->schema().FindColumn("a").has_value());
+  auto recon = db.Query("SELECT sinew_reconstruct(_data) FROM t");
+  for (const auto& row : recon->rows) {
+    EXPECT_EQ(row[0].str().find("\"a\""), std::string::npos);
+    EXPECT_NE(row[0].str().find("\"b\""), std::string::npos);
+  }
+  // Both columns still queryable.
+  EXPECT_EQ(db.Query("SELECT b FROM t WHERE a = 2")->rows[0][0].str(),
+            "keep2");
+}
+
+TEST(Materializer, NestedChildAndParentBothMaterializable) {
+  // Regression test: materializing "user" (object) and "user.id" together
+  // must leave "user.id" fully populated (the child is found through the
+  // nested descent or the already-moved parent column).
+  SinewDb db;
+  std::vector<Value> docs;
+  for (int i = 0; i < 50; ++i) {
+    Value user = Value::Object({});
+    user.Set("id", Value::Int(i));
+    user.Set("name", Value::String("u" + std::to_string(i)));
+    Value doc = Value::Object({});
+    doc.Set("user", std::move(user));
+    docs.push_back(std::move(doc));
+  }
+  ASSERT_TRUE(db.LoadDocuments("t", docs).ok());
+  ASSERT_TRUE(db.ForceMaterialization("t", "user", true).ok());
+  ASSERT_TRUE(db.ForceMaterialization("t", "user.id", true).ok());
+  ASSERT_TRUE(db.MaterializeAll("t").ok());
+  auto stats = (*db.engine()->catalog()->GetTable("t"))->GetStats();
+  const engine::ColumnStats* id_stats = stats.Find("user.id");
+  ASSERT_NE(id_stats, nullptr);
+  EXPECT_EQ(id_stats->non_null_count, 50u);
+  EXPECT_EQ(id_stats->ndistinct, 50);
+  // Both access paths agree.
+  EXPECT_EQ(db.Query("SELECT \"user.name\" FROM t WHERE \"user.id\" = 7")
+                ->rows[0][0]
+                .str(),
+            "u7");
+}
+
+TEST(Materializer, StepReturnsZeroWhenClean) {
+  SinewDb db;
+  ASSERT_TRUE(db.LoadJsonLines("t", R"({"a": 1})").ok());
+  auto examined = db.MaterializeStep("t", 100);
+  ASSERT_TRUE(examined.ok());
+  EXPECT_EQ(*examined, 0u);
+}
+
+TEST(Materializer, RunsRefreshEngineStatistics) {
+  SinewDb db;
+  ASSERT_TRUE(db.LoadDocuments(nb::kTableName, SmallNoBench(400)).ok());
+  ASSERT_TRUE(db.AnalyzeAndMaterialize(nb::kTableName).ok());
+  auto stats =
+      (*db.engine()->catalog()->GetTable(nb::kTableName))->GetStats();
+  EXPECT_TRUE(stats.analyzed);
+  const engine::ColumnStats* num = stats.Find("num");
+  ASSERT_NE(num, nullptr);
+  EXPECT_GT(num->ndistinct, 100);
+}
+
+TEST(BackgroundMaintenance, ConvergesWithoutExplicitCalls) {
+  SinewDb db;
+  ASSERT_TRUE(db.LoadDocuments(nb::kTableName, SmallNoBench(300)).ok());
+  db.StartBackgroundMaintenance(std::chrono::milliseconds(5));
+  // Wait for the analyzer+materializer to converge in the background while
+  // foreground queries keep running.
+  const std::string sql = "SELECT COUNT(*) FROM nobench_main";
+  int64_t expected = db.Query(sql)->rows[0][0].int_value();
+  bool materialized = false;
+  for (int i = 0; i < 400 && !materialized; ++i) {
+    EXPECT_EQ(db.Query(sql)->rows[0][0].int_value(), expected);
+    auto table = db.engine()->catalog()->GetTable(nb::kTableName);
+    materialized = (*table)->schema().FindColumn("str1").has_value() &&
+                   db.catalog()->DirtyAttributes(nb::kTableName).empty();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  db.StopBackgroundMaintenance();
+  EXPECT_TRUE(materialized) << "background maintenance did not converge";
+  EXPECT_EQ(db.Query(sql)->rows[0][0].int_value(), expected);
+}
+
+}  // namespace
+}  // namespace sinew

@@ -1,0 +1,186 @@
+// End-to-end behaviour of the full Sinew stack through the public API.
+
+#include <gtest/gtest.h>
+
+#include "sinew/sinew_db.h"
+
+namespace sinew {
+namespace {
+
+class SinewQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.LoadJsonLines("logs", R"(
+{"url": "a.com", "hits": 22, "avg_visit": 128.5, "country": "pl"}
+{"url": "b.com", "hits": 15, "date": "8/19/13", "ip": "1.1.1.1", "owner": "John P. Smith"}
+{"url": "c.com", "hits": 7, "country": "pl", "owner": "Ann"}
+{"url": "d.com", "hits": 41, "country": "de", "tags": ["alpha", "beta"]}
+{"url": "e.com", "hits": 22, "dyn": 5}
+{"url": "f.com", "hits": 3, "dyn": "five"}
+)")
+                    .ok());
+  }
+
+  engine::QueryResult Q(const std::string& sql) {
+    auto result = db_.Query(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? std::move(*result) : engine::QueryResult{};
+  }
+
+  SinewDb db_;
+};
+
+TEST_F(SinewQueryTest, PaperExampleQueries) {
+  // Section 3.1.1: the universal-relation query.
+  auto r = Q("SELECT url FROM logs WHERE hits > 20");
+  EXPECT_EQ(r.rows.size(), 3u);
+  // Section 3.2.2: virtual projection + IS NOT NULL.
+  auto r2 = Q("SELECT url, owner FROM logs WHERE ip IS NOT NULL");
+  ASSERT_EQ(r2.rows.size(), 1u);
+  EXPECT_EQ(r2.rows[0][1].str(), "John P. Smith");
+}
+
+TEST_F(SinewQueryTest, MultiTypedKeySemantics) {
+  // Numeric context matches only the int-typed rows (never errors).
+  EXPECT_EQ(Q("SELECT url FROM logs WHERE dyn BETWEEN 1 AND 9").rows.size(),
+            1u);
+  // Text context matches only string-typed rows.
+  EXPECT_EQ(Q("SELECT url FROM logs WHERE dyn = 'five'").rows.size(), 1u);
+  // Projection returns each row's natural type.
+  auto r = Q("SELECT dyn FROM logs WHERE dyn IS NOT NULL ORDER BY url");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_TRUE(r.rows[0][0].is_int());
+  EXPECT_TRUE(r.rows[1][0].is_text());
+}
+
+TEST_F(SinewQueryTest, AggregationOverVirtualColumns) {
+  auto r = Q("SELECT country, COUNT(*) c FROM logs "
+             "WHERE country IS NOT NULL GROUP BY country ORDER BY c DESC");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].str(), "pl");
+  EXPECT_EQ(r.rows[0][1].int_value(), 2);
+  auto sums = Q("SELECT SUM(hits), AVG(hits) FROM logs");
+  EXPECT_EQ(sums.rows[0][0].int_value(), 110);
+}
+
+TEST_F(SinewQueryTest, SelfJoinOnVirtualColumns) {
+  auto r = Q("SELECT a.url, b.url FROM logs a, logs b "
+             "WHERE a.hits = b.hits AND a.url < b.url");
+  ASSERT_EQ(r.rows.size(), 1u);  // a.com and e.com both have 22
+  EXPECT_EQ(r.rows[0][0].str(), "a.com");
+  EXPECT_EQ(r.rows[0][1].str(), "e.com");
+}
+
+TEST_F(SinewQueryTest, UpdateVirtualColumnAndReadBack) {
+  auto updated = Q("UPDATE logs SET owner = 'DUMMY' WHERE country = 'pl'");
+  EXPECT_EQ(updated.rows[0][0].int_value(), 2);
+  EXPECT_EQ(Q("SELECT url FROM logs WHERE owner = 'DUMMY'").rows.size(), 2u);
+  // The update changed types nowhere; other owners untouched.
+  EXPECT_EQ(Q("SELECT url FROM logs WHERE owner = 'John P. Smith'")
+                .rows.size(),
+            1u);
+}
+
+TEST_F(SinewQueryTest, UpdateCreatesNewAttribute) {
+  // Setting a key never seen before extends the logical schema.
+  (void)Q("UPDATE logs SET reviewed = 'yes' WHERE hits > 20");
+  EXPECT_EQ(Q("SELECT url FROM logs WHERE reviewed = 'yes'").rows.size(), 3u);
+  auto schema = db_.LogicalSchema("logs");
+  bool found = false;
+  for (const auto& col : *schema) found |= col.name == "reviewed";
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SinewQueryTest, UpdateTypeChangeReplacesAttribute) {
+  (void)Q("UPDATE logs SET dyn = 'now text' WHERE url = 'e.com'");
+  // e.com's dyn was int 5; now it is text.
+  EXPECT_EQ(Q("SELECT url FROM logs WHERE dyn BETWEEN 1 AND 9").rows.size(),
+            0u);
+  EXPECT_EQ(Q("SELECT url FROM logs WHERE dyn = 'now text'").rows.size(), 1u);
+}
+
+TEST_F(SinewQueryTest, UpdatePhysicalColumnWhileDirty) {
+  ASSERT_TRUE(db_.ForceMaterialization("logs", "hits", true).ok());
+  (void)db_.MaterializeStep("logs", 3);  // partially materialized -> dirty
+  auto updated = Q("UPDATE logs SET hits = 100 WHERE url = 'f.com'");
+  EXPECT_EQ(updated.rows[0][0].int_value(), 1);
+  EXPECT_EQ(Q("SELECT hits FROM logs WHERE url = 'f.com'")
+                .rows[0][0]
+                .int_value(),
+            100);
+  ASSERT_TRUE(db_.MaterializeAll("logs").ok());
+  EXPECT_EQ(Q("SELECT hits FROM logs WHERE url = 'f.com'")
+                .rows[0][0]
+                .int_value(),
+            100);
+}
+
+TEST_F(SinewQueryTest, DeleteThroughLogicalSchema) {
+  auto deleted = Q("DELETE FROM logs WHERE country = 'de'");
+  EXPECT_EQ(deleted.rows[0][0].int_value(), 1);
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM logs").rows[0][0].int_value(), 5);
+}
+
+TEST_F(SinewQueryTest, TextSearchIntegration) {
+  ASSERT_TRUE(db_.EnableTextIndex("logs").ok());
+  // Field-scoped search.
+  auto r = Q("SELECT url FROM logs WHERE matches('owner', 'smith')");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].str(), "b.com");
+  // '*' searches every field, combined with a relational predicate.
+  auto r2 = Q("SELECT url FROM logs WHERE matches('*', 'pl') AND hits < 10");
+  ASSERT_EQ(r2.rows.size(), 1u);
+  EXPECT_EQ(r2.rows[0][0].str(), "c.com");
+  // No hits -> empty result, not an error.
+  EXPECT_EQ(Q("SELECT url FROM logs WHERE matches('*', 'zzzzz')").rows.size(),
+            0u);
+}
+
+TEST_F(SinewQueryTest, TextIndexCoversMaterializedArraysAndObjects) {
+  // Regression: EnableTextIndex must decode materialized BYTES columns per
+  // their catalog type (array vs object), not assume every blob is a
+  // document.
+  ASSERT_TRUE(db_.ForceMaterialization("logs", "tags", true).ok());
+  ASSERT_TRUE(db_.MaterializeAll("logs").ok());
+  ASSERT_TRUE(db_.EnableTextIndex("logs").ok());
+  auto r = db_.Query("SELECT url FROM logs WHERE matches('tags', 'alpha')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].str(), "d.com");
+}
+
+TEST_F(SinewQueryTest, ExplainShowsRewrittenPlan) {
+  auto plan = db_.Explain("SELECT owner FROM logs WHERE hits > 20");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("sinew_extract_chain"), std::string::npos);
+  EXPECT_NE(plan->find("Seq Scan on logs"), std::string::npos);
+}
+
+TEST_F(SinewQueryTest, ResultsInvariantUnderMaterialization) {
+  // The defining property of the hybrid schema: any physical design returns
+  // the same logical answers.
+  const char* queries[] = {
+      "SELECT url FROM logs WHERE hits > 20 ORDER BY url",
+      "SELECT country, COUNT(*) FROM logs GROUP BY country ORDER BY country",
+      "SELECT owner FROM logs WHERE owner IS NOT NULL ORDER BY owner",
+  };
+  std::vector<std::string> before;
+  for (const char* sql : queries) {
+    std::string rows;
+    for (const auto& row : Q(sql).rows) {
+      for (const auto& cell : row) rows += cell.ToString() + "|";
+    }
+    before.push_back(rows);
+  }
+  ASSERT_TRUE(db_.AnalyzeAndMaterialize("logs").ok());
+  for (size_t i = 0; i < 3; ++i) {
+    std::string rows;
+    for (const auto& row : Q(queries[i]).rows) {
+      for (const auto& cell : row) rows += cell.ToString() + "|";
+    }
+    EXPECT_EQ(rows, before[i]) << queries[i];
+  }
+}
+
+}  // namespace
+}  // namespace sinew

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "textindex/inverted_index.h"
+
+namespace sinew::textindex {
+namespace {
+
+TEST(Tokenizer, SplitsLowercasesAndKeepsUnderscores) {
+  EXPECT_EQ(Tokenize("Hello, World! foo_bar x2"),
+            (std::vector<std::string>{"hello", "world", "foo_bar", "x2"}));
+  EXPECT_TRUE(Tokenize("  ,.;  ").empty());
+  EXPECT_EQ(Tokenize("one"), std::vector<std::string>{"one"});
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_.AddText(0, "title", "Sinew design notes");
+    index_.AddText(0, "body", "hybrid schema reservoir");
+    index_.AddText(1, "title", "Query rewriting design");
+    index_.AddText(1, "body", "virtual columns become functions");
+    index_.AddText(2, "body", "grocery list coffee");
+    index_.AddNumber(0, "stars", 12);
+    index_.AddNumber(1, "stars", 31);
+    index_.AddNumber(2, "stars", 1);
+  }
+  InvertedIndex index_;
+};
+
+TEST_F(IndexTest, TermSearchByField) {
+  EXPECT_EQ(index_.SearchTerm("title", "design"),
+            (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(index_.SearchTerm("body", "design"), std::vector<uint64_t>{});
+  EXPECT_EQ(index_.SearchTerm("body", "coffee"), std::vector<uint64_t>{2});
+  // Case-insensitive.
+  EXPECT_EQ(index_.SearchTerm("title", "DESIGN"),
+            (std::vector<uint64_t>{0, 1}));
+}
+
+TEST_F(IndexTest, WildcardFieldSearchesEverything) {
+  EXPECT_EQ(index_.SearchTerm("*", "design"), (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(index_.SearchTerm("*", "reservoir"), std::vector<uint64_t>{0});
+}
+
+TEST_F(IndexTest, ConjunctiveSearch) {
+  EXPECT_EQ(index_.SearchAll("title", "design sinew"),
+            std::vector<uint64_t>{0});
+  EXPECT_EQ(index_.SearchAll("title", "design query"),
+            std::vector<uint64_t>{1});
+  EXPECT_TRUE(index_.SearchAll("title", "design missing").empty());
+  EXPECT_TRUE(index_.SearchAll("title", "").empty());
+}
+
+TEST_F(IndexTest, PrefixSearch) {
+  EXPECT_EQ(index_.SearchPrefix("body", "res"), std::vector<uint64_t>{0});
+  EXPECT_EQ(index_.SearchPrefix("*", "des"), (std::vector<uint64_t>{0, 1}));
+  EXPECT_TRUE(index_.SearchPrefix("body", "zzz").empty());
+}
+
+TEST_F(IndexTest, NumericRange) {
+  EXPECT_EQ(index_.SearchNumericRange("stars", 10, 40),
+            (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(index_.SearchNumericRange("stars", 0, 5),
+            std::vector<uint64_t>{2});
+  EXPECT_TRUE(index_.SearchNumericRange("stars", 100, 200).empty());
+  EXPECT_TRUE(index_.SearchNumericRange("missing", 0, 100).empty());
+  // Exact numeric value is also findable as a term.
+  EXPECT_EQ(index_.SearchTerm("stars", "12.0"), std::vector<uint64_t>{0});
+}
+
+TEST_F(IndexTest, RemoveDocument) {
+  index_.RemoveDocument(0);
+  EXPECT_EQ(index_.SearchTerm("title", "design"), std::vector<uint64_t>{1});
+  EXPECT_TRUE(index_.SearchTerm("body", "reservoir").empty());
+  EXPECT_TRUE(index_.SearchNumericRange("stars", 10, 15).empty());
+  // Idempotent.
+  index_.RemoveDocument(0);
+  index_.RemoveDocument(99);
+  EXPECT_EQ(index_.SearchTerm("title", "design"), std::vector<uint64_t>{1});
+}
+
+TEST_F(IndexTest, PostingsAreSortedAndDeduped) {
+  index_.AddText(5, "t", "dup dup dup");
+  index_.AddText(3, "t", "dup");
+  EXPECT_EQ(index_.SearchTerm("t", "dup"), (std::vector<uint64_t>{3, 5}));
+}
+
+}  // namespace
+}  // namespace sinew::textindex

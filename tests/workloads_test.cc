@@ -1,0 +1,202 @@
+// Workload generator properties: the statistical shape the benchmarks rely
+// on (NoBench record structure, sparse-key distribution, parameter hit
+// guarantees; Twitter document shape).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "json/json.h"
+#include "sinew/sinew_db.h"
+#include "workloads/nobench/generator.h"
+#include "workloads/nobench/runners.h"
+#include "workloads/twitter/twitter.h"
+
+namespace sinew::workloads {
+namespace {
+
+TEST(NoBenchGenerator, DeterministicInIndexAndSeed) {
+  nobench::Config config;
+  config.num_records = 100;
+  EXPECT_EQ(nobench::GenerateRecord(config, 7),
+            nobench::GenerateRecord(config, 7));
+  EXPECT_NE(nobench::GenerateRecord(config, 7),
+            nobench::GenerateRecord(config, 8));
+  nobench::Config other = config;
+  other.seed = 43;
+  EXPECT_NE(nobench::GenerateRecord(config, 7),
+            nobench::GenerateRecord(other, 7));
+}
+
+TEST(NoBenchGenerator, RecordShape) {
+  nobench::Config config;
+  config.num_records = 1000;
+  Value doc = nobench::GenerateRecord(config, 123);
+  EXPECT_TRUE(doc.Find("str1")->is_string());
+  EXPECT_TRUE(doc.Find("str2")->is_string());
+  EXPECT_TRUE(doc.Find("num")->is_int());
+  EXPECT_TRUE(doc.Find("bool")->is_bool());
+  ASSERT_NE(doc.Find("dyn1"), nullptr);
+  ASSERT_NE(doc.Find("dyn2"), nullptr);
+  const Value* nested = doc.Find("nested_obj");
+  ASSERT_TRUE(nested->is_object());
+  EXPECT_EQ(*nested->Find("str"), *doc.Find("str1"));
+  EXPECT_EQ(*nested->Find("num"), *doc.Find("num"));
+  EXPECT_TRUE(doc.Find("nested_arr")->is_array());
+  EXPECT_EQ(doc.Find("thousandth")->int_value(),
+            doc.Find("num")->int_value() % 1000);
+  // Sparse keys: exactly 10, from group 123 % 100 = 23.
+  int sparse = 0;
+  for (const auto& [key, value] : doc.members()) {
+    (void)value;
+    if (key.rfind("sparse_", 0) == 0) {
+      ++sparse;
+      int idx = std::stoi(key.substr(7));
+      EXPECT_GE(idx, 230);
+      EXPECT_LE(idx, 239);
+    }
+  }
+  EXPECT_EQ(sparse, 10);
+}
+
+TEST(NoBenchGenerator, SparseKeyDensityIsAboutOnePercent) {
+  nobench::Config config;
+  config.num_records = 2000;
+  std::vector<Value> docs = nobench::Generate(config);
+  int with_110 = 0;
+  for (const Value& doc : docs) {
+    if (doc.Find("sparse_110") != nullptr) ++with_110;
+  }
+  // Group 11 of 100 groups -> 1% density (exactly 20 of 2000).
+  EXPECT_EQ(with_110, 20);
+}
+
+TEST(NoBenchGenerator, DynTypesAreMixed) {
+  nobench::Config config;
+  config.num_records = 2000;
+  std::vector<Value> docs = nobench::Generate(config);
+  int ints = 0, strings = 0, bools = 0;
+  for (const Value& doc : docs) {
+    const Value* dyn = doc.Find("dyn1");
+    ints += dyn->is_int();
+    strings += dyn->is_string();
+    bools += dyn->is_bool();
+  }
+  EXPECT_NEAR(ints, 1000, 120);
+  EXPECT_NEAR(strings, 900, 120);
+  EXPECT_GT(bools, 30);
+}
+
+TEST(NoBenchGenerator, QueryParamsAreGuaranteedHits) {
+  nobench::Config config;
+  config.num_records = 500;
+  std::vector<Value> docs = nobench::Generate(config);
+  nobench::QueryParams p = nobench::MakeQueryParams(config);
+  auto count_matching = [&](auto&& pred) {
+    int n = 0;
+    for (const Value& doc : docs) n += pred(doc) ? 1 : 0;
+    return n;
+  };
+  EXPECT_GT(count_matching([&](const Value& d) {
+    const Value* v = d.Find("str1");
+    return v != nullptr && v->string_value() == p.q5_str1;
+  }),
+            0);
+  EXPECT_GT(count_matching([&](const Value& d) {
+    const Value* v = d.Find("sparse_110");
+    return v != nullptr && v->string_value() == p.q9_value;
+  }),
+            0);
+  EXPECT_GT(count_matching([&](const Value& d) {
+    const Value* v = d.Find("sparse_589");
+    return v != nullptr && v->string_value() == p.q12_match_value;
+  }),
+            0);
+  EXPECT_GT(count_matching([&](const Value& d) {
+    const Value* arr = d.Find("nested_arr");
+    if (arr == nullptr) return false;
+    for (const Value& e : arr->array()) {
+      if (e.string_value() == p.q8_arr_value) return true;
+    }
+    return false;
+  }),
+            0);
+}
+
+TEST(NoBenchRunners, CanonicalizationRules) {
+  using nobench::CanonicalizeDocument;
+  // Ints normalize to doubles; nested objects flatten; nulls drop; empty
+  // arrays drop; single-element arrays unwrap; keys sort.
+  Value doc = *json::Parse(
+      R"({"z": 1, "a": {"b": 2}, "gone": null, "e": [], "one": [5], "m": [1, 2]})");
+  EXPECT_EQ(CanonicalizeDocument(doc).ToJson(),
+            R"({"a.b":2.0,"m":[1.0,2.0],"one":5.0,"z":1.0})");
+}
+
+TEST(TwitterGenerator, ShapeAndDeterminism) {
+  twitter::Config config;
+  config.num_tweets = 500;
+  config.num_deletes = 100;
+  EXPECT_EQ(twitter::GenerateTweet(config, 3),
+            twitter::GenerateTweet(config, 3));
+  Value tweet = twitter::GenerateTweet(config, 3);
+  EXPECT_TRUE(tweet.Find("id_str")->is_string());
+  EXPECT_TRUE(tweet.Find("retweet_count")->is_int());
+  const Value* user = tweet.Find("user");
+  ASSERT_TRUE(user->is_object());
+  EXPECT_TRUE(user->Find("screen_name")->is_string());
+  EXPECT_TRUE(user->Find("lang")->is_string());
+
+  Value del = twitter::GenerateDelete(config, 3);
+  EXPECT_TRUE(
+      del.Find("delete")->Find("status")->Find("id_str")->is_string());
+}
+
+TEST(TwitterGenerator, SparsityBands) {
+  twitter::Config config;
+  config.num_tweets = 4000;
+  std::vector<Value> tweets = twitter::GenerateTweets(config);
+  int replies = 0, entities = 0, source = 0;
+  for (const Value& t : tweets) {
+    replies += t.Find("in_reply_to_screen_name") != nullptr;
+    entities += t.Find("entities") != nullptr;
+    source += t.Find("source") != nullptr;
+  }
+  double n = static_cast<double>(tweets.size());
+  EXPECT_NEAR(replies / n, 0.25, 0.05);
+  EXPECT_NEAR(entities / n, 0.40, 0.05);
+  EXPECT_NEAR(source / n, 0.05, 0.02);
+}
+
+TEST(TwitterGenerator, DeletesReferenceRealTweets) {
+  twitter::Config config;
+  config.num_tweets = 200;
+  config.num_deletes = 50;
+  std::set<std::string> tweet_ids;
+  for (const Value& t : twitter::GenerateTweets(config)) {
+    tweet_ids.insert(t.Find("id_str")->string_value());
+  }
+  for (const Value& d : twitter::GenerateDeletes(config)) {
+    EXPECT_TRUE(tweet_ids.count(d.Find("delete")
+                                    ->Find("status")
+                                    ->Find("id_str")
+                                    ->string_value()) != 0);
+  }
+}
+
+TEST(Table1Queries, AllParseAndRunOnSinew) {
+  twitter::Config config;
+  config.num_tweets = 300;
+  config.num_deletes = 60;
+  SinewDb db;
+  ASSERT_TRUE(db.LoadDocuments("tweets", twitter::GenerateTweets(config)).ok());
+  ASSERT_TRUE(
+      db.LoadDocuments("deletes", twitter::GenerateDeletes(config)).ok());
+  for (const std::string& sql : twitter::Table1Queries()) {
+    auto result = db.Query(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace sinew::workloads
