@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dirty_coalesce"
+  "../bench/bench_ablation_dirty_coalesce.pdb"
+  "CMakeFiles/bench_ablation_dirty_coalesce.dir/bench_ablation_dirty_coalesce.cc.o"
+  "CMakeFiles/bench_ablation_dirty_coalesce.dir/bench_ablation_dirty_coalesce.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dirty_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

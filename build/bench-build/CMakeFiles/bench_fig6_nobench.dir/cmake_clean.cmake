@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_nobench"
+  "../bench/bench_fig6_nobench.pdb"
+  "CMakeFiles/bench_fig6_nobench.dir/bench_fig6_nobench.cc.o"
+  "CMakeFiles/bench_fig6_nobench.dir/bench_fig6_nobench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_nobench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_serial"
+  "../bench/bench_micro_serial.pdb"
+  "CMakeFiles/bench_micro_serial.dir/bench_micro_serial.cc.o"
+  "CMakeFiles/bench_micro_serial.dir/bench_micro_serial.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

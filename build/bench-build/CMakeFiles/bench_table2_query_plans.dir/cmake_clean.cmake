@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_query_plans"
+  "../bench/bench_table2_query_plans.pdb"
+  "CMakeFiles/bench_table2_query_plans.dir/bench_table2_query_plans.cc.o"
+  "CMakeFiles/bench_table2_query_plans.dir/bench_table2_query_plans.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_query_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_serialization"
+  "../bench/bench_table4_serialization.pdb"
+  "CMakeFiles/bench_table4_serialization.dir/bench_table4_serialization.cc.o"
+  "CMakeFiles/bench_table4_serialization.dir/bench_table4_serialization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

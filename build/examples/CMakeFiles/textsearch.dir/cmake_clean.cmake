@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textsearch.dir/textsearch.cpp.o"
+  "CMakeFiles/textsearch.dir/textsearch.cpp.o.d"
+  "textsearch"
+  "textsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_analytics.dir/twitter_analytics.cpp.o"
+  "CMakeFiles/twitter_analytics.dir/twitter_analytics.cpp.o.d"
+  "twitter_analytics"
+  "twitter_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webrequests.dir/webrequests.cpp.o"
+  "CMakeFiles/webrequests.dir/webrequests.cpp.o.d"
+  "webrequests"
+  "webrequests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webrequests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/docstore/bson.cc" "src/baselines/CMakeFiles/sinew_baselines.dir/docstore/bson.cc.o" "gcc" "src/baselines/CMakeFiles/sinew_baselines.dir/docstore/bson.cc.o.d"
+  "/root/repo/src/baselines/docstore/collection.cc" "src/baselines/CMakeFiles/sinew_baselines.dir/docstore/collection.cc.o" "gcc" "src/baselines/CMakeFiles/sinew_baselines.dir/docstore/collection.cc.o.d"
+  "/root/repo/src/baselines/eav/eav_store.cc" "src/baselines/CMakeFiles/sinew_baselines.dir/eav/eav_store.cc.o" "gcc" "src/baselines/CMakeFiles/sinew_baselines.dir/eav/eav_store.cc.o.d"
+  "/root/repo/src/baselines/jsontext/jsontext_db.cc" "src/baselines/CMakeFiles/sinew_baselines.dir/jsontext/jsontext_db.cc.o" "gcc" "src/baselines/CMakeFiles/sinew_baselines.dir/jsontext/jsontext_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/sinew_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/sinew_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sinew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

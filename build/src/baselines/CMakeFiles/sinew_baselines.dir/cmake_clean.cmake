@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_baselines.dir/docstore/bson.cc.o"
+  "CMakeFiles/sinew_baselines.dir/docstore/bson.cc.o.d"
+  "CMakeFiles/sinew_baselines.dir/docstore/collection.cc.o"
+  "CMakeFiles/sinew_baselines.dir/docstore/collection.cc.o.d"
+  "CMakeFiles/sinew_baselines.dir/eav/eav_store.cc.o"
+  "CMakeFiles/sinew_baselines.dir/eav/eav_store.cc.o.d"
+  "CMakeFiles/sinew_baselines.dir/jsontext/jsontext_db.cc.o"
+  "CMakeFiles/sinew_baselines.dir/jsontext/jsontext_db.cc.o.d"
+  "libsinew_baselines.a"
+  "libsinew_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

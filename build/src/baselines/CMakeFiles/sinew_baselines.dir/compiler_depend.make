@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sinew_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_common.dir/status.cc.o"
+  "CMakeFiles/sinew_common.dir/status.cc.o.d"
+  "CMakeFiles/sinew_common.dir/str_util.cc.o"
+  "CMakeFiles/sinew_common.dir/str_util.cc.o.d"
+  "CMakeFiles/sinew_common.dir/value.cc.o"
+  "CMakeFiles/sinew_common.dir/value.cc.o.d"
+  "libsinew_common.a"
+  "libsinew_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

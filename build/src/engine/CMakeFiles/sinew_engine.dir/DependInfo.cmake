@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/sinew_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/datum.cc" "src/engine/CMakeFiles/sinew_engine.dir/datum.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/datum.cc.o.d"
+  "/root/repo/src/engine/eval.cc" "src/engine/CMakeFiles/sinew_engine.dir/eval.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/eval.cc.o.d"
+  "/root/repo/src/engine/exec.cc" "src/engine/CMakeFiles/sinew_engine.dir/exec.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/exec.cc.o.d"
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/sinew_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/lexer.cc" "src/engine/CMakeFiles/sinew_engine.dir/lexer.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/lexer.cc.o.d"
+  "/root/repo/src/engine/parser.cc" "src/engine/CMakeFiles/sinew_engine.dir/parser.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/parser.cc.o.d"
+  "/root/repo/src/engine/persist.cc" "src/engine/CMakeFiles/sinew_engine.dir/persist.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/persist.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/sinew_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "src/engine/CMakeFiles/sinew_engine.dir/planner.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/planner.cc.o.d"
+  "/root/repo/src/engine/row_codec.cc" "src/engine/CMakeFiles/sinew_engine.dir/row_codec.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/row_codec.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/sinew_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/table.cc.o.d"
+  "/root/repo/src/engine/type.cc" "src/engine/CMakeFiles/sinew_engine.dir/type.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/type.cc.o.d"
+  "/root/repo/src/engine/udf.cc" "src/engine/CMakeFiles/sinew_engine.dir/udf.cc.o" "gcc" "src/engine/CMakeFiles/sinew_engine.dir/udf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sinew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_engine.dir/database.cc.o"
+  "CMakeFiles/sinew_engine.dir/database.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/datum.cc.o"
+  "CMakeFiles/sinew_engine.dir/datum.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/eval.cc.o"
+  "CMakeFiles/sinew_engine.dir/eval.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/exec.cc.o"
+  "CMakeFiles/sinew_engine.dir/exec.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/expr.cc.o"
+  "CMakeFiles/sinew_engine.dir/expr.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/lexer.cc.o"
+  "CMakeFiles/sinew_engine.dir/lexer.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/parser.cc.o"
+  "CMakeFiles/sinew_engine.dir/parser.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/persist.cc.o"
+  "CMakeFiles/sinew_engine.dir/persist.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/plan.cc.o"
+  "CMakeFiles/sinew_engine.dir/plan.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/planner.cc.o"
+  "CMakeFiles/sinew_engine.dir/planner.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/row_codec.cc.o"
+  "CMakeFiles/sinew_engine.dir/row_codec.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/table.cc.o"
+  "CMakeFiles/sinew_engine.dir/table.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/type.cc.o"
+  "CMakeFiles/sinew_engine.dir/type.cc.o.d"
+  "CMakeFiles/sinew_engine.dir/udf.cc.o"
+  "CMakeFiles/sinew_engine.dir/udf.cc.o.d"
+  "libsinew_engine.a"
+  "libsinew_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

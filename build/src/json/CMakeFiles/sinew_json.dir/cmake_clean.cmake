@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_json.dir/json.cc.o"
+  "CMakeFiles/sinew_json.dir/json.cc.o.d"
+  "libsinew_json.a"
+  "libsinew_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/avrolike.cc" "src/serial/CMakeFiles/sinew_serial.dir/avrolike.cc.o" "gcc" "src/serial/CMakeFiles/sinew_serial.dir/avrolike.cc.o.d"
+  "/root/repo/src/serial/protolike.cc" "src/serial/CMakeFiles/sinew_serial.dir/protolike.cc.o" "gcc" "src/serial/CMakeFiles/sinew_serial.dir/protolike.cc.o.d"
+  "/root/repo/src/serial/sinew_format.cc" "src/serial/CMakeFiles/sinew_serial.dir/sinew_format.cc.o" "gcc" "src/serial/CMakeFiles/sinew_serial.dir/sinew_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sinew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_serial.dir/avrolike.cc.o"
+  "CMakeFiles/sinew_serial.dir/avrolike.cc.o.d"
+  "CMakeFiles/sinew_serial.dir/protolike.cc.o"
+  "CMakeFiles/sinew_serial.dir/protolike.cc.o.d"
+  "CMakeFiles/sinew_serial.dir/sinew_format.cc.o"
+  "CMakeFiles/sinew_serial.dir/sinew_format.cc.o.d"
+  "libsinew_serial.a"
+  "libsinew_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

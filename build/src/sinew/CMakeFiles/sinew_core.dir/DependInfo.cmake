@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sinew/array_offload.cc" "src/sinew/CMakeFiles/sinew_core.dir/array_offload.cc.o" "gcc" "src/sinew/CMakeFiles/sinew_core.dir/array_offload.cc.o.d"
+  "/root/repo/src/sinew/catalog.cc" "src/sinew/CMakeFiles/sinew_core.dir/catalog.cc.o" "gcc" "src/sinew/CMakeFiles/sinew_core.dir/catalog.cc.o.d"
+  "/root/repo/src/sinew/extract_functions.cc" "src/sinew/CMakeFiles/sinew_core.dir/extract_functions.cc.o" "gcc" "src/sinew/CMakeFiles/sinew_core.dir/extract_functions.cc.o.d"
+  "/root/repo/src/sinew/loader.cc" "src/sinew/CMakeFiles/sinew_core.dir/loader.cc.o" "gcc" "src/sinew/CMakeFiles/sinew_core.dir/loader.cc.o.d"
+  "/root/repo/src/sinew/materializer.cc" "src/sinew/CMakeFiles/sinew_core.dir/materializer.cc.o" "gcc" "src/sinew/CMakeFiles/sinew_core.dir/materializer.cc.o.d"
+  "/root/repo/src/sinew/persistence.cc" "src/sinew/CMakeFiles/sinew_core.dir/persistence.cc.o" "gcc" "src/sinew/CMakeFiles/sinew_core.dir/persistence.cc.o.d"
+  "/root/repo/src/sinew/rewriter.cc" "src/sinew/CMakeFiles/sinew_core.dir/rewriter.cc.o" "gcc" "src/sinew/CMakeFiles/sinew_core.dir/rewriter.cc.o.d"
+  "/root/repo/src/sinew/schema_analyzer.cc" "src/sinew/CMakeFiles/sinew_core.dir/schema_analyzer.cc.o" "gcc" "src/sinew/CMakeFiles/sinew_core.dir/schema_analyzer.cc.o.d"
+  "/root/repo/src/sinew/sinew_db.cc" "src/sinew/CMakeFiles/sinew_core.dir/sinew_db.cc.o" "gcc" "src/sinew/CMakeFiles/sinew_core.dir/sinew_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/sinew_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/sinew_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/sinew_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/textindex/CMakeFiles/sinew_textindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sinew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

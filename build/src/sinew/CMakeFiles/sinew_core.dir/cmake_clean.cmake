@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_core.dir/array_offload.cc.o"
+  "CMakeFiles/sinew_core.dir/array_offload.cc.o.d"
+  "CMakeFiles/sinew_core.dir/catalog.cc.o"
+  "CMakeFiles/sinew_core.dir/catalog.cc.o.d"
+  "CMakeFiles/sinew_core.dir/extract_functions.cc.o"
+  "CMakeFiles/sinew_core.dir/extract_functions.cc.o.d"
+  "CMakeFiles/sinew_core.dir/loader.cc.o"
+  "CMakeFiles/sinew_core.dir/loader.cc.o.d"
+  "CMakeFiles/sinew_core.dir/materializer.cc.o"
+  "CMakeFiles/sinew_core.dir/materializer.cc.o.d"
+  "CMakeFiles/sinew_core.dir/persistence.cc.o"
+  "CMakeFiles/sinew_core.dir/persistence.cc.o.d"
+  "CMakeFiles/sinew_core.dir/rewriter.cc.o"
+  "CMakeFiles/sinew_core.dir/rewriter.cc.o.d"
+  "CMakeFiles/sinew_core.dir/schema_analyzer.cc.o"
+  "CMakeFiles/sinew_core.dir/schema_analyzer.cc.o.d"
+  "CMakeFiles/sinew_core.dir/sinew_db.cc.o"
+  "CMakeFiles/sinew_core.dir/sinew_db.cc.o.d"
+  "libsinew_core.a"
+  "libsinew_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_textindex.dir/inverted_index.cc.o"
+  "CMakeFiles/sinew_textindex.dir/inverted_index.cc.o.d"
+  "libsinew_textindex.a"
+  "libsinew_textindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_textindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

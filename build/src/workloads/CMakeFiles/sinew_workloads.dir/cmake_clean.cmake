@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_workloads.dir/nobench/generator.cc.o"
+  "CMakeFiles/sinew_workloads.dir/nobench/generator.cc.o.d"
+  "CMakeFiles/sinew_workloads.dir/nobench/runners.cc.o"
+  "CMakeFiles/sinew_workloads.dir/nobench/runners.cc.o.d"
+  "CMakeFiles/sinew_workloads.dir/twitter/twitter.cc.o"
+  "CMakeFiles/sinew_workloads.dir/twitter/twitter.cc.o.d"
+  "libsinew_workloads.a"
+  "libsinew_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

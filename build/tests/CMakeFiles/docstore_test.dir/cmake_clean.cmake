@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docstore_test.dir/docstore_test.cc.o"
+  "CMakeFiles/docstore_test.dir/docstore_test.cc.o.d"
+  "docstore_test"
+  "docstore_test.pdb"
+  "docstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_misc_test.dir/engine_misc_test.cc.o"
+  "CMakeFiles/engine_misc_test.dir/engine_misc_test.cc.o.d"
+  "engine_misc_test"
+  "engine_misc_test.pdb"
+  "engine_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_plan_equivalence_test.dir/engine_plan_equivalence_test.cc.o"
+  "CMakeFiles/engine_plan_equivalence_test.dir/engine_plan_equivalence_test.cc.o.d"
+  "engine_plan_equivalence_test"
+  "engine_plan_equivalence_test.pdb"
+  "engine_plan_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_plan_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_planner_test.dir/engine_planner_test.cc.o"
+  "CMakeFiles/engine_planner_test.dir/engine_planner_test.cc.o.d"
+  "engine_planner_test"
+  "engine_planner_test.pdb"
+  "engine_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

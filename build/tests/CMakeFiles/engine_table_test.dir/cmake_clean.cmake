@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_table_test.dir/engine_table_test.cc.o"
+  "CMakeFiles/engine_table_test.dir/engine_table_test.cc.o.d"
+  "engine_table_test"
+  "engine_table_test.pdb"
+  "engine_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

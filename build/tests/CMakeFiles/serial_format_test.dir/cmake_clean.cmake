@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serial_format_test.dir/serial_format_test.cc.o"
+  "CMakeFiles/serial_format_test.dir/serial_format_test.cc.o.d"
+  "serial_format_test"
+  "serial_format_test.pdb"
+  "serial_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serial_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

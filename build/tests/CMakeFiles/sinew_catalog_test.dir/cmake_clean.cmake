@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_catalog_test.dir/sinew_catalog_test.cc.o"
+  "CMakeFiles/sinew_catalog_test.dir/sinew_catalog_test.cc.o.d"
+  "sinew_catalog_test"
+  "sinew_catalog_test.pdb"
+  "sinew_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

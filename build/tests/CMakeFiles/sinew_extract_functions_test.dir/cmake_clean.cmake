@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_extract_functions_test.dir/sinew_extract_functions_test.cc.o"
+  "CMakeFiles/sinew_extract_functions_test.dir/sinew_extract_functions_test.cc.o.d"
+  "sinew_extract_functions_test"
+  "sinew_extract_functions_test.pdb"
+  "sinew_extract_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_extract_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

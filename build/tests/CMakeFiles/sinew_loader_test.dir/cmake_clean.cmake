@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_loader_test.dir/sinew_loader_test.cc.o"
+  "CMakeFiles/sinew_loader_test.dir/sinew_loader_test.cc.o.d"
+  "sinew_loader_test"
+  "sinew_loader_test.pdb"
+  "sinew_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_materializer_test.dir/sinew_materializer_test.cc.o"
+  "CMakeFiles/sinew_materializer_test.dir/sinew_materializer_test.cc.o.d"
+  "sinew_materializer_test"
+  "sinew_materializer_test.pdb"
+  "sinew_materializer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_materializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_persistence_test.dir/sinew_persistence_test.cc.o"
+  "CMakeFiles/sinew_persistence_test.dir/sinew_persistence_test.cc.o.d"
+  "sinew_persistence_test"
+  "sinew_persistence_test.pdb"
+  "sinew_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_query_test.dir/sinew_query_test.cc.o"
+  "CMakeFiles/sinew_query_test.dir/sinew_query_test.cc.o.d"
+  "sinew_query_test"
+  "sinew_query_test.pdb"
+  "sinew_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinew_rewriter_test.dir/sinew_rewriter_test.cc.o"
+  "CMakeFiles/sinew_rewriter_test.dir/sinew_rewriter_test.cc.o.d"
+  "sinew_rewriter_test"
+  "sinew_rewriter_test.pdb"
+  "sinew_rewriter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinew_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

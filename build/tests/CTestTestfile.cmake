@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/serial_format_test[1]_include.cmake")
+include("/root/repo/build/tests/serial_compare_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_table_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_plan_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/sinew_catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/sinew_loader_test[1]_include.cmake")
+include("/root/repo/build/tests/sinew_materializer_test[1]_include.cmake")
+include("/root/repo/build/tests/sinew_rewriter_test[1]_include.cmake")
+include("/root/repo/build/tests/sinew_extract_functions_test[1]_include.cmake")
+include("/root/repo/build/tests/sinew_query_test[1]_include.cmake")
+include("/root/repo/build/tests/sinew_persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/textindex_test[1]_include.cmake")
+include("/root/repo/build/tests/docstore_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_cross_system_test[1]_include.cmake")
