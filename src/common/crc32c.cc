@@ -1,0 +1,58 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace sinew::crc32c {
+
+namespace {
+
+// Slice-by-4 lookup tables, generated once at startup. Table [0] is the
+// classic byte-at-a-time table for the reflected Castagnoli polynomial;
+// tables [1..3] extend it so the hot loop consumes 4 bytes per iteration.
+struct Tables {
+  uint32_t t[4][256];
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xffffffffu;
+  while (n >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = tb.t[3][c & 0xff] ^ tb.t[2][(c >> 8) & 0xff] ^
+        tb.t[1][(c >> 16) & 0xff] ^ tb.t[0][c >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    c = (c >> 8) ^ tb.t[0][(c ^ *p++) & 0xff];
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace sinew::crc32c

@@ -1,0 +1,162 @@
+#include "common/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace sinew {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  return Status::IOError(op, " ", path, ": ", std::strerror(err));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IOError("append to closed file ", path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync of closed file ", path_);
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) return ErrnoStatus("open for write", path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open ", path);
+    std::string out((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    if (in.bad()) return Status::IOError("read error on ", path);
+    return out;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to, errno);
+    }
+    // Make the rename itself durable: fsync the containing directory.
+    // Best-effort — some filesystems reject O_RDONLY dir fsync.
+    fs::path parent = fs::path(to).parent_path();
+    if (parent.empty()) parent = ".";
+    int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      (void)::fsync(dfd);
+      ::close(dfd);
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("unlink", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IOError("mkdir -p ", path, ": ", ec.message());
+    return Status::OK();
+  }
+
+  Status RemoveAll(const std::string& path) override {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    if (ec) return Status::IOError("rm -rf ", path, ": ", ec.message());
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    fs::directory_iterator it(path, ec);
+    if (ec) return Status::IOError("list ", path, ": ", ec.message());
+    std::vector<std::string> names;
+    for (const fs::directory_entry& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                   env->NewWritableFile(tmp));
+  Status st = file->Append(contents);
+  if (st.ok()) st = file->Sync();
+  Status close_st = file->Close();
+  if (st.ok()) st = close_st;
+  if (!st.ok()) {
+    (void)env->DeleteFile(tmp);  // best-effort; crash GC handles leftovers
+    return st;
+  }
+  return env->RenameFile(tmp, path);
+}
+
+}  // namespace sinew

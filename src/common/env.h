@@ -1,0 +1,78 @@
+// Env: the filesystem abstraction behind all persistence I/O.
+//
+// Production code uses Env::Default() (POSIX files, real fsync). Tests swap
+// in a FaultInjectionEnv (fault_env.h) to inject short writes, I/O errors and
+// hard crash cut-offs, which is how the crash-safety of the generation commit
+// protocol (sinew/persistence.h) is verified. Every persistence path must
+// route through an Env — never raw fstream — so that (a) close/flush errors
+// are actually checked and (b) the path is testable under faults.
+
+#ifndef SINEW_COMMON_ENV_H_
+#define SINEW_COMMON_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sinew {
+
+/// A sequentially written file. Append/Sync/Close all report errors; a
+/// WritableFile must be Close()d explicitly — the destructor only releases
+/// the descriptor and cannot report a failed final flush.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  /// Flushes application and OS buffers to durable storage (fsync).
+  virtual Status Sync() = 0;
+  /// Closes the file; idempotent. Returns the first close-time error.
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+
+  /// Creates (or truncates) `path` for sequential writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Reads an entire file.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// Atomically renames `from` to `to`, replacing `to` if it exists.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// mkdir -p.
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// rm -rf (no error if `path` does not exist).
+  virtual Status RemoveAll(const std::string& path) = 0;
+
+  /// Names (not paths) of entries directly inside `path`.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+};
+
+/// Writes `contents` to `path` through a same-directory temp file + Sync +
+/// atomic rename: after a crash at any point `path` holds either its previous
+/// contents or the complete new contents, never a torn mix. The temp file
+/// (`path` + ".tmp") may survive a crash; writers of a directory should
+/// garbage-collect "*.tmp" entries.
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view contents);
+
+}  // namespace sinew
+
+#endif  // SINEW_COMMON_ENV_H_

@@ -1,0 +1,206 @@
+#include "common/fault_env.h"
+
+#include <algorithm>
+
+namespace sinew {
+
+namespace {
+
+Status SimulatedCrash() {
+  return Status::IOError("simulated crash: I/O cut off by FaultInjectionEnv");
+}
+
+}  // namespace
+
+/// Wraps the underlying file so Append/Sync/Close go through the fault
+/// machinery. On crash the descriptor is released by the destructor; Close
+/// still reports the crash so callers cannot mistake the file for durable.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    int64_t allowed = 0;
+    bool short_write = false;
+    {
+      std::lock_guard lock(env_->mutex_);
+      RETURN_NOT_OK(env_->BeginOpLocked());
+      if (env_->fail_writes_) {
+        return Status::IOError("injected write error");
+      }
+      allowed = static_cast<int64_t>(data.size());
+      if (env_->short_append_ >= 0) {
+        allowed = std::min(allowed, env_->short_append_);
+        env_->short_append_ = -1;
+        short_write = allowed < static_cast<int64_t>(data.size());
+      } else if (env_->bytes_until_crash_ >= 0) {
+        if (allowed > env_->bytes_until_crash_) {
+          allowed = env_->bytes_until_crash_;
+          env_->bytes_until_crash_ = 0;
+          env_->crashed_ = true;
+        } else {
+          env_->bytes_until_crash_ -= allowed;
+        }
+      }
+    }
+    // The surviving prefix really reaches the base file: this is the torn
+    // tail a real crash leaves behind.
+    Status st = base_->Append(data.substr(0, static_cast<size_t>(allowed)));
+    {
+      std::lock_guard lock(env_->mutex_);
+      if (st.ok()) env_->bytes_appended_ += allowed;
+      if (env_->crashed_) return SimulatedCrash();
+    }
+    if (short_write) {
+      return Status::IOError("injected short write (", allowed, " of ",
+                             data.size(), " bytes)");
+    }
+    return st;
+  }
+
+  Status Sync() override {
+    {
+      std::lock_guard lock(env_->mutex_);
+      RETURN_NOT_OK(env_->BeginOpLocked());
+      if (env_->fail_syncs_) return Status::IOError("injected sync error");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    {
+      std::lock_guard lock(env_->mutex_);
+      RETURN_NOT_OK(env_->BeginOpLocked());
+    }
+    return base_->Close();
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+Status FaultInjectionEnv::BeginOpLocked() {
+  if (crashed_) return SimulatedCrash();
+  if (ops_until_crash_ == 0) {
+    crashed_ = true;
+    return SimulatedCrash();
+  }
+  if (ops_until_crash_ > 0) --ops_until_crash_;
+  ++ops_issued_;
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::BeginOp() {
+  std::lock_guard lock(mutex_);
+  return BeginOpLocked();
+}
+
+void FaultInjectionEnv::FailWrites(bool on) {
+  std::lock_guard lock(mutex_);
+  fail_writes_ = on;
+}
+
+void FaultInjectionEnv::FailSyncs(bool on) {
+  std::lock_guard lock(mutex_);
+  fail_syncs_ = on;
+}
+
+void FaultInjectionEnv::FailRenames(bool on) {
+  std::lock_guard lock(mutex_);
+  fail_renames_ = on;
+}
+
+void FaultInjectionEnv::LimitNextAppend(int64_t n) {
+  std::lock_guard lock(mutex_);
+  short_append_ = n;
+}
+
+void FaultInjectionEnv::CrashAfterOps(int64_t n) {
+  std::lock_guard lock(mutex_);
+  ops_until_crash_ = n;
+}
+
+void FaultInjectionEnv::CrashAfterBytes(int64_t n) {
+  std::lock_guard lock(mutex_);
+  bytes_until_crash_ = n;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard lock(mutex_);
+  fail_writes_ = fail_syncs_ = fail_renames_ = false;
+  crashed_ = false;
+  short_append_ = ops_until_crash_ = bytes_until_crash_ = -1;
+  ops_issued_ = 0;
+  bytes_appended_ = 0;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard lock(mutex_);
+  return crashed_;
+}
+
+int64_t FaultInjectionEnv::ops_issued() const {
+  std::lock_guard lock(mutex_);
+  return ops_issued_;
+}
+
+int64_t FaultInjectionEnv::bytes_appended() const {
+  std::lock_guard lock(mutex_);
+  return bytes_appended_;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  RETURN_NOT_OK(BeginOp());
+  ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                   base_->NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, std::move(base)));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  RETURN_NOT_OK(BeginOp());
+  return base_->ReadFileToString(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  {
+    std::lock_guard lock(mutex_);
+    RETURN_NOT_OK(BeginOpLocked());
+    if (fail_renames_) return Status::IOError("injected rename error");
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  RETURN_NOT_OK(BeginOp());
+  return base_->DeleteFile(path);
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& path) {
+  RETURN_NOT_OK(BeginOp());
+  return base_->CreateDirs(path);
+}
+
+Status FaultInjectionEnv::RemoveAll(const std::string& path) {
+  RETURN_NOT_OK(BeginOp());
+  return base_->RemoveAll(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  RETURN_NOT_OK(BeginOp());
+  return base_->ListDir(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  // Existence probes are free: a crashed process cannot "fail" to stat, and
+  // counting them would make sweep offsets depend on read-only control flow.
+  return base_->FileExists(path);
+}
+
+}  // namespace sinew

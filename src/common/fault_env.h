@@ -1,0 +1,95 @@
+// FaultInjectionEnv: an Env decorator that injects I/O failures and hard
+// crash cut-offs, used to verify crash safety of the persistence layer.
+//
+// Fault model:
+//  - Error injection: FailWrites/FailSyncs/FailRenames make the matching
+//    operations return IOError without touching the filesystem.
+//  - Short writes: LimitNextAppend(n) makes the next Append persist only its
+//    first n bytes and then report an error (a torn write).
+//  - Crash cut-offs: CrashAfterOps(n) / CrashAfterBytes(n) simulate the
+//    process dying mid-save. Every Env call counts as one op; once n ops have
+//    completed (or n appended bytes have been written) the env enters the
+//    crashed state: the op that hits the byte limit persists only the bytes
+//    before the cut (a torn tail) and every subsequent call fails with
+//    "simulated crash".
+//
+// Because the env writes through to the real filesystem, the on-disk state
+// after a crash IS the post-crash view: whatever was appended before the
+// cut-off survives, everything after never happened. A test "reboots" by
+// reading the directory with a fresh env (or after ClearFaults()).
+//
+// Counters (ops_issued / bytes_appended) from a clean run bound the sweep:
+// for every i in [0, ops_issued] a CrashAfterOps(i) run must leave a
+// recoverable directory.
+
+#ifndef SINEW_COMMON_FAULT_ENV_H_
+#define SINEW_COMMON_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/env.h"
+
+namespace sinew {
+
+class FaultInjectionEnv final : public Env {
+ public:
+  /// Wraps `base` (not owned); pass Env::Default() for real files.
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // --- fault controls ---
+  void FailWrites(bool on);
+  void FailSyncs(bool on);
+  void FailRenames(bool on);
+  /// The next Append persists only its first `n` bytes, then errors.
+  void LimitNextAppend(int64_t n);
+  /// Crash once `n` further Env calls have completed (-1 disables).
+  void CrashAfterOps(int64_t n);
+  /// Crash once `n` further bytes have been appended (-1 disables).
+  void CrashAfterBytes(int64_t n);
+  /// Clears all faults and the crashed state (the "reboot").
+  void ClearFaults();
+
+  bool crashed() const;
+  /// Total Env calls issued since construction/ClearFaults.
+  int64_t ops_issued() const;
+  /// Total bytes successfully appended since construction/ClearFaults.
+  int64_t bytes_appended() const;
+
+  // --- Env ---
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status RemoveAll(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  /// Accounts one op; returns the crash error if the env is (or just became)
+  /// crashed, in which case the op must not run.
+  Status BeginOp();
+  Status BeginOpLocked();  // requires mutex_ held
+
+  Env* base_;
+  mutable std::mutex mutex_;
+  bool fail_writes_ = false;
+  bool fail_syncs_ = false;
+  bool fail_renames_ = false;
+  bool crashed_ = false;
+  int64_t short_append_ = -1;      // -1 = off
+  int64_t ops_until_crash_ = -1;   // -1 = off
+  int64_t bytes_until_crash_ = -1;  // -1 = off
+  int64_t ops_issued_ = 0;
+  int64_t bytes_appended_ = 0;
+};
+
+}  // namespace sinew
+
+#endif  // SINEW_COMMON_FAULT_ENV_H_

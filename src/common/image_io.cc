@@ -1,0 +1,59 @@
+#include "common/image_io.h"
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+
+namespace sinew {
+
+void AppendImageFooter(std::string* image) {
+  uint64_t len = image->size();
+  uint32_t crc = crc32c::Mask(crc32c::Value(*image));
+  BufferWriter w;
+  w.PutU64(len);
+  w.PutU32(crc);
+  w.PutU32(kImageFooterMagic);
+  image->append(w.buffer());
+}
+
+Result<std::string_view> VerifyImageFooter(std::string_view file_bytes) {
+  if (file_bytes.size() < kImageFooterSize) {
+    return Status::IOError("image too short for footer (", file_bytes.size(),
+                           " bytes)");
+  }
+  BufferReader r(file_bytes.substr(file_bytes.size() - kImageFooterSize));
+  ASSIGN_OR_RETURN(uint64_t len, r.ReadU64());
+  ASSIGN_OR_RETURN(uint32_t stored_crc, r.ReadU32());
+  ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kImageFooterMagic) {
+    return Status::IOError("bad image footer magic");
+  }
+  if (len != file_bytes.size() - kImageFooterSize) {
+    return Status::IOError("image length mismatch: footer says ", len,
+                           ", file holds ",
+                           file_bytes.size() - kImageFooterSize);
+  }
+  std::string_view payload = file_bytes.substr(0, len);
+  uint32_t actual = crc32c::Value(payload);
+  if (crc32c::Unmask(stored_crc) != actual) {
+    return Status::IOError("image checksum mismatch (corrupt or torn write)");
+  }
+  return payload;
+}
+
+Status WriteImageFile(Env* env, const std::string& path, std::string payload) {
+  AppendImageFooter(&payload);
+  return AtomicWriteFile(env, path, payload);
+}
+
+Result<std::string> ReadImageFile(Env* env, const std::string& path) {
+  ASSIGN_OR_RETURN(std::string file_bytes, env->ReadFileToString(path));
+  auto payload = VerifyImageFooter(file_bytes);
+  if (!payload.ok()) {
+    return Status::IOError("cannot load image ", path, ": ",
+                           payload.status().message());
+  }
+  file_bytes.resize(payload->size());
+  return file_bytes;
+}
+
+}  // namespace sinew

@@ -1,0 +1,44 @@
+// Checksummed image files: every persisted image (table image, catalog
+// image, MANIFEST) carries a fixed 16-byte footer that load verifies before
+// any byte of the payload is parsed, so torn writes and bit flips surface as
+// a clean IOError instead of garbage state.
+//
+// File layout:
+//   payload bytes | u64 payload length | u32 masked CRC32C(payload) |
+//   u32 footer magic "SINF"
+//
+// The length field catches truncation/extension, the CRC catches
+// corruption, and the trailing magic distinguishes "not an image file at
+// all" from "damaged image". All fields are little-endian (BufferWriter
+// convention).
+
+#ifndef SINEW_COMMON_IMAGE_IO_H_
+#define SINEW_COMMON_IMAGE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/env.h"
+#include "common/result.h"
+
+namespace sinew {
+
+inline constexpr size_t kImageFooterSize = 16;
+inline constexpr uint32_t kImageFooterMagic = 0x464e4953;  // "SINF"
+
+/// Appends the footer to `image` in place.
+void AppendImageFooter(std::string* image);
+
+/// Verifies the footer and returns the payload view (into `file_bytes`).
+Result<std::string_view> VerifyImageFooter(std::string_view file_bytes);
+
+/// Appends the footer to `payload` and writes it to `path` atomically
+/// (AtomicWriteFile: temp file + fsync + rename).
+Status WriteImageFile(Env* env, const std::string& path, std::string payload);
+
+/// Reads `path`, verifies the footer and returns the payload.
+Result<std::string> ReadImageFile(Env* env, const std::string& path);
+
+}  // namespace sinew
+
+#endif  // SINEW_COMMON_IMAGE_IO_H_

@@ -1,9 +1,9 @@
 #include "engine/persist.h"
 
-#include <fstream>
 #include <shared_mutex>
 
 #include "common/bytes.h"
+#include "common/image_io.h"
 
 namespace sinew::engine {
 
@@ -35,13 +35,10 @@ Result<std::string> SerializeTable(const Table& table) {
   return w.Release();
 }
 
-Status SaveTable(const Table& table, const std::string& path) {
+Status SaveTable(const Table& table, const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   ASSIGN_OR_RETURN(std::string image, SerializeTable(table));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open ", path, " for writing");
-  out.write(image.data(), static_cast<std::streamsize>(image.size()));
-  if (!out) return Status::IOError("short write to ", path);
-  return Status::OK();
+  return WriteImageFile(env, path, std::move(image));
 }
 
 Result<Table*> DeserializeTable(std::string_view image, Catalog* catalog) {
@@ -85,11 +82,9 @@ Result<Table*> DeserializeTable(std::string_view image, Catalog* catalog) {
   return table;
 }
 
-Result<Table*> LoadTable(const std::string& path, Catalog* catalog) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open ", path);
-  std::string image((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
+Result<Table*> LoadTable(const std::string& path, Catalog* catalog, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  ASSIGN_OR_RETURN(std::string image, ReadImageFile(env, path));
   return DeserializeTable(image, catalog);
 }
 

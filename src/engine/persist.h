@@ -2,34 +2,43 @@
 // deterministic "storage size" measure behind Table 3 (encoded byte volume,
 // not process RSS).
 //
-// Image layout:
+// Payload layout (SerializeTable / DeserializeTable):
 //   magic "SINEWTBL" | u32 version
 //   table name (length-prefixed)
 //   u32 column count, per column: name, u8 type, u8 dropped
 //   u64 row-slot count, per slot: length-prefixed encoded row ("" = deleted)
+//
+// On disk (SaveTable / LoadTable) the payload additionally carries the
+// standard checksummed image footer (common/image_io.h) and is written
+// atomically via temp-file + rename, so a torn or bit-flipped image is
+// detected at load time instead of being parsed as garbage.
 
 #ifndef SINEW_ENGINE_PERSIST_H_
 #define SINEW_ENGINE_PERSIST_H_
 
 #include <string>
 
+#include "common/env.h"
 #include "common/result.h"
 #include "engine/catalog.h"
 #include "engine/table.h"
 
 namespace sinew::engine {
 
-/// Serializes the table into an in-memory image.
+/// Serializes the table into an in-memory image (no footer).
 Result<std::string> SerializeTable(const Table& table);
 
-/// Writes the image to a file.
-Status SaveTable(const Table& table, const std::string& path);
+/// Writes the image + checksum footer to a file atomically.
+/// `env` defaults to Env::Default().
+Status SaveTable(const Table& table, const std::string& path,
+                 Env* env = nullptr);
 
 /// Recreates a table from an image into `catalog` (fails if the name exists).
 Result<Table*> DeserializeTable(std::string_view image, Catalog* catalog);
 
-/// Reads a table image file into `catalog`.
-Result<Table*> LoadTable(const std::string& path, Catalog* catalog);
+/// Reads a table image file (verifying its footer) into `catalog`.
+Result<Table*> LoadTable(const std::string& path, Catalog* catalog,
+                         Env* env = nullptr);
 
 }  // namespace sinew::engine
 

@@ -96,6 +96,14 @@ class SimpleDictionary : public AttributeDictionary {
 
   const std::vector<Attribute>& attributes() const { return attrs_; }
 
+  /// Forgets every attribute. IDs restart at 0 — only safe when all documents
+  /// encoded against the old IDs are discarded too (persistence rollback).
+  void Clear() {
+    attrs_.clear();
+    ids_.clear();
+    by_name_.clear();
+  }
+
  private:
   struct StoredKey {
     std::string key;

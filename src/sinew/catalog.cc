@@ -129,4 +129,11 @@ std::mutex& AttributeCatalog::MaintenanceLatch(const std::string& table) {
   return *latch;
 }
 
+void AttributeCatalog::Clear() {
+  std::lock_guard lock(mutex_);
+  dict_.Clear();
+  tables_.clear();
+  latches_.clear();
+}
+
 }  // namespace sinew

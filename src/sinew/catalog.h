@@ -77,6 +77,12 @@ class AttributeCatalog : public serial::AttributeDictionary {
   /// The loader/materializer mutual-exclusion latch for a table.
   std::mutex& MaintenanceLatch(const std::string& table);
 
+  /// Forgets the dictionary and all per-table state, returning the catalog to
+  /// freshly-constructed. Only safe when no loader/materializer is running
+  /// (invalidates MaintenanceLatch references); used to make a failed
+  /// persistence restore failure-atomic.
+  void Clear();
+
  private:
   mutable std::mutex mutex_;
   serial::SimpleDictionary dict_;

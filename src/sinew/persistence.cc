@@ -1,9 +1,13 @@
 #include "sinew/persistence.h"
 
-#include <filesystem>
-#include <fstream>
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/image_io.h"
 #include "engine/persist.h"
 #include "sinew/sinew_db.h"
 
@@ -14,23 +18,122 @@ namespace {
 constexpr std::string_view kCatalogMagic = "SINEWCAT";
 constexpr uint32_t kCatalogVersion = 1;
 
-Status WriteFile(const std::string& path, std::string_view contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open ", path, " for writing");
-  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  if (!out) return Status::IOError("short write to ", path);
-  return Status::OK();
-}
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open ", path);
-  return std::string((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
-}
+constexpr std::string_view kManifestMagic = "SINEWMAN";
+constexpr uint32_t kManifestVersion = 1;
+constexpr std::string_view kManifestName = "MANIFEST";
+constexpr std::string_view kGenPrefix = "gen-";
 
 std::string TableImagePath(const std::string& dir, const std::string& table) {
   return dir + "/table_" + table + ".tbl";
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + std::string(kManifestName);
+}
+
+std::string GenDirName(const std::string& dir, uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "gen-%06" PRIu64, gen);
+  return dir + "/" + buf;
+}
+
+/// Parses "gen-NNNNNN" directory entry names; nullopt for anything else.
+std::optional<uint64_t> ParseGenEntry(std::string_view name) {
+  if (name.substr(0, kGenPrefix.size()) != kGenPrefix) return std::nullopt;
+  std::string_view digits = name.substr(kGenPrefix.size());
+  if (digits.empty()) return std::nullopt;
+  uint64_t gen = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    gen = gen * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return gen;
+}
+
+/// The commit record: which generation is current, which one is retained as
+/// the fallback, and the tables the current generation contains.
+struct Manifest {
+  uint64_t current = 0;
+  uint64_t previous = 0;  // 0 = none retained
+  std::vector<std::string> tables;
+};
+
+std::string EncodeManifest(const Manifest& m) {
+  BufferWriter w;
+  w.PutBytes(kManifestMagic);
+  w.PutU32(kManifestVersion);
+  w.PutU64(m.current);
+  w.PutU64(m.previous);
+  w.PutU32(static_cast<uint32_t>(m.tables.size()));
+  for (const std::string& table : m.tables) w.PutLengthPrefixed(table);
+  return w.Release();
+}
+
+Result<Manifest> DecodeManifest(std::string_view payload) {
+  BufferReader r(payload);
+  ASSIGN_OR_RETURN(std::string_view magic, r.ReadBytes(kManifestMagic.size()));
+  if (magic != kManifestMagic) return Status::ParseError("bad MANIFEST magic");
+  ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kManifestVersion) {
+    return Status::ParseError("unsupported MANIFEST version ", version);
+  }
+  Manifest m;
+  ASSIGN_OR_RETURN(m.current, r.ReadU64());
+  ASSIGN_OR_RETURN(m.previous, r.ReadU64());
+  if (m.current == 0) return Status::ParseError("MANIFEST names generation 0");
+  ASSIGN_OR_RETURN(uint32_t num_tables, r.ReadU32());
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    ASSIGN_OR_RETURN(std::string_view table, r.ReadLengthPrefixed());
+    m.tables.emplace_back(table);
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes in MANIFEST");
+  return m;
+}
+
+Result<Manifest> ReadManifest(Env* env, const std::string& directory) {
+  Result<std::string> payload = ReadImageFile(env, ManifestPath(directory));
+  if (!payload.ok()) return payload.status();
+  return DecodeManifest(*payload);
+}
+
+/// Best-effort cleanup of generations the MANIFEST no longer references and
+/// of temp files a crashed save left behind. Never fails the caller: losing
+/// garbage is not an error, and a crash mid-GC just leaves it for next time.
+void GarbageCollect(Env* env, const std::string& directory, uint64_t keep_a,
+                    uint64_t keep_b) {
+  auto entries = env->ListDir(directory);
+  if (!entries.ok()) return;
+  for (const std::string& entry : *entries) {
+    if (std::optional<uint64_t> gen = ParseGenEntry(entry)) {
+      if (*gen != keep_a && *gen != keep_b) {
+        (void)env->RemoveAll(directory + "/" + entry);
+      }
+    } else if (entry.size() > 4 &&
+               entry.compare(entry.size() - 4, 4, ".tmp") == 0) {
+      (void)env->DeleteFile(directory + "/" + entry);
+    }
+  }
+}
+
+/// Loads one generation directory into a fresh db. Not failure-atomic by
+/// itself — callers reset the db on error.
+Status LoadGeneration(SinewDb* db, const std::string& gen_dir, Env* env) {
+  ASSIGN_OR_RETURN(std::string catalog_image,
+                   ReadImageFile(env, gen_dir + "/catalog.sinew"));
+  RETURN_NOT_OK(RestoreCatalogImage(db, catalog_image));
+  for (const std::string& table : db->Tables()) {
+    RETURN_NOT_OK(engine::LoadTable(TableImagePath(gen_dir, table),
+                                    db->engine()->catalog(), env)
+                      .status());
+  }
+  return Status::OK();
+}
+
+Status LoadGenerationOrReset(SinewDb* db, const std::string& directory,
+                             uint64_t gen, Env* env) {
+  Status st = LoadGeneration(db, GenDirName(directory, gen), env);
+  if (!st.ok()) db->ResetForRecovery();
+  return st;
 }
 
 }  // namespace
@@ -114,36 +217,111 @@ Status RestoreCatalogImage(SinewDb* db, std::string_view image) {
   return Status::OK();
 }
 
-Status SaveDatabase(SinewDb* db, const std::string& directory) {
-  std::error_code ec;
-  std::filesystem::create_directories(directory, ec);
-  if (ec) {
-    return Status::IOError("cannot create ", directory, ": ", ec.message());
+Status SaveDatabase(SinewDb* db, const std::string& directory, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  RETURN_NOT_OK(env->CreateDirs(directory));
+
+  // Pick the new generation number: above both the committed generation and
+  // any on-disk gen-* leftover, so an interrupted save can never be confused
+  // with (or clobber) a committed one.
+  uint64_t max_on_disk = 0;
+  ASSIGN_OR_RETURN(std::vector<std::string> entries, env->ListDir(directory));
+  for (const std::string& entry : entries) {
+    if (std::optional<uint64_t> gen = ParseGenEntry(entry)) {
+      max_on_disk = std::max(max_on_disk, *gen);
+    }
   }
+  uint64_t committed = 0;  // 0 = no (readable) committed generation
+  if (env->FileExists(ManifestPath(directory))) {
+    // A corrupt existing MANIFEST does not block saving: the new commit
+    // rewrites it. It does mean there is no trustworthy fallback to retain.
+    auto manifest = ReadManifest(env, directory);
+    if (manifest.ok()) committed = manifest->current;
+  }
+  uint64_t next = std::max(max_on_disk, committed) + 1;
+
+  // Stage the complete new state in its own generation directory.
+  const std::string gen_dir = GenDirName(directory, next);
+  RETURN_NOT_OK(env->CreateDirs(gen_dir));
   ASSIGN_OR_RETURN(std::string catalog_image, SerializeCatalogImage(db));
-  RETURN_NOT_OK(WriteFile(directory + "/catalog.sinew", catalog_image));
-  for (const std::string& table : db->Tables()) {
+  RETURN_NOT_OK(
+      WriteImageFile(env, gen_dir + "/catalog.sinew", std::move(catalog_image)));
+  Manifest manifest;
+  manifest.current = next;
+  manifest.previous = committed;
+  manifest.tables = db->Tables();
+  for (const std::string& table : manifest.tables) {
     ASSIGN_OR_RETURN(engine::Table * engine_table,
                      db->engine()->catalog()->GetTable(table));
-    RETURN_NOT_OK(
-        engine::SaveTable(*engine_table, TableImagePath(directory, table)));
+    RETURN_NOT_OK(engine::SaveTable(*engine_table,
+                                    TableImagePath(gen_dir, table), env));
+  }
+
+  // Commit point: atomically publish the manifest naming the new generation.
+  RETURN_NOT_OK(
+      WriteImageFile(env, ManifestPath(directory), EncodeManifest(manifest)));
+
+  GarbageCollect(env, directory, manifest.current, manifest.previous);
+  return Status::OK();
+}
+
+Status LoadDatabase(SinewDb* db, const std::string& directory, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  if (!db->Tables().empty()) {
+    return Status::InvalidArgument("LoadDatabase requires a fresh SinewDb");
+  }
+  ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(env, directory));
+  Status st = LoadGenerationOrReset(db, directory, manifest.current, env);
+  if (!st.ok()) {
+    if (manifest.previous != 0) {
+      return Status::IOError(
+          "committed generation ", manifest.current, " is damaged: ",
+          st.message(), "; RecoverDatabase() can fall back to generation ",
+          manifest.previous);
+    }
+    return Status::IOError("committed generation ", manifest.current,
+                           " is damaged: ", st.message(),
+                           "; no previous generation is retained");
   }
   return Status::OK();
 }
 
-Status LoadDatabase(SinewDb* db, const std::string& directory) {
+Result<RecoveryInfo> RecoverDatabase(SinewDb* db, const std::string& directory,
+                                     Env* env) {
+  if (env == nullptr) env = Env::Default();
   if (!db->Tables().empty()) {
-    return Status::InvalidArgument("LoadDatabase requires a fresh SinewDb");
+    return Status::InvalidArgument("RecoverDatabase requires a fresh SinewDb");
   }
-  ASSIGN_OR_RETURN(std::string catalog_image,
-                   ReadFile(directory + "/catalog.sinew"));
-  RETURN_NOT_OK(RestoreCatalogImage(db, catalog_image));
-  for (const std::string& table : db->Tables()) {
-    RETURN_NOT_OK(engine::LoadTable(TableImagePath(directory, table),
-                                    db->engine()->catalog())
-                      .status());
+  ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(env, directory));
+  Status current_st =
+      LoadGenerationOrReset(db, directory, manifest.current, env);
+  if (current_st.ok()) {
+    GarbageCollect(env, directory, manifest.current, manifest.previous);
+    RecoveryInfo info;
+    info.loaded_generation = manifest.current;
+    return info;
   }
-  return Status::OK();
+  if (manifest.previous == 0) {
+    return Status::IOError("committed generation ", manifest.current,
+                           " is damaged: ", current_st.message(),
+                           "; no previous generation is retained");
+  }
+  Status previous_st =
+      LoadGenerationOrReset(db, directory, manifest.previous, env);
+  if (!previous_st.ok()) {
+    return Status::IOError(
+        "both retained generations are damaged: generation ", manifest.current,
+        ": ", current_st.message(), "; generation ", manifest.previous, ": ",
+        previous_st.message());
+  }
+  // Keep the damaged current generation on disk for post-mortems; only
+  // unreferenced generations are collected.
+  GarbageCollect(env, directory, manifest.current, manifest.previous);
+  RecoveryInfo info;
+  info.loaded_generation = manifest.previous;
+  info.used_fallback = true;
+  info.fallback_reason = current_st.message();
+  return info;
 }
 
 }  // namespace sinew

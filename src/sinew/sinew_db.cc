@@ -230,6 +230,21 @@ void SinewDb::NoteTable(const std::string& table) {
   }
 }
 
+void SinewDb::ResetForRecovery() {
+  std::vector<std::string> tables;
+  {
+    std::lock_guard lock(tables_mutex_);
+    tables.swap(tables_);
+  }
+  // Tables registered in the catalog but whose engine table was never
+  // created (restore failed in between) yield NotFound here; that is fine.
+  for (const std::string& table : tables) {
+    (void)db_.catalog()->DropTable(table);
+  }
+  indexes_.clear();
+  catalog_.Clear();
+}
+
 void SinewDb::StartBackgroundMaintenance(std::chrono::milliseconds period) {
   StopBackgroundMaintenance();
   background_stop_ = false;

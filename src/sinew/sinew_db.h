@@ -117,6 +117,12 @@ class SinewDb {
   /// Registers a table name in the managed list (persistence restore path).
   void NoteTable(const std::string& table);
 
+  /// Drops every managed table and all catalog state, returning the instance
+  /// to freshly-constructed. Used by persistence to make a failed restore
+  /// failure-atomic: after a non-OK LoadDatabase the db is reset rather than
+  /// left half-populated. Must not race loads/queries/maintenance.
+  void ResetForRecovery();
+
  private:
   void BackgroundLoop(std::chrono::milliseconds period);
 

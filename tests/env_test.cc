@@ -1,0 +1,203 @@
+// The durable-I/O layer: CRC32C, the Env/WritableFile abstraction, atomic
+// temp-file writes, checksummed image files, and the FaultInjectionEnv used
+// by the crash-safety suites.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/crc32c.h"
+#include "common/env.h"
+#include "common/fault_env.h"
+#include "common/image_io.h"
+
+namespace sinew {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("sinew_env_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ---- crc32c ----
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 (iSCSI) test vector.
+  EXPECT_EQ(crc32c::Value("123456789"), 0xe3069283u);
+  EXPECT_EQ(crc32c::Value(""), 0u);
+  // 32 zero bytes, another standard vector.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c::Value(zeros), 0x8a9136aau);
+}
+
+TEST(Crc32c, ExtendComposes) {
+  std::string data = "hello, reservoir world";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t head = crc32c::Extend(0, data.data(), split);
+    uint32_t whole =
+        crc32c::Extend(head, data.data() + split, data.size() - split);
+    EXPECT_EQ(whole, crc32c::Value(data));
+  }
+}
+
+TEST(Crc32c, MaskRoundTripsAndDiffers) {
+  uint32_t crc = crc32c::Value("123456789");
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+}
+
+// ---- posix Env + atomic writes ----
+
+TEST(Env, WriteReadRoundTrip) {
+  Env* env = Env::Default();
+  std::string dir = TempDir("rw");
+  std::string path = dir + "/file.bin";
+  auto file = env->NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append(std::string("\0world", 6)).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE((*file)->Close().ok());  // idempotent
+  auto contents = env->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, std::string("hello \0world", 12));
+  EXPECT_TRUE(env->FileExists(path));
+  EXPECT_FALSE(env->ReadFileToString(dir + "/absent").ok());
+  ASSERT_TRUE(env->RemoveAll(dir).ok());
+}
+
+TEST(Env, RenameAndListAndDelete) {
+  Env* env = Env::Default();
+  std::string dir = TempDir("ops");
+  ASSERT_TRUE(AtomicWriteFile(env, dir + "/a", "A").ok());
+  ASSERT_TRUE(env->RenameFile(dir + "/a", dir + "/b").ok());
+  EXPECT_FALSE(env->FileExists(dir + "/a"));
+  auto names = env->ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 1u);  // no leftover temp files
+  EXPECT_EQ((*names)[0], "b");
+  ASSERT_TRUE(env->DeleteFile(dir + "/b").ok());
+  EXPECT_FALSE(env->DeleteFile(dir + "/b").ok());
+  EXPECT_FALSE(env->ListDir(dir + "/absent").ok());
+  ASSERT_TRUE(env->RemoveAll(dir).ok());
+}
+
+// ---- image footer ----
+
+TEST(ImageIo, RoundTrip) {
+  Env* env = Env::Default();
+  std::string dir = TempDir("img");
+  std::string payload = "the payload \x01\x02\x03";
+  ASSERT_TRUE(WriteImageFile(env, dir + "/img", payload).ok());
+  auto back = ReadImageFile(env, dir + "/img");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, payload);
+  ASSERT_TRUE(env->RemoveAll(dir).ok());
+}
+
+TEST(ImageIo, EveryTruncationFailsCleanly) {
+  std::string image = "some payload bytes";
+  AppendImageFooter(&image);
+  for (size_t len = 0; len < image.size(); ++len) {
+    auto payload = VerifyImageFooter(std::string_view(image).substr(0, len));
+    EXPECT_FALSE(payload.ok()) << "prefix of " << len << " bytes verified";
+  }
+  EXPECT_TRUE(VerifyImageFooter(image).ok());
+  // Trailing junk is also torn state, not a valid image.
+  EXPECT_FALSE(VerifyImageFooter(image + "x").ok());
+}
+
+TEST(ImageIo, EveryBitFlipIsDetected) {
+  std::string image = "payload under test";
+  AppendImageFooter(&image);
+  for (size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = image;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      EXPECT_FALSE(VerifyImageFooter(mutated).ok())
+          << "flip of bit " << bit << " in byte " << byte << " undetected";
+    }
+  }
+}
+
+// ---- fault injection ----
+
+TEST(FaultEnv, InjectedErrorsSurface) {
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("faults");
+
+  env.FailWrites(true);
+  EXPECT_FALSE(AtomicWriteFile(&env, dir + "/f", "data").ok());
+  env.FailWrites(false);
+
+  env.FailSyncs(true);
+  EXPECT_FALSE(AtomicWriteFile(&env, dir + "/f", "data").ok());
+  env.FailSyncs(false);
+
+  env.FailRenames(true);
+  EXPECT_FALSE(AtomicWriteFile(&env, dir + "/f", "data").ok());
+  env.FailRenames(false);
+
+  // No fault: the same write goes through, and failures left no final file.
+  EXPECT_FALSE(env.FileExists(dir + "/f"));
+  EXPECT_TRUE(AtomicWriteFile(&env, dir + "/f", "data").ok());
+  EXPECT_EQ(*env.ReadFileToString(dir + "/f"), "data");
+  ASSERT_TRUE(env.RemoveAll(dir).ok());
+}
+
+TEST(FaultEnv, ShortWriteLeavesPrefix) {
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("short");
+  auto file = env.NewWritableFile(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  env.LimitNextAppend(3);
+  EXPECT_FALSE((*file)->Append("0123456789").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(*env.ReadFileToString(dir + "/f"), "012");
+  ASSERT_TRUE(env.RemoveAll(dir).ok());
+}
+
+TEST(FaultEnv, CrashAfterBytesCutsTheTail) {
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("crash_bytes");
+  auto file = env.NewWritableFile(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("aaaa").ok());
+  env.CrashAfterBytes(2);
+  EXPECT_FALSE((*file)->Append("bbbb").ok());
+  EXPECT_TRUE(env.crashed());
+  // Everything afterwards fails...
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE(env.NewWritableFile(dir + "/g").ok());
+  EXPECT_FALSE(env.RenameFile(dir + "/f", dir + "/h").ok());
+  // ...and the post-crash view holds exactly the surviving prefix.
+  env.ClearFaults();
+  EXPECT_EQ(*env.ReadFileToString(dir + "/f"), "aaaabb");
+  ASSERT_TRUE(env.RemoveAll(dir).ok());
+}
+
+TEST(FaultEnv, CrashAfterOpsStopsLaterOps) {
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("crash_ops");
+  // Ops: NewWritableFile, Append, Sync, Close, Rename = 5.
+  env.CrashAfterOps(3);
+  Status st = AtomicWriteFile(&env, dir + "/f", "data");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(env.crashed());
+  env.ClearFaults();
+  // Crash hit before the rename: the temp file may exist, the target must
+  // not.
+  EXPECT_FALSE(env.FileExists(dir + "/f"));
+  EXPECT_TRUE(AtomicWriteFile(&env, dir + "/f", "data").ok());
+  EXPECT_GT(env.ops_issued(), 0);
+  EXPECT_EQ(env.bytes_appended(), 4);
+  ASSERT_TRUE(env.RemoveAll(dir).ok());
+}
+
+}  // namespace
+}  // namespace sinew

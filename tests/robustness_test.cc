@@ -5,14 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <thread>
 
+#include "common/env.h"
+#include "common/fault_env.h"
 #include "common/rng.h"
 #include "baselines/docstore/bson.h"
 #include "json/json.h"
 #include "engine/row_codec.h"
 #include "serial/dictionary.h"
 #include "serial/sinew_format.h"
+#include "sinew/persistence.h"
 #include "sinew/sinew_db.h"
 #include "workloads/nobench/generator.h"
 #include "workloads/nobench/runners.h"
@@ -114,6 +118,120 @@ TEST(JsonFuzz, RandomTextNeverCrashesParser) {
     }
     (void)json::Parse(text);  // Result either way
   }
+}
+
+// ---- crash safety: every crash point during SaveDatabase must leave a
+// directory from which LoadDatabase yields exactly the previous or the new
+// database state — never an error, never a mix. ----
+
+std::string CrashTempDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("sinew_crash_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Commits state A (one row of t) to `dir`, leaves the db holding state B
+// (two rows) ready for a second save.
+void StageCommittedAWithPendingB(SinewDb* db, const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(db->LoadJsonLines("t", R"({"m": 1})").ok());
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  ASSERT_TRUE(db->LoadJsonLines("t", R"({"m": 2})").ok());
+}
+
+int64_t RowCount(SinewDb* db) {
+  auto result = db->Query("SELECT COUNT(*) FROM t");
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result->rows[0][0].int_value() : -1;
+}
+
+// After a (possibly crashed) save of state B over committed state A, the
+// surviving files must load to exactly A (1 row) or B (2 rows) — and which
+// one is determined by whether the save reported success. (A crash inside
+// best-effort post-commit GC still reports success; the commit already
+// happened.)
+void ExpectOldOrNewState(const std::string& dir, const Status& save_status) {
+  SinewDb reloaded;
+  Status load = LoadDatabase(&reloaded, dir);
+  ASSERT_TRUE(load.ok()) << "post-crash load failed: " << load.ToString();
+  int64_t rows = RowCount(&reloaded);
+  if (save_status.ok()) {
+    EXPECT_EQ(rows, 2) << "completed save must publish the new state";
+  } else {
+    EXPECT_EQ(rows, 1) << "failed save must leave the old state";
+  }
+}
+
+TEST(CrashSafety, EveryOpCrashOffsetLeavesOldOrNewState) {
+  std::string dir = CrashTempDir("op_sweep");
+  // Dry run to size the sweep.
+  int64_t total_ops;
+  {
+    SinewDb db;
+    StageCommittedAWithPendingB(&db, dir);
+    FaultInjectionEnv env(Env::Default());
+    ASSERT_TRUE(SaveDatabase(&db, dir, &env).ok());
+    total_ops = env.ops_issued();
+    ASSERT_GT(total_ops, 5);
+  }
+  for (int64_t crash_at = 0; crash_at <= total_ops; ++crash_at) {
+    SCOPED_TRACE("crash after " + std::to_string(crash_at) + " ops");
+    SinewDb db;
+    StageCommittedAWithPendingB(&db, dir);
+    FaultInjectionEnv env(Env::Default());
+    env.CrashAfterOps(crash_at);
+    Status save = SaveDatabase(&db, dir, &env);
+    ExpectOldOrNewState(dir, save);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CrashSafety, ByteGranularCrashOffsetsLeaveOldOrNewState) {
+  std::string dir = CrashTempDir("byte_sweep");
+  int64_t total_bytes;
+  {
+    SinewDb db;
+    StageCommittedAWithPendingB(&db, dir);
+    FaultInjectionEnv env(Env::Default());
+    ASSERT_TRUE(SaveDatabase(&db, dir, &env).ok());
+    total_bytes = env.bytes_appended();
+    ASSERT_GT(total_bytes, 0);
+  }
+  // A prime stride keeps the sweep cheap while hitting cut points inside
+  // every file, including mid-footer.
+  for (int64_t cut = 0; cut <= total_bytes; cut += 7) {
+    SCOPED_TRACE("crash after " + std::to_string(cut) + " bytes");
+    SinewDb db;
+    StageCommittedAWithPendingB(&db, dir);
+    FaultInjectionEnv env(Env::Default());
+    env.CrashAfterBytes(cut);
+    Status save = SaveDatabase(&db, dir, &env);
+    ExpectOldOrNewState(dir, save);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CrashSafety, InjectedIoErrorsFailTheSaveAndKeepTheOldState) {
+  std::string dir = CrashTempDir("io_errors");
+  for (int fault = 0; fault < 4; ++fault) {
+    SinewDb db;
+    StageCommittedAWithPendingB(&db, dir);
+    FaultInjectionEnv env(Env::Default());
+    switch (fault) {
+      case 0: env.FailWrites(true); break;
+      case 1: env.FailSyncs(true); break;
+      case 2: env.FailRenames(true); break;
+      case 3: env.LimitNextAppend(5); break;  // torn write
+    }
+    EXPECT_FALSE(SaveDatabase(&db, dir, &env).ok()) << "fault " << fault;
+    // The committed state is untouched.
+    SinewDb reloaded;
+    ASSERT_TRUE(LoadDatabase(&reloaded, dir).ok());
+    EXPECT_EQ(RowCount(&reloaded), 1);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 // ---- concurrency: readers vs. the background materializer ----

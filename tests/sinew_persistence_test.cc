@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
+#include "common/env.h"
+#include "common/image_io.h"
+#include "engine/catalog.h"
+#include "engine/persist.h"
 #include "sinew/array_offload.h"
 #include "sinew/persistence.h"
 #include "sinew/sinew_db.h"
@@ -14,6 +19,7 @@ namespace sinew {
 namespace {
 
 namespace nb = workloads::nobench;
+namespace fs = std::filesystem;
 
 std::string TempDir(const std::string& name) {
   std::string dir =
@@ -21,6 +27,26 @@ std::string TempDir(const std::string& name) {
           .string();
   std::filesystem::remove_all(dir);
   return dir;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void Spit(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+void FlipBit(const std::string& path, size_t byte, int bit) {
+  std::string contents = Slurp(path);
+  ASSERT_LT(byte, contents.size());
+  contents[byte] = static_cast<char>(contents[byte] ^ (1 << bit));
+  Spit(path, contents);
 }
 
 TEST(Persistence, CatalogImageRoundTrip) {
@@ -91,6 +117,277 @@ TEST(Persistence, SaveAndLoadFullDatabase) {
 TEST(Persistence, LoadFromMissingDirectoryFails) {
   SinewDb db;
   EXPECT_FALSE(LoadDatabase(&db, "/nonexistent/sinew/dir").ok());
+}
+
+// ---- edge shapes ----
+
+TEST(Persistence, EmptyCatalogRoundTrips) {
+  SinewDb db;
+  auto image = SerializeCatalogImage(&db);
+  ASSERT_TRUE(image.ok());
+  SinewDb restored;
+  ASSERT_TRUE(RestoreCatalogImage(&restored, *image).ok());
+  EXPECT_EQ(restored.catalog()->size(), 0u);
+  EXPECT_TRUE(restored.Tables().empty());
+}
+
+TEST(Persistence, EmptyDatabaseDirectoryRoundTrips) {
+  std::string dir = TempDir("empty_db");
+  {
+    SinewDb db;
+    ASSERT_TRUE(SaveDatabase(&db, dir).ok());
+  }
+  SinewDb db;
+  ASSERT_TRUE(LoadDatabase(&db, dir).ok());
+  EXPECT_TRUE(db.Tables().empty());
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, EmptyTableImageRoundTrips) {
+  std::string dir = TempDir("empty_table");
+  fs::create_directories(dir);
+  engine::Catalog catalog;
+  engine::Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"a", engine::ColumnType::kInt}).ok());
+  auto table = catalog.CreateTable("empty", std::move(schema));
+  ASSERT_TRUE(table.ok());
+  std::string path = dir + "/table_empty.tbl";
+  ASSERT_TRUE(engine::SaveTable(**table, path).ok());
+  engine::Catalog fresh;
+  auto loaded = engine::LoadTable(path, &fresh);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->RowSlotCountUnlocked(), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, DroppedColumnTombstonesSurviveRoundTrip) {
+  std::string dir = TempDir("tombstones");
+  fs::create_directories(dir);
+  engine::Catalog catalog;
+  engine::Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"keep", engine::ColumnType::kInt}).ok());
+  ASSERT_TRUE(schema.AddColumn({"gone", engine::ColumnType::kText}).ok());
+  ASSERT_TRUE(schema.AddColumn({"tail", engine::ColumnType::kDouble}).ok());
+  ASSERT_TRUE(schema.DropColumn("gone").ok());
+  auto table = catalog.CreateTable("t", std::move(schema));
+  ASSERT_TRUE(table.ok());
+  std::string path = dir + "/table_t.tbl";
+  ASSERT_TRUE(engine::SaveTable(**table, path).ok());
+  engine::Catalog fresh;
+  auto loaded = engine::LoadTable(path, &fresh);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Slot order is preserved, including the tombstone in the middle.
+  const engine::Schema& restored = (*loaded)->SchemaUnlocked();
+  ASSERT_EQ(restored.num_slots(), 3u);
+  EXPECT_EQ(restored.columns()[0].name, "keep");
+  EXPECT_FALSE(restored.columns()[0].dropped);
+  EXPECT_EQ(restored.columns()[1].name, "gone");
+  EXPECT_TRUE(restored.columns()[1].dropped);
+  EXPECT_EQ(restored.columns()[2].name, "tail");
+  EXPECT_FALSE(restored.columns()[2].dropped);
+  fs::remove_all(dir);
+}
+
+// ---- corruption: truncation and bit flips must yield Statuses, not UB ----
+
+TEST(Persistence, CatalogImageTruncationSweep) {
+  SinewDb db;
+  ASSERT_TRUE(db.LoadJsonLines("t", R"({"a": 1, "b": {"c": "x"}})").ok());
+  ASSERT_TRUE(db.LoadJsonLines("u", R"({"k": 2.5})").ok());
+  auto image = SerializeCatalogImage(&db);
+  ASSERT_TRUE(image.ok());
+  for (size_t len = 0; len < image->size(); ++len) {
+    SinewDb fresh;
+    Status st =
+        RestoreCatalogImage(&fresh, std::string_view(*image).substr(0, len));
+    EXPECT_FALSE(st.ok()) << "prefix of " << len << " bytes restored";
+  }
+}
+
+TEST(Persistence, TableImageFileTruncationSweep) {
+  std::string dir = TempDir("tbl_trunc");
+  fs::create_directories(dir);
+  engine::Catalog catalog;
+  engine::Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"a", engine::ColumnType::kInt}).ok());
+  auto table = catalog.CreateTable("t", std::move(schema));
+  ASSERT_TRUE(table.ok());
+  std::string path = dir + "/table_t.tbl";
+  ASSERT_TRUE(engine::SaveTable(**table, path).ok());
+  std::string file_bytes = Slurp(path);
+  std::string prefix_path = dir + "/prefix.tbl";
+  for (size_t len = 0; len < file_bytes.size(); ++len) {
+    Spit(prefix_path, std::string_view(file_bytes).substr(0, len));
+    engine::Catalog fresh;
+    auto loaded = engine::LoadTable(prefix_path, &fresh);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << len << " bytes loaded";
+  }
+  // The raw (footer-less) payload also errors on every truncation.
+  ASSERT_TRUE(VerifyImageFooter(file_bytes).ok());
+  std::string payload(*VerifyImageFooter(file_bytes));
+  for (size_t len = 0; len < payload.size(); ++len) {
+    engine::Catalog fresh;
+    auto loaded = engine::DeserializeTable(
+        std::string_view(payload).substr(0, len), &fresh);
+    EXPECT_FALSE(loaded.ok()) << "payload prefix of " << len << " bytes";
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, SingleBitCorruptionOfAnyImageIsDetected) {
+  std::string dir = TempDir("bitflip");
+  {
+    SinewDb db;
+    ASSERT_TRUE(db.LoadJsonLines("t", R"({"a": 1, "s": "text"})").ok());
+    ASSERT_TRUE(db.AnalyzeAndMaterialize("t").ok());
+    ASSERT_TRUE(SaveDatabase(&db, dir).ok());
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  }
+  ASSERT_GE(files.size(), 3u);  // MANIFEST, catalog.sinew, table_t.tbl
+  for (const std::string& file : files) {
+    std::string pristine = Slurp(file);
+    for (size_t byte : {size_t{0}, pristine.size() / 2, pristine.size() - 1}) {
+      FlipBit(file, byte, static_cast<int>(byte % 8));
+      SinewDb corrupted;
+      EXPECT_FALSE(LoadDatabase(&corrupted, dir).ok())
+          << file << " byte " << byte;
+      // Failure-atomic: nothing stuck to the db.
+      EXPECT_TRUE(corrupted.Tables().empty());
+      EXPECT_EQ(corrupted.catalog()->size(), 0u);
+      Spit(file, pristine);
+    }
+  }
+  SinewDb db;
+  EXPECT_TRUE(LoadDatabase(&db, dir).ok());
+  fs::remove_all(dir);
+}
+
+// ---- failure atomicity & generation fallback ----
+
+TEST(Persistence, LoadIsFailureAtomicOnMissingTableImage) {
+  std::string dir = TempDir("fail_atomic");
+  {
+    SinewDb db;
+    ASSERT_TRUE(db.LoadJsonLines("aaa", R"({"x": 1})").ok());
+    ASSERT_TRUE(db.LoadJsonLines("zzz", R"({"y": 2})").ok());
+    ASSERT_TRUE(SaveDatabase(&db, dir).ok());
+  }
+  // Remove the *last* table image so the restore fails after "aaa" has
+  // already been recreated — the half-populated case.
+  std::string victim = dir + "/gen-000001/table_zzz.tbl";
+  ASSERT_TRUE(fs::remove(victim));
+  SinewDb db;
+  Status st = LoadDatabase(&db, dir);
+  ASSERT_FALSE(st.ok());
+  // Rolled back: no tables, no catalog state, no engine-side leftovers.
+  EXPECT_TRUE(db.Tables().empty());
+  EXPECT_EQ(db.catalog()->size(), 0u);
+  EXPECT_FALSE(db.engine()->catalog()->GetTable("aaa").ok());
+  // The same instance is usable afterwards: a fresh load succeeds...
+  std::string good = TempDir("fail_atomic_good");
+  {
+    SinewDb other;
+    ASSERT_TRUE(other.LoadJsonLines("ok", R"({"z": 3})").ok());
+    ASSERT_TRUE(SaveDatabase(&other, good).ok());
+  }
+  ASSERT_TRUE(LoadDatabase(&db, good).ok());
+  EXPECT_EQ(db.Query("SELECT z FROM ok")->rows[0][0].int_value(), 3);
+  fs::remove_all(dir);
+  fs::remove_all(good);
+}
+
+TEST(Persistence, LoadIsFailureAtomicOnTruncatedTableImage) {
+  std::string dir = TempDir("fail_atomic_trunc");
+  {
+    SinewDb db;
+    ASSERT_TRUE(db.LoadJsonLines("aaa", R"({"x": 1})").ok());
+    ASSERT_TRUE(db.LoadJsonLines("zzz", R"({"y": 2})").ok());
+    ASSERT_TRUE(SaveDatabase(&db, dir).ok());
+  }
+  std::string victim = dir + "/gen-000001/table_zzz.tbl";
+  std::string bytes = Slurp(victim);
+  Spit(victim, std::string_view(bytes).substr(0, bytes.size() / 2));
+  SinewDb db;
+  ASSERT_FALSE(LoadDatabase(&db, dir).ok());
+  EXPECT_TRUE(db.Tables().empty());
+  EXPECT_EQ(db.catalog()->size(), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, RecoverFallsBackToPreviousGeneration) {
+  std::string dir = TempDir("fallback");
+  SinewDb db;
+  ASSERT_TRUE(db.LoadJsonLines("t", R"({"m": 1})").ok());
+  ASSERT_TRUE(SaveDatabase(&db, dir).ok());  // gen 1: one row
+  ASSERT_TRUE(db.LoadJsonLines("t", R"({"m": 2})").ok());
+  ASSERT_TRUE(SaveDatabase(&db, dir).ok());  // gen 2: two rows
+  EXPECT_TRUE(fs::exists(dir + "/gen-000001"));
+  EXPECT_TRUE(fs::exists(dir + "/gen-000002"));
+
+  // Damage the committed generation.
+  std::string victim = dir + "/gen-000002/catalog.sinew";
+  FlipBit(victim, Slurp(victim).size() / 2, 3);
+
+  // Strict load refuses and names the fallback.
+  SinewDb strict;
+  Status st = LoadDatabase(&strict, dir);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("RecoverDatabase"), std::string::npos)
+      << st.ToString();
+  EXPECT_TRUE(strict.Tables().empty());
+
+  // Recovery falls back to generation 1 (the one-row state).
+  SinewDb recovered;
+  auto info = RecoverDatabase(&recovered, dir);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->used_fallback);
+  EXPECT_EQ(info->loaded_generation, 1u);
+  EXPECT_FALSE(info->fallback_reason.empty());
+  EXPECT_EQ(recovered.Query("SELECT COUNT(*) FROM t")->rows[0][0].int_value(),
+            1);
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, RecoverWithoutFallbackReportsBothProblems) {
+  std::string dir = TempDir("no_fallback");
+  {
+    SinewDb db;
+    ASSERT_TRUE(db.LoadJsonLines("t", R"({"m": 1})").ok());
+    ASSERT_TRUE(SaveDatabase(&db, dir).ok());
+  }
+  std::string victim = dir + "/gen-000001/catalog.sinew";
+  FlipBit(victim, 4, 1);
+  SinewDb db;
+  auto info = RecoverDatabase(&db, dir);
+  ASSERT_FALSE(info.ok());
+  EXPECT_TRUE(db.Tables().empty());
+  fs::remove_all(dir);
+}
+
+TEST(Persistence, RepeatedSavesGarbageCollectOldGenerations) {
+  std::string dir = TempDir("gc");
+  SinewDb db;
+  ASSERT_TRUE(db.LoadJsonLines("t", R"({"m": 1})").ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(SaveDatabase(&db, dir).ok());
+  }
+  // Only the committed generation and its fallback survive.
+  EXPECT_FALSE(fs::exists(dir + "/gen-000001"));
+  EXPECT_FALSE(fs::exists(dir + "/gen-000002"));
+  EXPECT_TRUE(fs::exists(dir + "/gen-000003"));
+  EXPECT_TRUE(fs::exists(dir + "/gen-000004"));
+  // No temp files linger anywhere.
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+  SinewDb restored;
+  ASSERT_TRUE(LoadDatabase(&restored, dir).ok());
+  EXPECT_EQ(restored.Query("SELECT COUNT(*) FROM t")->rows[0][0].int_value(),
+            1);
+  fs::remove_all(dir);
 }
 
 TEST(ArrayOffload, ScalarArrayElementsBecomeTuples) {
