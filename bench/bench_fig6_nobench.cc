@@ -18,13 +18,15 @@ using sinew::bench::Timer;
 
 namespace {
 
-void RunScale(const char* label, uint64_t records) {
+void RunScale(const char* label, uint64_t records, int threads) {
   nb::Config config;
   config.num_records = records;
   std::vector<sinew::Value> docs = nb::Generate(config);
   nb::QueryParams params = nb::MakeQueryParams(config);
 
-  auto runners = nb::MakeAllRunners();
+  sinew::SinewOptions sinew_options;
+  sinew_options.parallelism = threads;
+  auto runners = nb::MakeAllRunners(sinew_options);
   for (auto& runner : runners) {
     sinew::Status st = runner->Load(docs);
     if (st.ok()) st = runner->Prepare();
@@ -60,10 +62,13 @@ void RunScale(const char* label, uint64_t records) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = sinew::bench::ThreadsFromArgs(argc, argv);
   PrintHeader("Figure 6: NoBench Q1-Q10 execution time");
-  RunScale("small (Figure 6a)", Scaled(8000));
-  RunScale("large (Figure 6b)", Scaled(32000));
+  std::printf("Sinew parallelism: %d thread%s (--threads=N to change)\n",
+              threads, threads == 1 ? "" : "s");
+  RunScale("small (Figure 6a)", Scaled(8000), threads);
+  RunScale("large (Figure 6b)", Scaled(32000), threads);
   std::printf(
       "\nPaper shape: Sinew fastest or tied on every query; PG-JSON and EAV\n"
       "an order of magnitude slower on projections/selections; MongoDB-like\n"

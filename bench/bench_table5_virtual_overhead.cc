@@ -36,14 +36,19 @@ double BestOfRuns(sinew::SinewDb* db, const std::string& sql, int runs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = sinew::bench::ThreadsFromArgs(argc, argv);
   PrintHeader("Table 5: virtual vs. physical column overhead (Appendix B)");
+  std::printf("Sinew parallelism: %d thread%s (--threads=N to change)\n",
+              threads, threads == 1 ? "" : "s");
   tw::Config config;
   config.num_tweets = Scaled(40000);
   config.num_deletes = 0;
 
-  sinew::SinewDb virtual_db;
-  sinew::SinewDb physical_db;
+  sinew::SinewOptions options;
+  options.parallelism = threads;
+  sinew::SinewDb virtual_db(options);
+  sinew::SinewDb physical_db(options);
   auto tweets = tw::GenerateTweets(config);
   if (!virtual_db.LoadDocuments("tweets", tweets).ok() ||
       !physical_db.LoadDocuments("tweets", tweets).ok()) {

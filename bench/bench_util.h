@@ -28,6 +28,25 @@ inline uint64_t Scaled(uint64_t base) {
   return static_cast<uint64_t>(static_cast<double>(base) * ScaleFromEnv());
 }
 
+/// Parallelism degree for Sinew in the benchmark binaries: `--threads=N` on
+/// the command line, else SINEW_BENCH_THREADS, else 1 (serial, the
+/// paper-faithful configuration). Compare --threads=1 vs --threads=4 runs
+/// for the morsel-driven speedup.
+inline int ThreadsFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      int threads = std::atoi(arg.c_str() + 10);
+      if (threads > 0) return threads;
+    }
+  }
+  if (const char* env = std::getenv("SINEW_BENCH_THREADS")) {
+    int threads = std::atoi(env);
+    if (threads > 0) return threads;
+  }
+  return 1;
+}
+
 class Timer {
  public:
   Timer() : start_(std::chrono::steady_clock::now()) {}

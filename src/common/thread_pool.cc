@@ -1,0 +1,116 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace sinew {
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<Status()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<Status> ThreadPool::Submit(std::function<Status()> fn) {
+  std::packaged_task<Status()> task(std::move(fn));
+  std::future<Status> future = task.get_future();
+  {
+    std::lock_guard lock(mu_);
+    if (!shutdown_ && !workers_.empty()) {
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return future;
+    }
+  }
+  task();  // no workers (or shut down): run inline, future already wired
+  return future;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Status ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end, uint64_t chunk, size_t degree,
+    const std::function<Status(uint64_t, uint64_t)>& fn) {
+  if (begin >= end) return Status::OK();
+  chunk = std::max<uint64_t>(chunk, 1);
+  const uint64_t total_chunks = (end - begin + chunk - 1) / chunk;
+  degree = std::min<size_t>({degree, worker_count(), total_chunks});
+  if (degree <= 1) {
+    for (uint64_t lo = begin; lo < end; lo += chunk) {
+      RETURN_NOT_OK(fn(lo, std::min(end, lo + chunk)));
+    }
+    return Status::OK();
+  }
+
+  // Shared-cursor claims: each task loops taking the next chunk until the
+  // range is drained or some task failed.
+  auto cursor = std::make_shared<std::atomic<uint64_t>>(begin);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  auto body = [cursor, failed, begin, end, chunk, &fn]() -> Status {
+    (void)begin;
+    while (!failed->load(std::memory_order_relaxed)) {
+      uint64_t lo = cursor->fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return Status::OK();
+      Status st = fn(lo, std::min(end, lo + chunk));
+      if (!st.ok()) {
+        failed->store(true, std::memory_order_relaxed);
+        return st;
+      }
+    }
+    return Status::OK();
+  };
+  std::vector<std::future<Status>> futures;
+  futures.reserve(degree);
+  for (size_t i = 0; i < degree; ++i) futures.push_back(Submit(body));
+  Status first;
+  for (std::future<Status>& f : futures) {
+    Status st = f.get();
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    size_t n = 0;
+    if (const char* env = std::getenv("SINEW_THREADS")) {
+      long parsed = std::atol(env);
+      if (parsed > 0) n = static_cast<size_t>(parsed);
+    }
+    if (n == 0) {
+      n = std::max<size_t>(2, std::thread::hardware_concurrency());
+    }
+    return new ThreadPool(std::min<size_t>(n, 64));
+  }();
+  return pool;
+}
+
+}  // namespace sinew

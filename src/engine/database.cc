@@ -34,7 +34,7 @@ Datum CoerceForColumn(Datum value, ColumnType type) {
 /// corresponding live slot list for programmatic row iteration.
 void ScanSchemaFor(const Table& table, const std::string& alias,
                    ExecSchema* schema, std::vector<size_t>* live_slots) {
-  const Schema& s = table.schema();
+  const Schema s = table.SchemaSnapshot();
   *live_slots = s.LiveSlots();
   for (size_t slot : *live_slots) {
     const Column& col = s.columns()[slot];
@@ -131,7 +131,7 @@ Result<QueryResult> Database::ExecuteCreateTable(
 
 Result<QueryResult> Database::ExecuteInsert(const InsertStatement& stmt) {
   ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
-  const Schema& schema = table->schema();
+  const Schema schema = table->SchemaSnapshot();
   std::vector<size_t> live = schema.LiveSlots();
   // Target slots, in VALUES order.
   std::vector<size_t> targets;
@@ -180,7 +180,7 @@ Result<QueryResult> Database::ExecuteUpdate(const UpdateStatement& stmt) {
   };
   std::vector<BoundAssignment> assignments;
   for (const auto& [column, expr] : stmt.assignments) {
-    std::optional<size_t> slot = table->schema().FindColumn(column);
+    std::optional<size_t> slot = table->FindColumnLatched(column);
     if (!slot.has_value()) {
       return Status::NotFound("column ", column, " does not exist");
     }
@@ -191,9 +191,9 @@ Result<QueryResult> Database::ExecuteUpdate(const UpdateStatement& stmt) {
     assignments.push_back(std::move(bound));
   }
 
-  // Snapshot the schema for decoding (no DDL runs concurrently with DML in
-  // our workloads; the table latch serializes row-level access).
-  Schema schema_snapshot = table->schema();
+  // Snapshot the schema for decoding (the table latch serializes row-level
+  // access; the snapshot keeps decoding consistent if DDL lands mid-scan).
+  Schema schema_snapshot = table->SchemaSnapshot();
 
   // Projection pushdown for the predicate pass: decode only the slots the
   // WHERE clause references; full rows are read for matches only.

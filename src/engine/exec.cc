@@ -1,9 +1,15 @@
 #include "engine/exec.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+
+#include "common/thread_pool.h"
 
 namespace sinew::engine {
 
@@ -16,18 +22,38 @@ uint64_t RowBytes(const DatumRow& row) {
 }
 
 struct ExecContext {
-  const UdfRegistry* udfs;
-  uint64_t mem_limit;
-  uint64_t mem_used = 0;
+  const UdfRegistry* udfs = nullptr;
+  uint64_t mem_limit = 0;
+  ThreadPool* pool = nullptr;
+  // Shared across Gather workers, so the budget covers the whole query.
+  std::atomic<uint64_t> mem_used{0};
 
   Status Charge(uint64_t bytes) {
-    mem_used += bytes;
-    if (mem_limit != 0 && mem_used > mem_limit) {
+    uint64_t used =
+        mem_used.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (mem_limit != 0 && used > mem_limit) {
       return Status::Aborted(
           "query aborted: intermediate results exceeded the ", mem_limit,
           "-byte budget (needed more scratch space)");
     }
     return Status::OK();
+  }
+};
+
+/// Shared work queue of row ranges for a parallel base-table scan: worker
+/// pipelines claim fixed-size morsels from an atomic cursor, so fast workers
+/// steal the tail instead of idling behind a static partition.
+struct MorselSource {
+  static constexpr uint64_t kMorselRows = 4096;
+  std::atomic<uint64_t> next{0};
+  uint64_t end = 0;  // set once by GatherOp before workers start
+
+  bool Claim(uint64_t* lo, uint64_t* hi) {
+    uint64_t claimed = next.fetch_add(kMorselRows, std::memory_order_relaxed);
+    if (claimed >= end) return false;
+    *lo = claimed;
+    *hi = std::min(end, claimed + kMorselRows);
+    return true;
   }
 };
 
@@ -45,14 +71,18 @@ using OperatorPtr = std::unique_ptr<Operator>;
 
 class ScanOp : public Operator {
  public:
-  ScanOp(const PlanNode& node, ExecContext* ctx) : node_(node), ctx_(ctx) {}
+  /// With a MorselSource the scan claims row ranges from it instead of
+  /// walking the whole table — the shape each Gather worker runs.
+  ScanOp(const PlanNode& node, ExecContext* ctx,
+         MorselSource* morsels = nullptr)
+      : node_(node), ctx_(ctx), morsels_(morsels) {}
 
   Status Open() override {
     Table* table = node_.table;
     std::shared_lock lock(table->latch());
     schema_ = table->SchemaUnlocked();  // snapshot
     live_slots_ = schema_.LiveSlots();
-    end_ = table->RowSlotCountUnlocked();
+    end_ = morsels_ != nullptr ? 0 : table->RowSlotCountUnlocked();
     rid_ = 0;
     const size_t rid_position = live_slots_.size();
     // The plan was built against an earlier schema snapshot; if a
@@ -100,7 +130,8 @@ class ScanOp : public Operator {
   Result<bool> Next(DatumRow* out) override {
     Table* table = node_.table;
     const size_t rid_position = live_slots_.size();
-    while (rid_ < end_) {
+    while (rid_ < end_ ||
+           (morsels_ != nullptr && morsels_->Claim(&rid_, &end_))) {
       // Chunked shared latching: hold the latch for up to kScanChunk rows so
       // the background materializer's row updates can interleave.
       std::shared_lock lock(table->latch());
@@ -148,6 +179,7 @@ class ScanOp : public Operator {
  private:
   const PlanNode& node_;
   ExecContext* ctx_;
+  MorselSource* morsels_;
   Schema schema_;
   std::vector<size_t> live_slots_;
   std::vector<size_t> filter_slots_;
@@ -572,6 +604,31 @@ struct Accumulator {
     if (max.is_null() || Datum::Compare(v, max) > 0) max = v;
   }
 
+  /// Folds another accumulator's state into this one (Gather merges
+  /// per-worker partial aggregates with this at the barrier).
+  void Merge(const Accumulator& other) {
+    if (!other.any) return;
+    any = true;
+    count += other.count;
+    if (as_double || other.as_double) {
+      double mine = as_double ? dsum : static_cast<double>(isum);
+      double theirs =
+          other.as_double ? other.dsum : static_cast<double>(other.isum);
+      dsum = mine + theirs;
+      as_double = true;
+    } else {
+      isum += other.isum;
+    }
+    if (!other.min.is_null() &&
+        (min.is_null() || Datum::Compare(other.min, min) < 0)) {
+      min = other.min;
+    }
+    if (!other.max.is_null() &&
+        (max.is_null() || Datum::Compare(other.max, max) > 0)) {
+      max = other.max;
+    }
+  }
+
   Datum Sum() const {
     if (!any) return Datum::Null();
     return as_double ? Datum::Double(dsum) : Datum::Int(isum);
@@ -586,6 +643,14 @@ struct Accumulator {
 struct GroupState {
   int64_t star_count = 0;
   std::vector<Accumulator> accs;
+
+  void Merge(const GroupState& other, size_t num_aggs) {
+    if (accs.size() < num_aggs) accs.resize(num_aggs);
+    star_count += other.star_count;
+    for (size_t i = 0; i < other.accs.size(); ++i) {
+      accs[i].Merge(other.accs[i]);
+    }
+  }
 };
 
 Result<DatumRow> FinalizeGroup(const PlanNode& node, const DatumRow& keys,
@@ -785,16 +850,220 @@ class LimitOp : public Operator {
   int64_t emitted_ = 0;
 };
 
-Result<OperatorPtr> BuildOperator(const PlanNode& node, ExecContext* ctx) {
+Result<OperatorPtr> BuildOperator(const PlanNode& node, ExecContext* ctx,
+                                  MorselSource* morsels);
+
+// ---------------------------------------------------------------- Gather
+//
+// Runs its single child pipeline on `parallel_degree` pool workers, each
+// instantiating its own operator tree over a shared MorselSource, and merges
+// the worker streams:
+//  - streaming mode (child is a scan/filter/project chain): workers push
+//    rows into a bounded queue; Next() pops in arrival order. Row order is
+//    nondeterministic — the planner only parallelizes where order is free.
+//  - partial-aggregation mode (child is a HashAggregate): each worker runs
+//    the aggregate's input pipeline into a private group map; Open() merges
+//    the raw accumulators at the barrier (so AVG/SUM merge exactly, not via
+//    finalized values) and Next() drains the finalized groups.
+class GatherOp : public Operator {
+ public:
+  GatherOp(const PlanNode& node, ExecContext* ctx) : node_(node), ctx_(ctx) {}
+
+  ~GatherOp() override {
+    // An abandoned stream (e.g. a Limit above us stopped pulling, or the
+    // query aborted) must release blocked producers before the queue dies.
+    {
+      std::lock_guard lock(mu_);
+      cancelled_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+    for (std::future<Status>& f : futures_) {
+      if (!f.valid()) continue;
+      try {
+        f.get();
+      } catch (...) {  // a worker exception must not escape the destructor
+      }
+    }
+  }
+
+  Status Open() override {
+    const PlanNode& child = *node_.children[0];
+    partial_agg_ = child.kind == PlanKind::kHashAggregate;
+    // The morsel source covers the pipeline's single base table; snapshot
+    // its row count once so every worker scans the same prefix.
+    const PlanNode* leaf = &child;
+    while (!leaf->children.empty()) leaf = leaf->children[0].get();
+    if (leaf->kind != PlanKind::kSeqScan || leaf->table == nullptr) {
+      return Status::Internal("Gather child pipeline has no base-table scan");
+    }
+    {
+      std::shared_lock lock(leaf->table->latch());
+      morsels_.end = leaf->table->RowSlotCountUnlocked();
+    }
+    ThreadPool* pool =
+        ctx_->pool != nullptr ? ctx_->pool : ThreadPool::Shared();
+    size_t degree = static_cast<size_t>(std::max(1, node_.parallel_degree));
+    degree = std::min(degree, std::max<size_t>(1, pool->worker_count()));
+    active_workers_ = degree;
+    futures_.reserve(degree);
+    for (size_t i = 0; i < degree; ++i) {
+      futures_.push_back(pool->Submit([this] { return RunWorker(); }));
+    }
+    if (partial_agg_) {
+      // Barrier: every worker's partial state must land before finalize.
+      Status first;
+      for (std::future<Status>& f : futures_) {
+        Status st = f.get();
+        if (!st.ok() && first.ok()) first = st;
+      }
+      futures_.clear();
+      RETURN_NOT_OK(first);
+      return FinalizeAggregate();
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    if (partial_agg_) {
+      if (agg_pos_ >= agg_results_.size()) return false;
+      *out = std::move(agg_results_[agg_pos_]);
+      ++agg_pos_;
+      return true;
+    }
+    std::unique_lock lock(mu_);
+    while (true) {
+      if (!worker_status_.ok()) return worker_status_;
+      if (!queue_.empty()) {
+        *out = std::move(queue_.front());
+        queue_.pop_front();
+        not_full_.notify_one();
+        return true;
+      }
+      if (active_workers_ == 0) return false;
+      not_empty_.wait(lock);
+    }
+  }
+
+ private:
+  static constexpr size_t kQueueCap = 1024;
+
+  Status RunWorker() {
+    Status st = partial_agg_ ? RunAggWorker() : RunStreamWorker();
+    std::lock_guard lock(mu_);
+    if (!st.ok() && worker_status_.ok()) {
+      worker_status_ = st;
+      cancelled_ = true;  // stop sibling workers promptly
+      not_full_.notify_all();
+    }
+    --active_workers_;
+    not_empty_.notify_all();
+    return st;
+  }
+
+  Status RunStreamWorker() {
+    ASSIGN_OR_RETURN(OperatorPtr op,
+                     BuildOperator(*node_.children[0], ctx_, &morsels_));
+    RETURN_NOT_OK(op->Open());
+    DatumRow row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, op->Next(&row));
+      if (!has) return Status::OK();
+      std::unique_lock lock(mu_);
+      not_full_.wait(lock, [this] {
+        return cancelled_ || queue_.size() < kQueueCap;
+      });
+      if (cancelled_) return Status::OK();
+      queue_.push_back(std::move(row));
+      not_empty_.notify_one();
+    }
+  }
+
+  Status RunAggWorker() {
+    const PlanNode& agg = *node_.children[0];
+    ASSIGN_OR_RETURN(OperatorPtr op,
+                     BuildOperator(*agg.children[0], ctx_, &morsels_));
+    RETURN_NOT_OK(op->Open());
+    std::unordered_map<DatumRow, GroupState, RowHasher, RowEq> local;
+    DatumRow row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, op->Next(&row));
+      if (!has) break;
+      DatumRow keys;
+      keys.reserve(agg.group_keys.size());
+      for (const ExprPtr& k : agg.group_keys) {
+        ASSIGN_OR_RETURN(Datum v, EvalExpr(*k, row, ctx_->udfs));
+        keys.push_back(std::move(v));
+      }
+      auto [it, inserted] = local.try_emplace(std::move(keys));
+      if (inserted) {
+        RETURN_NOT_OK(ctx_->Charge(RowBytes(it->first) + 64));
+      }
+      RETURN_NOT_OK(AccumulateRow(agg, row, &it->second, ctx_));
+    }
+    std::lock_guard lock(agg_mu_);
+    for (auto& [keys, state] : local) {
+      auto [it, inserted] = groups_.try_emplace(keys);
+      it->second.Merge(state, agg.aggs.size());
+    }
+    return Status::OK();
+  }
+
+  Status FinalizeAggregate() {
+    const PlanNode& agg = *node_.children[0];
+    // Aggregate without GROUP BY over empty input: one row of initial
+    // accumulator values, matching the serial HashAggregateOp.
+    if (groups_.empty() && agg.group_keys.empty()) {
+      GroupState empty;
+      empty.accs.resize(agg.aggs.size());
+      ASSIGN_OR_RETURN(DatumRow out, FinalizeGroup(agg, {}, empty));
+      agg_results_.push_back(std::move(out));
+    }
+    for (const auto& [keys, state] : groups_) {
+      ASSIGN_OR_RETURN(DatumRow out, FinalizeGroup(agg, keys, state));
+      agg_results_.push_back(std::move(out));
+    }
+    agg_pos_ = 0;
+    return Status::OK();
+  }
+
+  const PlanNode& node_;
+  ExecContext* ctx_;
+  bool partial_agg_ = false;
+  MorselSource morsels_;
+  std::vector<std::future<Status>> futures_;
+
+  // Streaming-mode merge state (all guarded by mu_).
+  std::mutex mu_;
+  std::condition_variable not_empty_, not_full_;
+  std::deque<DatumRow> queue_;
+  size_t active_workers_ = 0;
+  bool cancelled_ = false;
+  Status worker_status_;
+
+  // Partial-aggregation merge state.
+  std::mutex agg_mu_;
+  std::unordered_map<DatumRow, GroupState, RowHasher, RowEq> groups_;
+  std::vector<DatumRow> agg_results_;
+  size_t agg_pos_ = 0;
+};
+
+Result<OperatorPtr> BuildOperator(const PlanNode& node, ExecContext* ctx,
+                                  MorselSource* morsels) {
+  // Gather builds its own child trees (one per worker, over a shared morsel
+  // source), so don't recurse here.
+  if (node.kind == PlanKind::kGather) {
+    return OperatorPtr(new GatherOp(node, ctx));
+  }
   std::vector<OperatorPtr> children;
   children.reserve(node.children.size());
   for (const auto& child : node.children) {
-    ASSIGN_OR_RETURN(OperatorPtr op, BuildOperator(*child, ctx));
+    ASSIGN_OR_RETURN(OperatorPtr op, BuildOperator(*child, ctx, morsels));
     children.push_back(std::move(op));
   }
   switch (node.kind) {
     case PlanKind::kSeqScan:
-      return OperatorPtr(new ScanOp(node, ctx));
+      return OperatorPtr(new ScanOp(node, ctx, morsels));
     case PlanKind::kFilter:
       return OperatorPtr(new FilterOp(node, std::move(children[0]), ctx));
     case PlanKind::kProject:
@@ -820,6 +1089,8 @@ Result<OperatorPtr> BuildOperator(const PlanNode& node, ExecContext* ctx) {
       return OperatorPtr(new UniqueOp(std::move(children[0])));
     case PlanKind::kLimit:
       return OperatorPtr(new LimitOp(node, std::move(children[0])));
+    case PlanKind::kGather:
+      break;  // handled above
   }
   return Status::Internal("unknown plan node kind");
 }
@@ -828,8 +1099,11 @@ Result<OperatorPtr> BuildOperator(const PlanNode& node, ExecContext* ctx) {
 
 Result<QueryResult> ExecutePlan(const PlanNode& plan, const UdfRegistry* udfs,
                                 const ExecOptions& options) {
-  ExecContext ctx{udfs, options.max_intermediate_bytes};
-  ASSIGN_OR_RETURN(OperatorPtr root, BuildOperator(plan, &ctx));
+  ExecContext ctx;
+  ctx.udfs = udfs;
+  ctx.mem_limit = options.max_intermediate_bytes;
+  ctx.pool = options.pool;
+  ASSIGN_OR_RETURN(OperatorPtr root, BuildOperator(plan, &ctx, nullptr));
   RETURN_NOT_OK(root->Open());
   QueryResult result;
   for (const ExecSchema::Col& col : plan.output_schema.cols) {

@@ -17,12 +17,19 @@
 #include "engine/plan.h"
 #include "engine/udf.h"
 
+namespace sinew {
+class ThreadPool;
+}  // namespace sinew
+
 namespace sinew::engine {
 
 struct ExecOptions {
   /// Budget for materialized intermediate state (sort buffers, hash tables,
   /// inner relations). 0 = unlimited.
   uint64_t max_intermediate_bytes = 4ull << 30;
+  /// Worker pool Gather nodes run their child pipelines on. nullptr means
+  /// ThreadPool::Shared(). Serial plans (no Gather node) never touch it.
+  ThreadPool* pool = nullptr;
 };
 
 struct QueryResult {

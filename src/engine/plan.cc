@@ -28,6 +28,8 @@ const char* PlanKindName(PlanKind kind) {
       return "Unique";
     case PlanKind::kLimit:
       return "Limit";
+    case PlanKind::kGather:
+      return "Gather";
   }
   return "?";
 }
@@ -88,6 +90,9 @@ std::string PlanNode::Summary() const {
     case PlanKind::kHashAggregate:
     case PlanKind::kGroupAggregate:
       out << " (keys: " << ExprListToString(group_keys) << ")";
+      break;
+    case PlanKind::kGather:
+      out << " (workers=" << parallel_degree << ")";
       break;
     case PlanKind::kUnique:
     case PlanKind::kLimit:

@@ -28,6 +28,7 @@ enum class PlanKind : uint8_t {
   kGroupAggregate,  // aggregation over sorted input
   kUnique,          // DISTINCT over sorted input
   kLimit,
+  kGather,          // merge of a parallel (morsel-driven) child pipeline
 };
 
 const char* PlanKindName(PlanKind kind);
@@ -83,6 +84,11 @@ struct PlanNode {
 
   // kLimit
   int64_t limit = -1;
+
+  // kGather: number of worker tasks the child pipeline runs on. The single
+  // child is the template pipeline each worker instantiates over its own
+  // morsel stream (see exec.cc).
+  int parallel_degree = 0;
 
   /// EXPLAIN rendering (multi-line tree).
   std::string DebugString() const;

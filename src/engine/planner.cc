@@ -75,6 +75,9 @@ class Planner::SelectPlanner {
   Result<PlanPtr> AddDistinct(PlanPtr child);
   Result<PlanPtr> AddOrderByAndLimit(PlanPtr child,
                                      std::vector<OrderItem> order_by);
+  void ParallelizePlan(PlanPtr* node) const;
+  int ParallelDegreeFor(const PlanNode& chain) const;
+  static bool IsPipelineChain(const PlanNode& node);
 
   double ConjunctSelectivity(const Expr& conjunct, const ScanInfo& scan) const;
   double ExprDistinct(const Expr& expr, const ExecSchema& schema) const;
@@ -120,7 +123,9 @@ Status Planner::SelectPlanner::BuildScans() {
     if (!seen_aliases.insert(info.alias).second) {
       return Status::InvalidArgument("duplicate table alias ", info.alias);
     }
-    const Schema& schema = table->schema();
+    // Snapshot under the latch: the background materializer may be adding
+    // or dropping columns concurrently (the executor re-validates at Open).
+    const Schema schema = table->SchemaSnapshot();
     for (size_t slot : schema.LiveSlots()) {
       const Column& col = schema.columns()[slot];
       info.schema.cols.push_back(
@@ -892,6 +897,60 @@ Result<PlanPtr> Planner::SelectPlanner::AddOrderByAndLimit(
   return child;
 }
 
+// A scan → filter → project pipeline: the plan shape Gather workers can run
+// independently over disjoint morsels (one base table, no blocking state).
+bool Planner::SelectPlanner::IsPipelineChain(const PlanNode& node) {
+  if (node.kind == PlanKind::kSeqScan) return true;
+  if ((node.kind == PlanKind::kFilter || node.kind == PlanKind::kProject) &&
+      node.children.size() == 1) {
+    return IsPipelineChain(*node.children[0]);
+  }
+  return false;
+}
+
+int Planner::SelectPlanner::ParallelDegreeFor(const PlanNode& chain) const {
+  const PlanNode* leaf = &chain;
+  while (!leaf->children.empty()) leaf = leaf->children[0].get();
+  auto it = table_rows_by_alias_.find(leaf->alias);
+  double rows = it != table_rows_by_alias_.end() ? it->second : 0.0;
+  // Each worker should have at least parallel_min_rows rows to chew on;
+  // otherwise fan-out overhead dominates and the pipeline stays serial.
+  double workers = std::ceil(rows / std::max(options_.parallel_min_rows, 1.0));
+  return static_cast<int>(
+      std::min(static_cast<double>(options_.parallelism), workers));
+}
+
+// Post-pass: wrap every maximal parallelizable subtree in a Gather node.
+// Two shapes qualify — a bare scan pipeline (streaming merge) and a hash
+// aggregate directly over one (per-worker partial aggregation merged at the
+// barrier). Everything else recurses, so e.g. both join inputs or the
+// pipeline under a Sort still go parallel.
+void Planner::SelectPlanner::ParallelizePlan(PlanPtr* node) const {
+  PlanNode& n = **node;
+  const PlanNode* chain = nullptr;
+  if (n.kind == PlanKind::kHashAggregate && n.children.size() == 1 &&
+      IsPipelineChain(*n.children[0])) {
+    chain = n.children[0].get();
+  } else if (IsPipelineChain(n)) {
+    chain = &n;
+  }
+  if (chain != nullptr) {
+    int degree = ParallelDegreeFor(*chain);
+    if (degree > 1) {
+      auto gather = std::make_unique<PlanNode>();
+      gather->kind = PlanKind::kGather;
+      gather->output_schema = n.output_schema;
+      gather->est_rows = n.est_rows;
+      gather->parallel_degree = degree;
+      gather->children.push_back(std::move(*node));
+      *node = std::move(gather);
+      return;
+    }
+    if (chain == &n) return;  // too small; nothing beneath to parallelize
+  }
+  for (PlanPtr& child : n.children) ParallelizePlan(&child);
+}
+
 Result<PlanPtr> Planner::SelectPlanner::Plan() {
   RETURN_NOT_OK(BuildScans());
   RETURN_NOT_OK(CollectColumnUsage());
@@ -930,7 +989,10 @@ Result<PlanPtr> Planner::SelectPlanner::Plan() {
   if (stmt_.distinct) {
     ASSIGN_OR_RETURN(root, AddDistinct(std::move(root)));
   }
-  return AddOrderByAndLimit(std::move(root), std::move(order_by));
+  ASSIGN_OR_RETURN(root,
+                   AddOrderByAndLimit(std::move(root), std::move(order_by)));
+  if (options_.parallelism > 1) ParallelizePlan(&root);
+  return root;
 }
 
 Result<PlanPtr> Planner::PlanSelect(const SelectStatement& stmt) const {

@@ -39,6 +39,12 @@ struct PlannerOptions {
   /// Postgres's memory-bounded plan choices.
   double hash_agg_max_groups = 100000;
   double hash_join_max_build_rows = 1000000;
+  /// Intra-query parallelism: maximum Gather degree. 1 keeps plans serial.
+  int parallelism = 1;
+  /// Parallelization threshold: a scan pipeline goes parallel only when its
+  /// base table has at least this many rows per worker, so the chosen degree
+  /// is min(parallelism, ceil(rows / parallel_min_rows)).
+  double parallel_min_rows = 8192;
 };
 
 class Planner {

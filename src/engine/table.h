@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -37,7 +38,25 @@ class Table {
   Table& operator=(const Table&) = delete;
 
   const std::string& name() const { return name_; }
+  /// Unsynchronized schema reference. Safe only when no concurrent schema
+  /// evolution is possible (single-threaded use, or the caller holds the
+  /// maintenance latch that serializes DDL). Read paths that can race with
+  /// the background materializer must use SchemaSnapshot /
+  /// FindColumnLatched instead.
   const Schema& schema() const { return schema_; }
+
+  /// Copy of the schema taken under the shared latch — for read paths
+  /// (planner, rewriter, DML planning) that race with online ADD/DROP
+  /// COLUMN by the materializer.
+  Schema SchemaSnapshot() const {
+    std::shared_lock lock(latch_);
+    return schema_;
+  }
+  /// Latched point lookup of a live column's slot.
+  std::optional<size_t> FindColumnLatched(std::string_view column) const {
+    std::shared_lock lock(latch_);
+    return schema_.FindColumn(column);
+  }
 
   // --- schema evolution (exclusive) ---
   Status AddColumn(Column column);

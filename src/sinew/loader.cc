@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/thread_pool.h"
 #include "json/json.h"
 #include "serial/sinew_format.h"
 
@@ -87,10 +88,6 @@ Result<uint64_t> Loader::LoadDocuments(const std::string& table,
   Result<engine::Table*> existing = db_->catalog()->GetTable(table);
   if (existing.ok()) {
     engine_table = *existing;
-    if (!engine_table->schema().FindColumn(kReservoirColumn).has_value()) {
-      return Status::InvalidArgument("table ", table,
-                                     " has no column reservoir");
-    }
   } else {
     engine::Schema schema;
     RETURN_NOT_OK(schema.AddColumn(engine::Column{
@@ -99,15 +96,14 @@ Result<uint64_t> Loader::LoadDocuments(const std::string& table,
                      db_->catalog()->CreateTable(table, std::move(schema)));
   }
 
-  // Loader and materializer are mutually exclusive (paper Section 3.1.4).
-  std::lock_guard maintenance(catalog_->MaintenanceLatch(table));
-
-  uint64_t loaded = 0;
-  for (const Value& doc : docs) {
+  // Validate everything up front so the batch is all-or-nothing before any
+  // row lands, and the parallel phase below never sees malformed input.
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const Value& doc = docs[i];
     if (!doc.is_object()) {
       return Status::InvalidArgument(
-          "document ", loaded, " is not an object (",
-          ValueTypeName(doc.type()), ")");
+          "document ", i, " is not an object (", ValueTypeName(doc.type()),
+          ")");
     }
     for (const auto& [key, value] : doc.members()) {
       (void)value;
@@ -115,17 +111,58 @@ Result<uint64_t> Loader::LoadDocuments(const std::string& table,
         return Status::InvalidArgument("reserved key name '", key, "'");
       }
     }
-    ASSIGN_OR_RETURN(std::string reservoir,
-                     serial::SerializeDocument(doc, catalog_));
-    const engine::Schema& schema = engine_table->schema();
-    std::optional<size_t> data_slot = schema.FindColumn(kReservoirColumn);
-    engine::DatumRow row(schema.num_slots());
-    row[*data_slot] = engine::Datum::Bytes(std::move(reservoir));
-    ASSIGN_OR_RETURN(uint64_t rid, engine_table->AppendRow(row));
+  }
 
-    std::set<uint32_t> ids;
-    RETURN_NOT_OK(CollectAttributeIds(doc, "", *catalog_, &ids));
-    for (uint32_t id : ids) {
+  // Loader and materializer are mutually exclusive (paper Section 3.1.4).
+  std::lock_guard maintenance(catalog_->MaintenanceLatch(table));
+  if (!engine_table->FindColumnLatched(kReservoirColumn).has_value()) {
+    return Status::InvalidArgument("table ", table,
+                                   " has no column reservoir");
+  }
+
+  // Phase 1 — serialize each document into its reservoir image and collect
+  // its attribute ids. This is the CPU-heavy part of a bulk load (catalog
+  // interning is internally synchronized), so it fans out over the shared
+  // pool; attribute-id interning order becomes nondeterministic, which is
+  // harmless — ids are opaque.
+  std::vector<std::string> reservoirs(docs.size());
+  std::vector<std::set<uint32_t>> doc_ids(docs.size());
+  auto serialize_range = [&](uint64_t lo, uint64_t hi) -> Status {
+    for (uint64_t i = lo; i < hi; ++i) {
+      ASSIGN_OR_RETURN(reservoirs[i],
+                       serial::SerializeDocument(docs[i], catalog_));
+      RETURN_NOT_OK(CollectAttributeIds(docs[i], "", *catalog_, &doc_ids[i]));
+    }
+    return Status::OK();
+  };
+  if (parallelism_ > 1 && docs.size() >= 64) {
+    RETURN_NOT_OK(ThreadPool::Shared()->ParallelFor(
+        0, docs.size(), 64, static_cast<size_t>(parallelism_),
+        serialize_range));
+  } else {
+    RETURN_NOT_OK(serialize_range(0, docs.size()));
+  }
+
+  // Phase 2 — append rows and update occurrence counts in document order
+  // (serial, so row ids match input order deterministically).
+  engine::Schema schema = engine_table->SchemaSnapshot();
+  uint64_t loaded = 0;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    Result<uint64_t> rid_or = 0;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      std::optional<size_t> data_slot = schema.FindColumn(kReservoirColumn);
+      engine::DatumRow row(schema.num_slots());
+      row[*data_slot] = engine::Datum::Bytes(reservoirs[i]);
+      rid_or = engine_table->AppendRow(row);
+      // A concurrent query's rewriter may add a physical column between our
+      // snapshot and the append; refresh the snapshot and retry once.
+      if (rid_or.ok() || !rid_or.status().IsInvalidArgument()) break;
+      schema = engine_table->SchemaSnapshot();
+    }
+    RETURN_NOT_OK(rid_or.status());
+    uint64_t rid = *rid_or;
+
+    for (uint32_t id : doc_ids[i]) {
       catalog_->AddOccurrences(table, id, 1);
       // Data for already-materialized attributes lands in the reservoir
       // first; flag the column dirty so the materializer moves it.
@@ -135,7 +172,7 @@ Result<uint64_t> Loader::LoadDocuments(const std::string& table,
       }
     }
     if (index != nullptr) {
-      IndexDocument(doc, "", rid, index);
+      IndexDocument(docs[i], "", rid, index);
     }
     ++loaded;
   }

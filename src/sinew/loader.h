@@ -30,6 +30,11 @@ class Loader {
   Loader(engine::Database* db, AttributeCatalog* catalog)
       : db_(db), catalog_(catalog) {}
 
+  /// Degree of parallelism for the document serialization phase of a bulk
+  /// load (the CPU-heavy part; appends stay serial to keep row order
+  /// deterministic). 1 = fully serial.
+  void SetParallelism(int degree) { parallelism_ = degree < 1 ? 1 : degree; }
+
   /// Loads parsed documents; creates the table (schema: `_data BYTES`) on
   /// first use. Returns the number of rows loaded. If `index` is non-null,
   /// scalar fields are added to it under their dotted paths.
@@ -45,6 +50,7 @@ class Loader {
  private:
   engine::Database* db_;
   AttributeCatalog* catalog_;
+  int parallelism_ = 1;
 };
 
 }  // namespace sinew

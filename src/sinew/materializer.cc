@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "engine/table.h"
 #include "serial/sinew_format.h"
 #include "sinew/loader.h"
@@ -50,11 +51,15 @@ Result<engine::Datum> DecodeAttributeValue(const serial::Attribute& attr,
 
 }  // namespace
 
-Result<bool> ColumnMaterializer::StartPassIfNeeded(const std::string& table) {
-  auto it = passes_.find(table);
-  if (it != passes_.end()) return true;  // pass already in flight
+Result<ColumnMaterializer::Pass*> ColumnMaterializer::StartPassIfNeeded(
+    const std::string& table) {
+  {
+    std::lock_guard lock(passes_mu_);
+    auto it = passes_.find(table);
+    if (it != passes_.end()) return &it->second;  // pass already in flight
+  }
   std::vector<uint32_t> dirty = catalog_->DirtyAttributes(table);
-  if (dirty.empty()) return false;
+  if (dirty.empty()) return static_cast<Pass*>(nullptr);
   ASSIGN_OR_RETURN(engine::Table * engine_table,
                    db_->catalog()->GetTable(table));
   // Ensure physical columns exist for attributes being materialized.
@@ -62,7 +67,7 @@ Result<bool> ColumnMaterializer::StartPassIfNeeded(const std::string& table) {
     std::optional<AttributeState> state = catalog_->GetState(table, id);
     if (!state.has_value()) continue;
     ASSIGN_OR_RETURN(serial::Attribute attr, catalog_->Lookup(id));
-    std::optional<size_t> slot = engine_table->schema().FindColumn(attr.key);
+    std::optional<size_t> slot = engine_table->FindColumnLatched(attr.key);
     if (state->materialized && !slot.has_value()) {
       RETURN_NOT_OK(engine_table->AddColumn(engine::Column{
           attr.key, engine::ColumnTypeForValueType(attr.type), false}));
@@ -72,17 +77,17 @@ Result<bool> ColumnMaterializer::StartPassIfNeeded(const std::string& table) {
   pass.cursor = 0;
   pass.end = engine_table->RowSlotCount();
   pass.attr_ids = std::move(dirty);
-  passes_.emplace(table, std::move(pass));
-  return true;
+  std::lock_guard lock(passes_mu_);
+  return &passes_.emplace(table, std::move(pass)).first->second;
 }
 
 Result<uint64_t> ColumnMaterializer::Step(const std::string& table,
                                           uint64_t max_rows) {
   // Exclude the loader while we move data (paper Section 3.1.4).
   std::lock_guard maintenance(catalog_->MaintenanceLatch(table));
-  ASSIGN_OR_RETURN(bool has_work, StartPassIfNeeded(table));
-  if (!has_work) return 0;
-  Pass& pass = passes_[table];
+  ASSIGN_OR_RETURN(Pass * pass_ptr, StartPassIfNeeded(table));
+  if (pass_ptr == nullptr) return 0;
+  Pass& pass = *pass_ptr;
   ASSIGN_OR_RETURN(engine::Table * engine_table,
                    db_->catalog()->GetTable(table));
 
@@ -97,21 +102,25 @@ Result<uint64_t> ColumnMaterializer::Step(const std::string& table,
     std::optional<AttributeState> state = catalog_->GetState(table, id);
     if (!state.has_value() || !state->dirty) continue;
     ASSIGN_OR_RETURN(serial::Attribute attr, catalog_->Lookup(id));
-    std::optional<size_t> slot = engine_table->schema().FindColumn(attr.key);
+    std::optional<size_t> slot = engine_table->FindColumnLatched(attr.key);
     if (!slot.has_value()) continue;
     work.push_back(Work{std::move(attr), state->materialized, *slot, id});
   }
   std::optional<size_t> data_slot =
-      engine_table->schema().FindColumn(kReservoirColumn);
+      engine_table->FindColumnLatched(kReservoirColumn);
   if (!data_slot.has_value()) {
     return Status::InvalidArgument("table ", table, " has no reservoir");
   }
 
-  uint64_t examined = 0;
-  for (; pass.cursor < pass.end && examined < max_rows; ++pass.cursor) {
-    ++examined;
-    Result<engine::DatumRow> row_or = engine_table->ReadRow(pass.cursor);
-    if (!row_or.ok()) continue;  // deleted row
+  // Each row move is an independent read-modify-write of one row, idempotent
+  // on retry (re-extracting an attribute already moved is a no-op extract
+  // miss), so the increment can fan out over the shared pool. The cursor
+  // only advances after the whole range succeeds.
+  const uint64_t lo = pass.cursor;
+  const uint64_t hi = std::min(pass.end, lo + max_rows);
+  auto process_row = [&](uint64_t rid) -> Status {
+    Result<engine::DatumRow> row_or = engine_table->ReadRow(rid);
+    if (!row_or.ok()) return Status::OK();  // deleted row
     engine::DatumRow row = std::move(*row_or);
     engine::Datum& data = row[*data_slot];
     bool changed = false;
@@ -139,7 +148,7 @@ Result<uint64_t> ColumnMaterializer::Step(const std::string& table,
           while (dot != std::string::npos && !bytes.has_value()) {
             std::string prefix = w.attr.key.substr(0, dot);
             std::optional<size_t> pslot =
-                engine_table->schema().FindColumn(prefix);
+                engine_table->FindColumnLatched(prefix);
             if (pslot.has_value() && !row[*pslot].is_null() &&
                 row[*pslot].is_bytes()) {
               serial::DocumentView pview(row[*pslot].str());
@@ -178,29 +187,58 @@ Result<uint64_t> ColumnMaterializer::Step(const std::string& table,
     if (changed) {
       data = engine::Datum::Bytes(std::move(reservoir));
       // Atomic single-row update; queries interleave freely.
-      RETURN_NOT_OK(engine_table->UpdateRow(pass.cursor, row));
+      RETURN_NOT_OK(engine_table->UpdateRow(rid, row));
     }
+    return Status::OK();
+  };
+  auto process_range = [&](uint64_t a, uint64_t b) -> Status {
+    for (uint64_t rid = a; rid < b; ++rid) {
+      RETURN_NOT_OK(process_row(rid));
+    }
+    return Status::OK();
+  };
+  if (parallelism_ > 1 && hi - lo >= 2048) {
+    RETURN_NOT_OK(ThreadPool::Shared()->ParallelFor(
+        lo, hi, 512, static_cast<size_t>(parallelism_), process_range));
+  } else {
+    RETURN_NOT_OK(process_range(lo, hi));
   }
+  pass.cursor = hi;
 
   if (pass.cursor >= pass.end) {
     RETURN_NOT_OK(FinishPass(table));
   }
-  return examined;
+  return hi - lo;
 }
 
 Status ColumnMaterializer::FinishPass(const std::string& table) {
-  Pass pass = std::move(passes_[table]);
-  passes_.erase(table);
+  Pass pass;
+  {
+    std::lock_guard lock(passes_mu_);
+    pass = std::move(passes_[table]);
+    passes_.erase(table);
+  }
   ASSIGN_OR_RETURN(engine::Table * engine_table,
                    db_->catalog()->GetTable(table));
+  // Rows the loader appended after this pass snapshotted its end still hold
+  // their values in the reservoir (the loader re-flags affected columns
+  // dirty as it appends). Clearing the flag here would clobber that
+  // re-dirty and leave those rows unpromoted forever, so promoted columns
+  // stay dirty and the next pass covers the new rows (re-examining old rows
+  // is a no-op: their reservoir entries were already removed).
+  // Dematerialization is unaffected — appended rows only ever write the
+  // reservoir, which is where a dematerialized column lives anyway.
+  const bool grew = engine_table->RowSlotCount() > pass.end;
   for (uint32_t id : pass.attr_ids) {
     std::optional<AttributeState> state = catalog_->GetState(table, id);
     if (!state.has_value()) continue;
-    RETURN_NOT_OK(catalog_->SetDirty(table, id, false));
+    if (!state->materialized || !grew) {
+      RETURN_NOT_OK(catalog_->SetDirty(table, id, false));
+    }
     if (!state->materialized) {
       // Dematerialization completed: drop the physical column.
       ASSIGN_OR_RETURN(serial::Attribute attr, catalog_->Lookup(id));
-      if (engine_table->schema().FindColumn(attr.key).has_value()) {
+      if (engine_table->FindColumnLatched(attr.key).has_value()) {
         RETURN_NOT_OK(engine_table->DropColumn(attr.key));
       }
     }

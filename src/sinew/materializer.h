@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,11 @@ class ColumnMaterializer {
  public:
   ColumnMaterializer(engine::Database* db, AttributeCatalog* catalog)
       : db_(db), catalog_(catalog) {}
+
+  /// Degree of parallelism for the row-movement phase of a Step (each row
+  /// update is independently atomic, so large increments fan out over the
+  /// shared pool). 1 = fully serial.
+  void SetParallelism(int degree) { parallelism_ = degree < 1 ? 1 : degree; }
 
   /// Performs up to `max_rows` row updates of pending work on `table`.
   /// Returns the number of rows examined (0 when nothing is dirty). The
@@ -48,12 +54,20 @@ class ColumnMaterializer {
     std::vector<uint32_t> attr_ids;
   };
 
-  Result<bool> StartPassIfNeeded(const std::string& table);
+  /// Returns the in-flight pass for `table` (starting one if any column is
+  /// dirty), or nullptr when there is no work. The pointer stays valid until
+  /// FinishPass erases the entry: map nodes are stable, concurrent Steps on
+  /// the same table are serialized by the maintenance latch, and only
+  /// passes_mu_ — not the per-table latch — guards the map itself, since
+  /// Steps on *different* tables run concurrently.
+  Result<Pass*> StartPassIfNeeded(const std::string& table);
   Status FinishPass(const std::string& table);
 
   engine::Database* db_;
   AttributeCatalog* catalog_;
+  std::mutex passes_mu_;
   std::map<std::string, Pass> passes_;
+  int parallelism_ = 1;
 };
 
 }  // namespace sinew

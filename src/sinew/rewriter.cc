@@ -125,7 +125,7 @@ class QueryRewriter::Impl {
       }
     }
     if (st.engine_table != nullptr &&
-        st.engine_table->schema().FindColumn(path).has_value()) {
+        st.engine_table->FindColumnLatched(path).has_value()) {
       return true;
     }
     return false;
@@ -302,7 +302,12 @@ class QueryRewriter::Impl {
         id.has_value() ? catalog_->GetState(st->name, *id) : std::nullopt;
     ExprPtr source;
     std::string sub_path;
-    if (state.has_value() && state->materialized) {
+    // As in ExtractionSource: materialized in the catalog but no physical
+    // column yet means the first materializer pass has not run; the values
+    // are still all in the reservoir.
+    if (state.has_value() && state->materialized &&
+        st->engine_table != nullptr &&
+        st->engine_table->FindColumnLatched(path).has_value()) {
       ExprPtr col = Expr::Column(st->alias, path);
       if (state->dirty) {
         std::vector<ExprPtr> extract_args;
@@ -372,7 +377,7 @@ class QueryRewriter::Impl {
     if (candidates.empty()) {
       // Plain relational column of a hybrid table?
       if (st->engine_table != nullptr &&
-          st->engine_table->schema().FindColumn(path).has_value()) {
+          st->engine_table->FindColumnLatched(path).has_value()) {
         (*e)->table = st->alias;
         (*e)->column = path;
         return Status::OK();
@@ -393,7 +398,7 @@ class QueryRewriter::Impl {
     //    rows after this query is planned.
     bool column_exists =
         st->engine_table != nullptr &&
-        st->engine_table->schema().FindColumn(path).has_value();
+        st->engine_table->FindColumnLatched(path).has_value();
     if (candidates.size() == 1 && candidates[0].state.materialized &&
         !column_exists && st->engine_table != nullptr) {
       Status added = st->engine_table->AddColumn(engine::Column{
@@ -482,7 +487,13 @@ class QueryRewriter::Impl {
       if (pid.has_value()) {
         std::optional<AttributeState> pstate =
             catalog_->GetState(st.name, *pid);
-        if (pstate.has_value() && pstate->materialized) {
+        // The physical column only exists once the materializer's first
+        // pass created it; between the analyzer flagging the ancestor
+        // materialized and that point the values are all still in the
+        // reservoir, so fall through to reservoir extraction.
+        if (pstate.has_value() && pstate->materialized &&
+            st.engine_table != nullptr &&
+            st.engine_table->FindColumnLatched(prefix).has_value()) {
           ExprPtr col = Expr::Column(st.alias, prefix);
           *ancestor = prefix;
           if (!pstate->dirty) return col;
@@ -693,7 +704,11 @@ Status QueryRewriter::RewriteUpdate(engine::UpdateStatement* stmt) const {
       std::optional<AttributeState> state = catalog_->GetState(stmt->table, attr.id);
       if (!state.has_value()) continue;
       ++present;
-      if (state->materialized) {
+      // Only treat the target as physical once the column actually exists
+      // (the materializer creates it on its first pass); before that, the
+      // value lives in the reservoir like any virtual column.
+      if (state->materialized && st.engine_table != nullptr &&
+          st.engine_table->FindColumnLatched(column).has_value()) {
         physical = true;
         dirty = state->dirty;
       }

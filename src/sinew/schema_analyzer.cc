@@ -24,7 +24,7 @@ Result<std::vector<SchemaAnalyzer::Decision>> SchemaAnalyzer::AnalyzeTable(
   std::map<uint32_t, bool> saturated;
   constexpr size_t kDistinctCap = 4096;
   std::optional<size_t> data_slot =
-      engine_table->schema().FindColumn(kReservoirColumn);
+      engine_table->FindColumnLatched(kReservoirColumn);
   if (!data_slot.has_value()) {
     return Status::InvalidArgument("table ", table, " has no reservoir");
   }
@@ -34,7 +34,7 @@ Result<std::vector<SchemaAnalyzer::Decision>> SchemaAnalyzer::AnalyzeTable(
   for (const AttributeState& state : attrs) {
     if (!state.materialized) continue;
     ASSIGN_OR_RETURN(serial::Attribute attr, catalog_->Lookup(state.attr_id));
-    std::optional<size_t> slot = engine_table->schema().FindColumn(attr.key);
+    std::optional<size_t> slot = engine_table->FindColumnLatched(attr.key);
     if (slot.has_value()) physical_slot[state.attr_id] = *slot;
   }
 

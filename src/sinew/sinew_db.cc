@@ -9,12 +9,25 @@
 
 namespace sinew {
 
+namespace {
+
+engine::PlannerOptions WithParallelism(engine::PlannerOptions planner,
+                                       int parallelism) {
+  planner.parallelism = std::max(planner.parallelism, parallelism);
+  return planner;
+}
+
+}  // namespace
+
 SinewDb::SinewDb(SinewOptions options)
-    : db_(options.planner, options.exec),
+    : db_(WithParallelism(options.planner, options.parallelism),
+          options.exec),
       loader_(&db_, &catalog_),
       analyzer_(&db_, &catalog_, options.analyzer),
       materializer_(&db_, &catalog_),
       rewriter_(&db_, &catalog_, &indexes_) {
+  loader_.SetParallelism(options.parallelism);
+  materializer_.SetParallelism(options.parallelism);
   RegisterSinewFunctions(db_.udfs(), &catalog_);
 }
 
@@ -139,7 +152,7 @@ Status SinewDb::EnableTextIndex(const std::string& table) {
                    db_.catalog()->GetTable(table));
   auto index = std::make_unique<textindex::InvertedIndex>();
   std::optional<size_t> data_slot =
-      engine_table->schema().FindColumn(kReservoirColumn);
+      engine_table->FindColumnLatched(kReservoirColumn);
   if (!data_slot.has_value()) {
     return Status::InvalidArgument("table has no reservoir column");
   }
@@ -158,7 +171,7 @@ Status SinewDb::EnableTextIndex(const std::string& table) {
                        serial::DeserializeDocument(data.str(), catalog_));
     }
     // Physical columns overlay.
-    const engine::Schema& schema = engine_table->schema();
+    const engine::Schema schema = engine_table->SchemaSnapshot();
     for (size_t slot : schema.LiveSlots()) {
       const engine::Column& col = schema.columns()[slot];
       if (col.name == kReservoirColumn) continue;

@@ -43,6 +43,12 @@ struct SinewOptions {
   engine::PlannerOptions planner;
   engine::ExecOptions exec;
   AnalyzerOptions analyzer;
+  /// Degree of intra-query / maintenance parallelism. Values > 1 enable
+  /// morsel-driven parallel scans and aggregation in the planner (capped by
+  /// the shared pool's worker count), parallel document serialization in the
+  /// loader, and parallel row movement in the materializer. 1 = serial
+  /// (the default; identical behavior to prior releases).
+  int parallelism = 1;
 };
 
 /// One logical column of the user-facing universal relation view.

@@ -733,10 +733,11 @@ Result<std::vector<Value>> PgJsonRunner::Run(int q, const QueryParams& p) {
   return rows;
 }
 
-std::vector<std::unique_ptr<SystemRunner>> MakeAllRunners() {
+std::vector<std::unique_ptr<SystemRunner>> MakeAllRunners(
+    sinew::SinewOptions sinew_options) {
   std::vector<std::unique_ptr<SystemRunner>> runners;
   runners.push_back(std::make_unique<MongoLikeRunner>());
-  runners.push_back(std::make_unique<SinewRunner>());
+  runners.push_back(std::make_unique<SinewRunner>(std::move(sinew_options)));
   runners.push_back(std::make_unique<EavRunner>());
   runners.push_back(std::make_unique<PgJsonRunner>());
   return runners;

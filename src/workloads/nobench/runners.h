@@ -115,8 +115,11 @@ class PgJsonRunner : public SystemRunner {
   jsontext::JsonTextDb db_;
 };
 
-/// All four runners, in the paper's Figure 6 legend order.
-std::vector<std::unique_ptr<SystemRunner>> MakeAllRunners();
+/// All four runners, in the paper's Figure 6 legend order. `sinew_options`
+/// configures the Sinew instance only (e.g. parallelism for the --threads
+/// benchmark sweeps); the baseline systems always run serial.
+std::vector<std::unique_ptr<SystemRunner>> MakeAllRunners(
+    sinew::SinewOptions sinew_options = {});
 
 }  // namespace sinew::workloads::nobench
 
