@@ -18,7 +18,8 @@ using sinew::bench::Timer;
 
 namespace {
 
-void RunScale(const char* label, uint64_t records, int threads) {
+void RunScale(const char* label, uint64_t records, int threads,
+              const std::string& metrics_out) {
   nb::Config config;
   config.num_records = records;
   std::vector<sinew::Value> docs = nb::Generate(config);
@@ -58,17 +59,19 @@ void RunScale(const char* label, uint64_t records, int threads) {
     }
     std::printf("\n");
   }
+  sinew::bench::MaybeWriteMetrics(metrics_out, std::string("fig6.") + label);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const int threads = sinew::bench::ThreadsFromArgs(argc, argv);
+  const std::string metrics_out = sinew::bench::MetricsOutFromArgs(argc, argv);
   PrintHeader("Figure 6: NoBench Q1-Q10 execution time");
   std::printf("Sinew parallelism: %d thread%s (--threads=N to change)\n",
               threads, threads == 1 ? "" : "s");
-  RunScale("small (Figure 6a)", Scaled(8000), threads);
-  RunScale("large (Figure 6b)", Scaled(32000), threads);
+  RunScale("small (Figure 6a)", Scaled(8000), threads, metrics_out);
+  RunScale("large (Figure 6b)", Scaled(32000), threads, metrics_out);
   std::printf(
       "\nPaper shape: Sinew fastest or tied on every query; PG-JSON and EAV\n"
       "an order of magnitude slower on projections/selections; MongoDB-like\n"

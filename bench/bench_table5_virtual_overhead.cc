@@ -83,6 +83,8 @@ int main(int argc, char** argv) {
     std::printf("%-12s %12.1f %12.1f %9.1f%%\n", q.label, v, p,
                 p > 0 ? (v / p - 1.0) * 100.0 : 0.0);
   }
+  sinew::bench::MaybeWriteMetrics(sinew::bench::MetricsOutFromArgs(argc, argv),
+                                  "table5.virtual_overhead");
   std::printf(
       "\nPaper shape: virtual-column access costs only a few percent over\n"
       "physical columns (one extra dereference + header binary search),\n"

@@ -10,9 +10,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/result.h"
 
 namespace sinew::bench {
@@ -45,6 +47,36 @@ inline int ThreadsFromArgs(int argc, char** argv) {
     if (threads > 0) return threads;
   }
   return 1;
+}
+
+/// Destination for the metrics-registry JSON dump: `--metrics-out=<path>`
+/// on the command line, else SINEW_BENCH_METRICS_OUT, else "" (disabled).
+inline std::string MetricsOutFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      return arg.substr(14);
+    }
+  }
+  if (const char* env = std::getenv("SINEW_BENCH_METRICS_OUT")) {
+    return env;
+  }
+  return "";
+}
+
+/// Appends MetricsRegistry::DumpJson() to `path` tagged with the run label —
+/// one (multi-line) JSON object per benchmark run, concatenated. No-op when
+/// `path` is empty; under SINEW_METRICS=OFF builds the dump is empty.
+inline void MaybeWriteMetrics(const std::string& path,
+                              const std::string& label) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "metrics-out: cannot open %s\n", path.c_str());
+    return;
+  }
+  out << "{\"run\":\"" << label << "\",\"metrics\":"
+      << metrics::MetricsRegistry::Global()->DumpJson() << "}\n";
 }
 
 class Timer {

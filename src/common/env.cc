@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/metrics.h"
+
 namespace sinew {
 
 namespace {
@@ -40,12 +42,18 @@ class PosixWritableFile final : public WritableFile {
       p += n;
       left -= static_cast<size_t>(n);
     }
+    static metrics::Counter* bytes_written =
+        metrics::GetCounter("env.bytes_written_total");
+    bytes_written->Add(data.size());
     return Status::OK();
   }
 
   Status Sync() override {
     if (fd_ < 0) return Status::IOError("sync of closed file ", path_);
     if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    static metrics::Counter* fsyncs =
+        metrics::GetCounter("env.fsyncs_total");
+    fsyncs->Increment();
     return Status::OK();
   }
 

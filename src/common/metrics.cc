@@ -1,0 +1,238 @@
+#include "common/metrics.h"
+
+#if !defined(SINEW_METRICS_DISABLED)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sinew::metrics {
+
+namespace {
+
+/// JSON string escaping for metric names and trace details.
+void AppendJsonString(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+uint64_t Histogram::ApproxQuantile(double p) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(std::ceil(p * total));
+  target = std::max<uint64_t>(1, std::min(target, total));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      // Bucket i holds values with bit_width == i, upper bound 2^i - 1.
+      return i == 0 ? 0 : (uint64_t{1} << std::min<size_t>(i, 63)) - 1;
+    }
+  }
+  return sum();  // racing Reset(); any answer is fine
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(kBuckets);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> out;
+  std::lock_guard lock(mu_);
+  out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back(Sample{name, "counter", static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back(Sample{name, "gauge", static_cast<double>(g->value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back(
+        Sample{name + ".count", "histogram", static_cast<double>(h->count())});
+    out.push_back(
+        Sample{name + ".sum_ns", "histogram", static_cast<double>(h->sum())});
+    out.push_back(Sample{name + ".p50_ns", "histogram",
+                         static_cast<double>(h->ApproxQuantile(0.5))});
+    out.push_back(Sample{name + ".p99_ns", "histogram",
+                         static_cast<double>(h->ApproxQuantile(0.99))});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::ostringstream out;
+  std::lock_guard lock(mu_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": " << c->value();
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": " << g->value();
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": {\"count\": " << h->count() << ", \"sum_ns\": " << h->sum()
+        << ", \"p50_ns\": " << h->ApproxQuantile(0.5)
+        << ", \"p99_ns\": " << h->ApproxQuantile(0.99) << "}";
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"trace\": [";
+  first = true;
+  // Oldest-first walk of the ring.
+  const size_t n = trace_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& e =
+        trace_[n < kTraceCapacity ? i : (trace_next_ + i) % n];
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    out << "{\"name\": ";
+    AppendJsonString(out, e.name);
+    out << ", \"detail\": ";
+    AppendJsonString(out, e.detail);
+    out << ", \"start_ns\": " << e.start_ns
+        << ", \"duration_ns\": " << e.duration_ns << ", \"rows\": " << e.rows
+        << "}";
+  }
+  out << (first ? "],\n" : "\n  ],\n");
+  out << "  \"trace_dropped\": " << trace_dropped_ << "\n}";
+  return out.str();
+}
+
+void MetricsRegistry::AddTrace(TraceEvent event) {
+  std::lock_guard lock(mu_);
+  if (trace_.size() < kTraceCapacity) {
+    trace_.push_back(std::move(event));
+  } else {
+    trace_[trace_next_] = std::move(event);
+    trace_next_ = (trace_next_ + 1) % kTraceCapacity;
+    ++trace_dropped_;
+  }
+}
+
+std::vector<TraceEvent> MetricsRegistry::TraceEvents() const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(trace_.size());
+  const size_t n = trace_.size();
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(trace_[n < kTraceCapacity ? i : (trace_next_ + i) % n]);
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+  trace_.clear();
+  trace_next_ = 0;
+  trace_dropped_ = 0;
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  // Immortal: instrumentation in static destructors must stay safe.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace sinew::metrics
+
+#else  // SINEW_METRICS_DISABLED
+
+namespace sinew::metrics {
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace sinew::metrics
+
+#endif  // SINEW_METRICS_DISABLED

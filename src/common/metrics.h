@@ -1,0 +1,294 @@
+// Process-wide observability: lock-cheap counters, gauges and fixed-bucket
+// latency histograms in a named registry, plus a lightweight trace layer.
+//
+// All metric updates are single relaxed atomic operations — safe (and cheap)
+// to call from Gather workers, the shared thread pool and background
+// maintenance concurrently. Registration (first lookup of a name) takes a
+// mutex; hot paths cache the returned pointer, which stays valid for the
+// process lifetime.
+//
+// Naming scheme: `<layer>.<component>.<what>[_<unit>]`, monotonic counters
+// end in `_total`, accumulated wall-clock counters in `_ns_total`. Examples:
+// `exec.gather.morsels_total`, `rewriter.virtual_refs_total`,
+// `threadpool.busy_ns_total`.
+//
+// Surfaced three ways:
+//  - `SELECT * FROM sinew_metrics` (engine/database.cc): Snapshot() rows
+//    (name, type, value), so observability composes with the engine's SQL;
+//  - `EXPLAIN ANALYZE` (engine/exec.h PlanStats): per-operator actuals,
+//    independent of this registry;
+//  - DumpJson(): machine-readable sidecar for benches (--metrics-out).
+//
+// Compile-out: configure with -DSINEW_METRICS=OFF to define
+// SINEW_METRICS_DISABLED; every class keeps its API but all operations
+// become no-ops, so instrumented call sites build unchanged.
+
+#ifndef SINEW_COMMON_METRICS_H_
+#define SINEW_COMMON_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sinew::metrics {
+
+/// Monotonic wall clock in nanoseconds (steady; only differences matter).
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One (name, type, value) row of the registry, the sinew_metrics schema.
+/// Histograms expand into `<name>.count`, `<name>.sum_ns`, `<name>.p50_ns`
+/// and `<name>.p99_ns` samples.
+struct Sample {
+  std::string name;
+  std::string type;  // "counter" | "gauge" | "histogram"
+  double value = 0;
+};
+
+/// One trace event: a completed span (begin/end wall clock) or an audit
+/// record (e.g. a materializer promotion decision, duration 0).
+struct TraceEvent {
+  std::string name;
+  std::string detail;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint64_t rows = 0;
+};
+
+#if !defined(SINEW_METRICS_DISABLED)
+
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed power-of-two buckets: bucket i counts observations v with
+/// bit_width(v) == i, i.e. v in [2^(i-1), 2^i). 48 buckets cover ~39 hours
+/// in nanoseconds. Quantiles are bucket upper bounds (factor-of-2 accuracy —
+/// enough to tell a 10us operator from a 10ms one).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 48;
+
+  void Observe(uint64_t v) {
+    size_t idx = std::min<size_t>(kBuckets - 1, std::bit_width(v));
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Upper bound of the bucket holding the p-quantile (0 < p <= 1).
+  uint64_t ApproxQuantile(double p) const;
+  /// Per-bucket counts (index = bit width of the observed value).
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named metric. The pointer is stable for the
+  /// process lifetime — cache it on hot paths.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// All metrics as (name, type, value) rows, sorted by name.
+  std::vector<Sample> Snapshot() const;
+  /// Machine-readable dump: counters/gauges/histograms plus the trace ring.
+  std::string DumpJson() const;
+
+  /// Appends to the bounded audit ring (last kTraceCapacity events).
+  void AddTrace(TraceEvent event);
+  std::vector<TraceEvent> TraceEvents() const;
+
+  /// Zeroes every registered metric and clears the trace ring. Metric
+  /// pointers stay valid (tests reset between queries without re-fetching).
+  void Reset();
+
+  /// The process-wide registry all instrumentation reports to.
+  static MetricsRegistry* Global();
+
+ private:
+  static constexpr size_t kTraceCapacity = 256;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<TraceEvent> trace_;  // ring; trace_next_ is the write cursor
+  size_t trace_next_ = 0;
+  uint64_t trace_dropped_ = 0;
+};
+
+/// Per-query trace context: spans with begin/end wall clock and row counts.
+/// Gather workers do not carry the context itself — per-operator actuals
+/// flow through the shared atomic PlanStats (engine/exec.h) instead; the
+/// context records the query-level phases (rewrite, plan, execute).
+class TraceContext {
+ public:
+  /// RAII span: records on destruction (or explicit End()).
+  class Span {
+   public:
+    Span(TraceContext* ctx, std::string name)
+        : ctx_(ctx), start_ns_(NowNanos()) {
+      event_.name = std::move(name);
+      event_.start_ns = start_ns_;
+    }
+    Span(Span&& other) noexcept
+        : ctx_(std::exchange(other.ctx_, nullptr)),
+          start_ns_(other.start_ns_),
+          event_(std::move(other.event_)) {}
+    Span& operator=(Span&&) = delete;
+    ~Span() { End(); }
+
+    void SetRows(uint64_t rows) { event_.rows = rows; }
+    void SetDetail(std::string detail) { event_.detail = std::move(detail); }
+    void End() {
+      if (ctx_ == nullptr) return;
+      event_.duration_ns = NowNanos() - start_ns_;
+      std::exchange(ctx_, nullptr)->Record(std::move(event_));
+    }
+
+   private:
+    TraceContext* ctx_;
+    uint64_t start_ns_;
+    TraceEvent event_;
+  };
+
+  Span StartSpan(std::string name) { return Span(this, std::move(name)); }
+  void Record(TraceEvent event) {
+    std::lock_guard lock(mu_);
+    events_.push_back(std::move(event));
+  }
+  std::vector<TraceEvent> events() const {
+    std::lock_guard lock(mu_);
+    return events_;
+  }
+  void Clear() {
+    std::lock_guard lock(mu_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+#else  // SINEW_METRICS_DISABLED: same API, every operation a no-op.
+
+class Counter {
+ public:
+  void Add(uint64_t) {}
+  void Increment() {}
+  uint64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  void Sub(int64_t) {}
+  int64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 48;
+  void Observe(uint64_t) {}
+  uint64_t count() const { return 0; }
+  uint64_t sum() const { return 0; }
+  uint64_t ApproxQuantile(double) const { return 0; }
+  std::vector<uint64_t> BucketCounts() const { return {}; }
+  void Reset() {}
+};
+
+class MetricsRegistry {
+ public:
+  Counter* counter(std::string_view) { return &counter_; }
+  Gauge* gauge(std::string_view) { return &gauge_; }
+  Histogram* histogram(std::string_view) { return &histogram_; }
+  std::vector<Sample> Snapshot() const { return {}; }
+  std::string DumpJson() const { return "{}"; }
+  void AddTrace(TraceEvent) {}
+  std::vector<TraceEvent> TraceEvents() const { return {}; }
+  void Reset() {}
+  static MetricsRegistry* Global();
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+class TraceContext {
+ public:
+  class Span {
+   public:
+    Span(TraceContext*, std::string) {}
+    Span(Span&&) noexcept = default;
+    Span& operator=(Span&&) = delete;
+    void SetRows(uint64_t) {}
+    void SetDetail(std::string) {}
+    void End() {}
+  };
+  Span StartSpan(std::string name) { return Span(this, std::move(name)); }
+  void Record(TraceEvent) {}
+  std::vector<TraceEvent> events() const { return {}; }
+  void Clear() {}
+};
+
+#endif  // SINEW_METRICS_DISABLED
+
+/// Conveniences over the global registry.
+inline Counter* GetCounter(std::string_view name) {
+  return MetricsRegistry::Global()->counter(name);
+}
+inline Gauge* GetGauge(std::string_view name) {
+  return MetricsRegistry::Global()->gauge(name);
+}
+inline Histogram* GetHistogram(std::string_view name) {
+  return MetricsRegistry::Global()->histogram(name);
+}
+
+}  // namespace sinew::metrics
+
+#endif  // SINEW_COMMON_METRICS_H_

@@ -4,7 +4,27 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/metrics.h"
+
 namespace sinew {
+
+namespace {
+
+struct PoolMetrics {
+  metrics::Counter* tasks_queued =
+      metrics::GetCounter("threadpool.tasks_queued_total");
+  metrics::Counter* tasks_run =
+      metrics::GetCounter("threadpool.tasks_run_total");
+  metrics::Counter* busy_ns = metrics::GetCounter("threadpool.busy_ns_total");
+  metrics::Gauge* queue_depth = metrics::GetGauge("threadpool.queue_depth");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t workers) {
   workers_.reserve(workers);
@@ -25,7 +45,12 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    PoolMetrics& pm = PoolMetrics::Get();
+    pm.queue_depth->Sub(1);
+    const uint64_t start = metrics::NowNanos();
     task();
+    pm.busy_ns->Add(metrics::NowNanos() - start);
+    pm.tasks_run->Increment();
   }
 }
 
@@ -36,10 +61,14 @@ std::future<Status> ThreadPool::Submit(std::function<Status()> fn) {
     std::lock_guard lock(mu_);
     if (!shutdown_ && !workers_.empty()) {
       queue_.push_back(std::move(task));
+      PoolMetrics& pm = PoolMetrics::Get();
+      pm.tasks_queued->Increment();
+      pm.queue_depth->Add(1);
       cv_.notify_one();
       return future;
     }
   }
+  PoolMetrics::Get().tasks_run->Increment();
   task();  // no workers (or shut down): run inline, future already wired
   return future;
 }

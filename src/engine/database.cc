@@ -1,10 +1,42 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/metrics.h"
 
 namespace sinew::engine {
 
 namespace {
+
+/// Virtual system table: SELECT-ing from it serves a snapshot of the global
+/// metrics registry through the ordinary planner/executor.
+constexpr std::string_view kMetricsTableName = "sinew_metrics";
+
+bool ReferencesMetricsTable(const SelectStatement& stmt) {
+  return std::any_of(stmt.from.begin(), stmt.from.end(),
+                     [](const TableRef& ref) {
+                       return ref.table_name == kMetricsTableName;
+                     });
+}
+
+/// Splits multi-line text into one QueryResult text row per line, the shape
+/// EXPLAIN output takes.
+QueryResult TextResult(const std::string& column, const std::string& text) {
+  QueryResult result;
+  result.column_names.push_back(column);
+  result.column_types.push_back(ColumnType::kText);
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    result.rows.push_back(
+        DatumRow{Datum::Text(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  return result;
+}
 
 QueryResult CountResult(int64_t n) {
   QueryResult result;
@@ -56,6 +88,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
 }
 
 Result<PlanPtr> Database::PlanStatement(const SelectStatement& stmt) {
+  RETURN_NOT_OK(MaybeRefreshMetricsTable(stmt));
   Planner planner(&catalog_, &udfs_, planner_options_);
   return planner.PlanSelect(stmt);
 }
@@ -64,23 +97,8 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
       return ExecuteSelect(*stmt.select);
-    case StatementKind::kExplain: {
-      Planner planner(&catalog_, &udfs_, planner_options_);
-      ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(*stmt.select));
-      QueryResult result;
-      result.column_names.push_back("QUERY PLAN");
-      result.column_types.push_back(ColumnType::kText);
-      std::string text = plan->DebugString();
-      size_t start = 0;
-      while (start < text.size()) {
-        size_t end = text.find('\n', start);
-        if (end == std::string::npos) end = text.size();
-        result.rows.push_back(
-            DatumRow{Datum::Text(text.substr(start, end - start))});
-        start = end + 1;
-      }
-      return result;
-    }
+    case StatementKind::kExplain:
+      return ExecuteExplain(stmt);
     case StatementKind::kCreateTable:
       return ExecuteCreateTable(*stmt.create_table);
     case StatementKind::kInsert:
@@ -104,8 +122,7 @@ Result<PlanPtr> Database::Plan(std::string_view sql) {
       stmt.kind != StatementKind::kExplain) {
     return Status::InvalidArgument("Plan() requires a SELECT");
   }
-  Planner planner(&catalog_, &udfs_, planner_options_);
-  return planner.PlanSelect(*stmt.select);
+  return PlanStatement(*stmt.select);
 }
 
 Result<std::string> Database::Explain(std::string_view sql) {
@@ -114,13 +131,73 @@ Result<std::string> Database::Explain(std::string_view sql) {
 }
 
 Result<QueryResult> Database::ExecuteSelect(const SelectStatement& stmt) {
-  Planner planner(&catalog_, &udfs_, planner_options_);
-  ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(stmt));
+  ASSIGN_OR_RETURN(PlanPtr plan, PlanStatement(stmt));
   return ExecutePlan(*plan, &udfs_, exec_options_);
+}
+
+Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
+  const uint64_t plan_start = metrics::NowNanos();
+  ASSIGN_OR_RETURN(PlanPtr plan, PlanStatement(*stmt.select));
+  const uint64_t plan_ns = metrics::NowNanos() - plan_start;
+  if (!stmt.explain_analyze) {
+    return TextResult("QUERY PLAN", plan->DebugString());
+  }
+  // EXPLAIN ANALYZE: run the plan for real, with every operator wrapped to
+  // record actuals, then print the tree annotated with them. Result rows
+  // are discarded — side effects (metric counters) still land.
+  PlanStats stats(*plan);
+  ExecOptions options = exec_options_;
+  options.stats = &stats;
+  RETURN_NOT_OK(ExecutePlan(*plan, &udfs_, options).status());
+  std::ostringstream text;
+  text << ExplainAnalyzeText(*plan, stats);
+  text << "Planning Time: " << std::fixed << std::setprecision(3)
+       << static_cast<double>(plan_ns) / 1e6 << " ms\n";
+  text << "Execution Time: " << std::fixed << std::setprecision(3)
+       << static_cast<double>(stats.total_ns) / 1e6 << " ms\n";
+  return TextResult("QUERY PLAN", text.str());
+}
+
+Status Database::MaybeRefreshMetricsTable(const SelectStatement& stmt) {
+  if (!ReferencesMetricsTable(stmt)) return Status::OK();
+  std::lock_guard lock(metrics_table_mu_);
+  Table* table = nullptr;
+  Result<Table*> existing = catalog_.GetTable(std::string(kMetricsTableName));
+  if (existing.ok()) {
+    table = *existing;
+  } else {
+    Schema schema;
+    RETURN_NOT_OK(schema.AddColumn(Column{"name", ColumnType::kText, false}));
+    RETURN_NOT_OK(schema.AddColumn(Column{"type", ColumnType::kText, false}));
+    RETURN_NOT_OK(
+        schema.AddColumn(Column{"value", ColumnType::kDouble, false}));
+    ASSIGN_OR_RETURN(table, catalog_.CreateTable(
+                                std::string(kMetricsTableName),
+                                std::move(schema)));
+  }
+  // Refresh in place (delete + append) rather than drop/recreate: concurrent
+  // readers may hold the Table*, and plans are built against it.
+  const uint64_t end = table->RowSlotCount();
+  for (uint64_t rid = 0; rid < end; ++rid) {
+    if (table->IsLive(rid)) RETURN_NOT_OK(table->DeleteRow(rid));
+  }
+  for (const metrics::Sample& s : metrics::MetricsRegistry::Global()
+                                      ->Snapshot()) {
+    DatumRow row;
+    row.push_back(Datum::Text(s.name));
+    row.push_back(Datum::Text(s.type));
+    row.push_back(Datum::Double(s.value));
+    RETURN_NOT_OK(table->AppendRow(row).status());
+  }
+  return Status::OK();
 }
 
 Result<QueryResult> Database::ExecuteCreateTable(
     const CreateTableStatement& stmt) {
+  if (stmt.table == kMetricsTableName) {
+    return Status::InvalidArgument(kMetricsTableName,
+                                   " is a reserved system table name");
+  }
   Schema schema;
   for (const Column& col : stmt.columns) {
     RETURN_NOT_OK(schema.AddColumn(col));

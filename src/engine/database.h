@@ -5,6 +5,7 @@
 #ifndef SINEW_ENGINE_DATABASE_H_
 #define SINEW_ENGINE_DATABASE_H_
 
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -49,15 +50,23 @@ class Database {
 
  private:
   Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+  Result<QueryResult> ExecuteExplain(const Statement& stmt);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
   Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
   Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
   Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
 
+  /// If the SELECT references the `sinew_metrics` system table, (lazily
+  /// creates it and) replaces its rows with a fresh registry snapshot, so a
+  /// plain scan — with any WHERE / join / projection on top — sees current
+  /// values. Must run before the statement is planned.
+  Status MaybeRefreshMetricsTable(const SelectStatement& stmt);
+
   Catalog catalog_;
   UdfRegistry udfs_;
   PlannerOptions planner_options_;
   ExecOptions exec_options_;
+  std::mutex metrics_table_mu_;  // serializes sinew_metrics refreshes
 };
 
 }  // namespace sinew::engine

@@ -4,11 +4,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <iomanip>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <sstream>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace sinew::engine {
@@ -25,6 +28,8 @@ struct ExecContext {
   const UdfRegistry* udfs = nullptr;
   uint64_t mem_limit = 0;
   ThreadPool* pool = nullptr;
+  // Per-node actuals (EXPLAIN ANALYZE); nullptr = don't instrument.
+  PlanStats* stats = nullptr;
   // Shared across Gather workers, so the budget covers the whole query.
   std::atomic<uint64_t> mem_used{0};
 
@@ -44,13 +49,14 @@ struct ExecContext {
 /// pipelines claim fixed-size morsels from an atomic cursor, so fast workers
 /// steal the tail instead of idling behind a static partition.
 struct MorselSource {
-  static constexpr uint64_t kMorselRows = 4096;
   std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> claims{0};  // successful claims, across all workers
   uint64_t end = 0;  // set once by GatherOp before workers start
 
   bool Claim(uint64_t* lo, uint64_t* hi) {
     uint64_t claimed = next.fetch_add(kMorselRows, std::memory_order_relaxed);
     if (claimed >= end) return false;
+    claims.fetch_add(1, std::memory_order_relaxed);
     *lo = claimed;
     *hi = std::min(end, claimed + kMorselRows);
     return true;
@@ -66,6 +72,40 @@ class Operator {
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
+
+/// EXPLAIN ANALYZE shim: times Open/Next and counts emitted rows into the
+/// plan node's shared OperatorStats. Gather worker clones of the same plan
+/// subtree all wrap the same stats object (fields are atomic), so per-worker
+/// activity aggregates onto the one printed tree node. Times are inclusive
+/// of children, PostgreSQL-style.
+class InstrumentedOp : public Operator {
+ public:
+  InstrumentedOp(OperatorPtr inner, OperatorStats* stats)
+      : inner_(std::move(inner)), stats_(stats) {}
+
+  Status Open() override {
+    stats_->instances.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t start = metrics::NowNanos();
+    Status st = inner_->Open();
+    stats_->open_ns.fetch_add(metrics::NowNanos() - start,
+                              std::memory_order_relaxed);
+    return st;
+  }
+
+  Result<bool> Next(DatumRow* row) override {
+    stats_->next_calls.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t start = metrics::NowNanos();
+    Result<bool> has = inner_->Next(row);
+    stats_->next_ns.fetch_add(metrics::NowNanos() - start,
+                              std::memory_order_relaxed);
+    if (has.ok() && *has) stats_->rows.fetch_add(1, std::memory_order_relaxed);
+    return has;
+  }
+
+ private:
+  OperatorPtr inner_;
+  OperatorStats* stats_;
+};
 
 // ---------------------------------------------------------------- SeqScan
 
@@ -852,6 +892,8 @@ class LimitOp : public Operator {
 
 Result<OperatorPtr> BuildOperator(const PlanNode& node, ExecContext* ctx,
                                   MorselSource* morsels);
+Result<OperatorPtr> BuildOperatorInner(const PlanNode& node, ExecContext* ctx,
+                                       MorselSource* morsels);
 
 // ---------------------------------------------------------------- Gather
 //
@@ -885,6 +927,22 @@ class GatherOp : public Operator {
       } catch (...) {  // a worker exception must not escape the destructor
       }
     }
+    // Workers are done: flush morsel/backpressure tallies to the registry
+    // and (for EXPLAIN ANALYZE) onto this plan node's actuals.
+    const uint64_t morsels = morsels_.claims.load(std::memory_order_relaxed);
+    const uint64_t stalls = stalls_.load(std::memory_order_relaxed);
+    static metrics::Counter* morsels_total =
+        metrics::GetCounter("exec.gather.morsels_total");
+    static metrics::Counter* stalls_total =
+        metrics::GetCounter("exec.gather.queue_full_stalls_total");
+    morsels_total->Add(morsels);
+    stalls_total->Add(stalls);
+    if (ctx_->stats != nullptr) {
+      if (OperatorStats* stats = ctx_->stats->For(node_)) {
+        stats->morsels.fetch_add(morsels, std::memory_order_relaxed);
+        stats->stalls.fetch_add(stalls, std::memory_order_relaxed);
+      }
+    }
   }
 
   Status Open() override {
@@ -905,6 +963,9 @@ class GatherOp : public Operator {
         ctx_->pool != nullptr ? ctx_->pool : ThreadPool::Shared();
     size_t degree = static_cast<size_t>(std::max(1, node_.parallel_degree));
     degree = std::min(degree, std::max<size_t>(1, pool->worker_count()));
+    static metrics::Counter* workers_total =
+        metrics::GetCounter("exec.gather.workers_total");
+    workers_total->Add(degree);
     active_workers_ = degree;
     futures_.reserve(degree);
     for (size_t i = 0; i < degree; ++i) {
@@ -970,9 +1031,13 @@ class GatherOp : public Operator {
       ASSIGN_OR_RETURN(bool has, op->Next(&row));
       if (!has) return Status::OK();
       std::unique_lock lock(mu_);
-      not_full_.wait(lock, [this] {
-        return cancelled_ || queue_.size() < kQueueCap;
-      });
+      if (!cancelled_ && queue_.size() >= kQueueCap) {
+        // Consumer backpressure: the bounded queue is full.
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        not_full_.wait(lock, [this] {
+          return cancelled_ || queue_.size() < kQueueCap;
+        });
+      }
       if (cancelled_) return Status::OK();
       queue_.push_back(std::move(row));
       not_empty_.notify_one();
@@ -1024,6 +1089,15 @@ class GatherOp : public Operator {
       agg_results_.push_back(std::move(out));
     }
     agg_pos_ = 0;
+    // The HashAggregate node itself is never built in this mode (workers run
+    // its input pipeline); credit its merged output here so EXPLAIN ANALYZE
+    // doesn't print it as never-executed.
+    if (ctx_->stats != nullptr) {
+      if (OperatorStats* stats = ctx_->stats->For(agg)) {
+        stats->instances.fetch_add(1, std::memory_order_relaxed);
+        stats->rows.fetch_add(agg_results_.size(), std::memory_order_relaxed);
+      }
+    }
     return Status::OK();
   }
 
@@ -1031,6 +1105,7 @@ class GatherOp : public Operator {
   ExecContext* ctx_;
   bool partial_agg_ = false;
   MorselSource morsels_;
+  std::atomic<uint64_t> stalls_{0};
   std::vector<std::future<Status>> futures_;
 
   // Streaming-mode merge state (all guarded by mu_).
@@ -1050,6 +1125,17 @@ class GatherOp : public Operator {
 
 Result<OperatorPtr> BuildOperator(const PlanNode& node, ExecContext* ctx,
                                   MorselSource* morsels) {
+  ASSIGN_OR_RETURN(OperatorPtr op, BuildOperatorInner(node, ctx, morsels));
+  if (ctx->stats != nullptr) {
+    if (OperatorStats* stats = ctx->stats->For(node)) {
+      return OperatorPtr(new InstrumentedOp(std::move(op), stats));
+    }
+  }
+  return op;
+}
+
+Result<OperatorPtr> BuildOperatorInner(const PlanNode& node, ExecContext* ctx,
+                                       MorselSource* morsels) {
   // Gather builds its own child trees (one per worker, over a shared morsel
   // source), so don't recurse here.
   if (node.kind == PlanKind::kGather) {
@@ -1099,24 +1185,82 @@ Result<OperatorPtr> BuildOperator(const PlanNode& node, ExecContext* ctx,
 
 Result<QueryResult> ExecutePlan(const PlanNode& plan, const UdfRegistry* udfs,
                                 const ExecOptions& options) {
+  static metrics::Counter* queries_total =
+      metrics::GetCounter("exec.queries_total");
+  static metrics::Counter* rows_out_total =
+      metrics::GetCounter("exec.rows_out_total");
+  static metrics::Histogram* query_hist =
+      metrics::GetHistogram("exec.query_ns");
+  const uint64_t start = metrics::NowNanos();
+
   ExecContext ctx;
   ctx.udfs = udfs;
   ctx.mem_limit = options.max_intermediate_bytes;
   ctx.pool = options.pool;
-  ASSIGN_OR_RETURN(OperatorPtr root, BuildOperator(plan, &ctx, nullptr));
-  RETURN_NOT_OK(root->Open());
+  ctx.stats = options.stats;
   QueryResult result;
-  for (const ExecSchema::Col& col : plan.output_schema.cols) {
-    result.column_names.push_back(col.name);
-    result.column_types.push_back(col.type);
+  {
+    // Scope: the root operator (and any GatherOp inside it, which flushes
+    // its morsel/stall tallies from its destructor) must be gone before the
+    // caller reads options.stats.
+    ASSIGN_OR_RETURN(OperatorPtr root, BuildOperator(plan, &ctx, nullptr));
+    RETURN_NOT_OK(root->Open());
+    for (const ExecSchema::Col& col : plan.output_schema.cols) {
+      result.column_names.push_back(col.name);
+      result.column_types.push_back(col.type);
+    }
+    DatumRow row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, root->Next(&row));
+      if (!has) break;
+      result.rows.push_back(std::move(row));
+    }
   }
-  DatumRow row;
-  while (true) {
-    ASSIGN_OR_RETURN(bool has, root->Next(&row));
-    if (!has) break;
-    result.rows.push_back(std::move(row));
-  }
+
+  const uint64_t elapsed = metrics::NowNanos() - start;
+  queries_total->Increment();
+  rows_out_total->Add(result.rows.size());
+  query_hist->Observe(elapsed);
+  if (options.stats != nullptr) options.stats->total_ns = elapsed;
   return result;
+}
+
+namespace {
+
+void AppendAnalyzedNode(const PlanNode& node, const PlanStats& stats,
+                        int depth, std::ostringstream* out) {
+  for (int i = 0; i < depth; ++i) *out << "  ";
+  if (depth > 0) *out << "-> ";
+  *out << node.Summary();
+  if (const OperatorStats* s = stats.For(node)) {
+    const uint64_t loops = s->instances.load(std::memory_order_relaxed);
+    if (loops == 0) {
+      *out << " (never executed)";
+    } else {
+      const uint64_t ns = s->open_ns.load(std::memory_order_relaxed) +
+                          s->next_ns.load(std::memory_order_relaxed);
+      *out << " (actual rows=" << s->rows.load(std::memory_order_relaxed)
+           << " loops=" << loops << " time=" << std::fixed
+           << std::setprecision(3) << static_cast<double>(ns) / 1e6 << " ms)";
+      if (node.kind == PlanKind::kGather) {
+        *out << " (morsels=" << s->morsels.load(std::memory_order_relaxed)
+             << " stalls=" << s->stalls.load(std::memory_order_relaxed)
+             << ")";
+      }
+    }
+  }
+  *out << "\n";
+  for (const auto& child : node.children) {
+    AppendAnalyzedNode(*child, stats, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainAnalyzeText(const PlanNode& plan, const PlanStats& stats) {
+  std::ostringstream out;
+  AppendAnalyzedNode(plan, stats, 0, &out);
+  return out.str();
 }
 
 }  // namespace sinew::engine

@@ -10,7 +10,11 @@
 #ifndef SINEW_ENGINE_EXEC_H_
 #define SINEW_ENGINE_EXEC_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -23,6 +27,50 @@ class ThreadPool;
 
 namespace sinew::engine {
 
+/// Actuals for one plan node, accumulated during execution. All fields are
+/// relaxed atomics because Gather workers instantiate clones of the same
+/// plan subtree: every clone reports into the one OperatorStats of the plan
+/// node it was built from, which is exactly how EXPLAIN ANALYZE aggregates
+/// per-worker activity back onto the printed tree.
+struct OperatorStats {
+  std::atomic<uint64_t> rows{0};        // rows emitted by Next()
+  std::atomic<uint64_t> next_calls{0};  // Next() invocations (incl. EOF)
+  std::atomic<uint64_t> open_ns{0};
+  std::atomic<uint64_t> next_ns{0};     // cumulative across instances
+  std::atomic<uint64_t> instances{0};   // operator clones opened (loops)
+  // kGather only:
+  std::atomic<uint64_t> morsels{0};     // morsel claims across workers
+  std::atomic<uint64_t> stalls{0};      // bounded-queue full waits
+};
+
+/// Side table of per-node actuals for one execution, indexed by plan node
+/// identity. Built before execution (so worker threads never mutate the
+/// map), read by ExplainAnalyzeText afterwards.
+class PlanStats {
+ public:
+  explicit PlanStats(const PlanNode& root) { Index(root); }
+
+  OperatorStats* For(const PlanNode& node) const {
+    auto it = stats_.find(&node);
+    return it == stats_.end() ? nullptr : it->second.get();
+  }
+
+  /// Wall clock of the whole ExecutePlan call.
+  uint64_t total_ns = 0;
+
+ private:
+  void Index(const PlanNode& node) {
+    stats_.emplace(&node, std::make_unique<OperatorStats>());
+    for (const auto& child : node.children) Index(*child);
+  }
+
+  std::unordered_map<const PlanNode*, std::unique_ptr<OperatorStats>> stats_;
+};
+
+/// EXPLAIN ANALYZE rendering: the plan tree with per-node actual rows,
+/// loops and elapsed time appended to each estimate line.
+std::string ExplainAnalyzeText(const PlanNode& plan, const PlanStats& stats);
+
 struct ExecOptions {
   /// Budget for materialized intermediate state (sort buffers, hash tables,
   /// inner relations). 0 = unlimited.
@@ -30,6 +78,9 @@ struct ExecOptions {
   /// Worker pool Gather nodes run their child pipelines on. nullptr means
   /// ThreadPool::Shared(). Serial plans (no Gather node) never touch it.
   ThreadPool* pool = nullptr;
+  /// When set, every operator is wrapped to record actuals here (EXPLAIN
+  /// ANALYZE). Must outlive the ExecutePlan call. nullptr = no overhead.
+  PlanStats* stats = nullptr;
 };
 
 struct QueryResult {

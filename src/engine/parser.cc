@@ -22,6 +22,7 @@ class Parser {
     } else if (PeekKeyword("EXPLAIN")) {
       ++pos_;
       stmt.kind = StatementKind::kExplain;
+      stmt.explain_analyze = ConsumeKeyword("ANALYZE");
       ASSIGN_OR_RETURN(SelectStatement sel, ParseSelect());
       stmt.select = std::make_unique<SelectStatement>(std::move(sel));
     } else if (PeekKeyword("CREATE")) {

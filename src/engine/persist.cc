@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "common/image_io.h"
+#include "common/metrics.h"
 
 namespace sinew::engine {
 
@@ -38,7 +39,11 @@ Result<std::string> SerializeTable(const Table& table) {
 Status SaveTable(const Table& table, const std::string& path, Env* env) {
   if (env == nullptr) env = Env::Default();
   ASSIGN_OR_RETURN(std::string image, SerializeTable(table));
-  return WriteImageFile(env, path, std::move(image));
+  RETURN_NOT_OK(WriteImageFile(env, path, std::move(image)));
+  static metrics::Counter* images_saved =
+      metrics::GetCounter("persist.table_images_saved_total");
+  images_saved->Increment();
+  return Status::OK();
 }
 
 Result<Table*> DeserializeTable(std::string_view image, Catalog* catalog) {

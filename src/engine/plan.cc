@@ -92,7 +92,16 @@ std::string PlanNode::Summary() const {
       out << " (keys: " << ExprListToString(group_keys) << ")";
       break;
     case PlanKind::kGather:
-      out << " (workers=" << parallel_degree << ")";
+      // Merge path is plan-derivable: a hash-aggregate child runs per-worker
+      // partial aggregation merged at the barrier; anything else streams rows
+      // through the bounded queue.
+      out << " (workers=" << parallel_degree << ", morsel=" << kMorselRows
+          << ", merge="
+          << (!children.empty() &&
+                      children[0]->kind == PlanKind::kHashAggregate
+                  ? "partial-agg"
+                  : "streaming")
+          << ")";
       break;
     case PlanKind::kUnique:
     case PlanKind::kLimit:

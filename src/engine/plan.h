@@ -33,6 +33,11 @@ enum class PlanKind : uint8_t {
 
 const char* PlanKindName(PlanKind kind);
 
+/// Rows per morsel claim in the parallel executor's shared cursor. Shared
+/// between exec.cc (MorselSource) and EXPLAIN output so the printed plan
+/// reflects the actual claim granularity.
+inline constexpr uint64_t kMorselRows = 4096;
+
 /// One aggregate computation (the arg expression is bound against the
 /// aggregate node's child schema). COUNT(*) has is_star = true and no arg.
 struct AggSpec {

@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "common/metrics.h"
+
 namespace sinew::engine {
 
 namespace {
@@ -996,8 +998,16 @@ Result<PlanPtr> Planner::SelectPlanner::Plan() {
 }
 
 Result<PlanPtr> Planner::PlanSelect(const SelectStatement& stmt) const {
+  static metrics::Counter* plans_total =
+      metrics::GetCounter("planner.plans_total");
+  static metrics::Counter* plan_ns_total =
+      metrics::GetCounter("planner.plan_ns_total");
+  const uint64_t start = metrics::NowNanos();
   SelectPlanner planner(catalog_, udfs_, options_, stmt);
-  return planner.Plan();
+  Result<PlanPtr> plan = planner.Plan();
+  plans_total->Increment();
+  plan_ns_total->Add(metrics::NowNanos() - start);
+  return plan;
 }
 
 }  // namespace sinew::engine

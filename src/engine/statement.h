@@ -82,6 +82,9 @@ enum class StatementKind {
 
 struct Statement {
   StatementKind kind;
+  /// EXPLAIN ANALYZE: execute the plan and annotate the printed tree with
+  /// per-operator actual rows / loops / elapsed time. kExplain only.
+  bool explain_analyze = false;
   std::unique_ptr<SelectStatement> select;  // kSelect / kExplain
   std::unique_ptr<CreateTableStatement> create_table;
   std::unique_ptr<InsertStatement> insert;

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "json/json.h"
 #include "serial/sinew_format.h"
@@ -80,6 +81,12 @@ void IndexDocument(const Value& doc, const std::string& prefix, uint64_t rid,
 Result<uint64_t> Loader::LoadDocuments(const std::string& table,
                                        const std::vector<Value>& docs,
                                        textindex::InvertedIndex* index) {
+  static metrics::Counter* batches_total =
+      metrics::GetCounter("loader.batches_total");
+  static metrics::Counter* load_ns_total =
+      metrics::GetCounter("loader.load_ns_total");
+  batches_total->Increment();
+  const uint64_t load_start = metrics::NowNanos();
   // Ensure the engine table and catalog entry exist.
   if (!catalog_->HasTable(table)) {
     catalog_->RegisterTable(table);
@@ -142,6 +149,11 @@ Result<uint64_t> Loader::LoadDocuments(const std::string& table,
   } else {
     RETURN_NOT_OK(serialize_range(0, docs.size()));
   }
+  uint64_t reservoir_bytes = 0;
+  for (const std::string& r : reservoirs) reservoir_bytes += r.size();
+  static metrics::Counter* reservoir_bytes_total =
+      metrics::GetCounter("loader.reservoir_bytes_total");
+  reservoir_bytes_total->Add(reservoir_bytes);
 
   // Phase 2 — append rows and update occurrence counts in document order
   // (serial, so row ids match input order deterministically).
@@ -176,6 +188,10 @@ Result<uint64_t> Loader::LoadDocuments(const std::string& table,
     }
     ++loaded;
   }
+  static metrics::Counter* docs_total =
+      metrics::GetCounter("loader.docs_total");
+  docs_total->Add(loaded);
+  load_ns_total->Add(metrics::NowNanos() - load_start);
   return loaded;
 }
 

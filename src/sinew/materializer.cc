@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "engine/table.h"
 #include "serial/sinew_format.h"
@@ -71,6 +72,9 @@ Result<ColumnMaterializer::Pass*> ColumnMaterializer::StartPassIfNeeded(
     if (state->materialized && !slot.has_value()) {
       RETURN_NOT_OK(engine_table->AddColumn(engine::Column{
           attr.key, engine::ColumnTypeForValueType(attr.type), false}));
+      static metrics::Counter* promoted =
+          metrics::GetCounter("materializer.columns_promoted_total");
+      promoted->Increment();
     }
   }
   Pass pass;
@@ -87,6 +91,9 @@ Result<uint64_t> ColumnMaterializer::Step(const std::string& table,
   std::lock_guard maintenance(catalog_->MaintenanceLatch(table));
   ASSIGN_OR_RETURN(Pass * pass_ptr, StartPassIfNeeded(table));
   if (pass_ptr == nullptr) return 0;
+  static metrics::Counter* steps_total =
+      metrics::GetCounter("materializer.steps_total");
+  steps_total->Increment();
   Pass& pass = *pass_ptr;
   ASSIGN_OR_RETURN(engine::Table * engine_table,
                    db_->catalog()->GetTable(table));
@@ -188,6 +195,10 @@ Result<uint64_t> ColumnMaterializer::Step(const std::string& table,
       data = engine::Datum::Bytes(std::move(reservoir));
       // Atomic single-row update; queries interleave freely.
       RETURN_NOT_OK(engine_table->UpdateRow(rid, row));
+      // Thread-safe: process_row fans out over the shared pool.
+      static metrics::Counter* backfilled =
+          metrics::GetCounter("materializer.rows_backfilled_total");
+      backfilled->Increment();
     }
     return Status::OK();
   };
@@ -212,6 +223,9 @@ Result<uint64_t> ColumnMaterializer::Step(const std::string& table,
 }
 
 Status ColumnMaterializer::FinishPass(const std::string& table) {
+  static metrics::Counter* passes_total =
+      metrics::GetCounter("materializer.passes_total");
+  passes_total->Increment();
   Pass pass;
   {
     std::lock_guard lock(passes_mu_);
@@ -240,6 +254,9 @@ Status ColumnMaterializer::FinishPass(const std::string& table) {
       ASSIGN_OR_RETURN(serial::Attribute attr, catalog_->Lookup(id));
       if (engine_table->FindColumnLatched(attr.key).has_value()) {
         RETURN_NOT_OK(engine_table->DropColumn(attr.key));
+        static metrics::Counter* demoted =
+            metrics::GetCounter("materializer.columns_demoted_total");
+        demoted->Increment();
       }
     }
   }

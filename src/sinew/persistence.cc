@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/image_io.h"
+#include "common/metrics.h"
 #include "engine/persist.h"
 #include "sinew/sinew_db.h"
 
@@ -260,6 +261,9 @@ Status SaveDatabase(SinewDb* db, const std::string& directory, Env* env) {
   // Commit point: atomically publish the manifest naming the new generation.
   RETURN_NOT_OK(
       WriteImageFile(env, ManifestPath(directory), EncodeManifest(manifest)));
+  static metrics::Counter* generations_committed =
+      metrics::GetCounter("persist.generations_committed_total");
+  generations_committed->Increment();
 
   GarbageCollect(env, directory, manifest.current, manifest.previous);
   return Status::OK();
@@ -317,6 +321,12 @@ Result<RecoveryInfo> RecoverDatabase(SinewDb* db, const std::string& directory,
   // Keep the damaged current generation on disk for post-mortems; only
   // unreferenced generations are collected.
   GarbageCollect(env, directory, manifest.current, manifest.previous);
+  static metrics::Counter* fallbacks =
+      metrics::GetCounter("persist.recovery_fallbacks_total");
+  fallbacks->Increment();
+  metrics::MetricsRegistry::Global()->AddTrace(metrics::TraceEvent{
+      "persist.recovery_fallback",
+      std::string(current_st.message()), metrics::NowNanos(), 0, 0});
   RecoveryInfo info;
   info.loaded_generation = manifest.previous;
   info.used_fallback = true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/metrics.h"
 #include "engine/parser.h"
 #include "sinew/loader.h"
 
@@ -349,6 +350,14 @@ class QueryRewriter::Impl {
   }
 
   Status RewriteColumnRef(ExprPtr* e, Hint hint) {
+    // Serving mix per query: a reference resolving to a physical engine
+    // column counts as physical; one answered via reservoir extraction
+    // (including the dirty COALESCE form) counts as virtual. This ratio is
+    // the signal the paper's materializer exists to improve.
+    static metrics::Counter* physical_refs =
+        metrics::GetCounter("rewriter.physical_refs_total");
+    static metrics::Counter* virtual_refs =
+        metrics::GetCounter("rewriter.virtual_refs_total");
     if ((*e)->table.empty() && output_aliases_.count((*e)->column) != 0) {
       return Status::OK();  // select-list alias; the planner resolves it
     }
@@ -357,6 +366,7 @@ class QueryRewriter::Impl {
     if (!st->is_sinew) {
       (*e)->table = st->alias;
       (*e)->column = path;
+      physical_refs->Increment();
       return Status::OK();
     }
     if (path == kReservoirColumn || path == "__rid") {
@@ -380,6 +390,7 @@ class QueryRewriter::Impl {
           st->engine_table->FindColumnLatched(path).has_value()) {
         (*e)->table = st->alias;
         (*e)->column = path;
+        physical_refs->Increment();
         return Status::OK();
       }
       return Status::NotFound("column \"", path,
@@ -416,6 +427,7 @@ class QueryRewriter::Impl {
           attr_type == ValueType::kObject || attr_type == ValueType::kArray;
       bool dirty =
           candidates[0].state.dirty || !candidates[0].state.materialized;
+      (dirty ? virtual_refs : physical_refs)->Increment();
       if (!dirty) {
         if (is_collection && hint != Hint::kBytes) {
           // Display context: render the serialized collection as JSON, as
@@ -454,6 +466,7 @@ class QueryRewriter::Impl {
       *e = Expr::Function("coalesce", std::move(args));
       return Status::OK();
     }
+    virtual_refs->Increment();
     *e = MakeExtraction(*st, path, hint, candidates);
     return Status::OK();
   }
@@ -753,7 +766,26 @@ Status QueryRewriter::RewriteDelete(engine::DeleteStatement* stmt) const {
   return Status::OK();
 }
 
+namespace {
+
+/// Adds the elapsed nanoseconds to a counter on scope exit (any return path).
+struct ScopedNsCounter {
+  explicit ScopedNsCounter(metrics::Counter* counter)
+      : counter_(counter), start_(metrics::NowNanos()) {}
+  ~ScopedNsCounter() { counter_->Add(metrics::NowNanos() - start_); }
+  metrics::Counter* counter_;
+  uint64_t start_;
+};
+
+}  // namespace
+
 Result<engine::Statement> QueryRewriter::Rewrite(std::string_view sql) const {
+  static metrics::Counter* queries_total =
+      metrics::GetCounter("rewriter.queries_total");
+  static metrics::Counter* rewrite_ns_total =
+      metrics::GetCounter("rewriter.rewrite_ns_total");
+  queries_total->Increment();
+  ScopedNsCounter timer(rewrite_ns_total);
   ASSIGN_OR_RETURN(engine::Statement stmt, engine::ParseSql(sql));
   switch (stmt.kind) {
     case engine::StatementKind::kSelect:

@@ -2,8 +2,10 @@
 
 #include <map>
 #include <set>
+#include <sstream>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "engine/table.h"
 #include "serial/sinew_format.h"
 #include "sinew/loader.h"
@@ -128,10 +130,26 @@ Result<std::vector<SchemaAnalyzer::Decision>> SchemaAnalyzer::AnalyzeTable(
         !should_materialize) {
       d.materialize = true;  // keep as is
     }
+    static metrics::Counter* decisions_total =
+        metrics::GetCounter("materializer.decisions_total");
+    decisions_total->Increment();
     if (d.materialize != state.materialized) {
       RETURN_NOT_OK(
           catalog_->SetMaterialized(table, state.attr_id, d.materialize));
       d.changed = true;
+      // Audit trail: every flip is a decision someone will want to replay.
+      std::ostringstream detail;
+      detail << "table=" << table << " attr=" << d.key
+             << (d.materialize ? " promote" : " demote")
+             << " density=" << d.density
+             << " null_fraction=" << (1.0 - d.density)
+             << " ndistinct=" << d.cardinality
+             << " density_threshold=" << options_.density_threshold
+             << " cardinality_threshold=" << options_.cardinality_threshold
+             << (d.multi_typed ? " multi_typed" : "");
+      metrics::MetricsRegistry::Global()->AddTrace(metrics::TraceEvent{
+          "materializer.decision", detail.str(), metrics::NowNanos(), 0,
+          rows});
     }
     decisions.push_back(std::move(d));
   }

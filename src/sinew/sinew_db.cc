@@ -56,13 +56,23 @@ Result<uint64_t> SinewDb::LoadDocuments(const std::string& table,
 }
 
 Result<engine::QueryResult> SinewDb::Query(std::string_view sql) {
+  query_trace_.Clear();
   // A query planned just before a background schema change (column added by
   // the materializer, dropped by dematerialization) fails fast with
   // kAborted instead of misreading rows; rewrite + replan and try again.
   Status last;
   for (int attempt = 0; attempt < 4; ++attempt) {
-    ASSIGN_OR_RETURN(engine::Statement stmt, rewriter_.Rewrite(sql));
-    Result<engine::QueryResult> result = db_.ExecuteStatement(stmt);
+    metrics::TraceContext::Span rewrite_span =
+        query_trace_.StartSpan("query.rewrite");
+    Result<engine::Statement> stmt_or = rewriter_.Rewrite(sql);
+    rewrite_span.End();
+    RETURN_NOT_OK(stmt_or.status());
+    metrics::TraceContext::Span exec_span =
+        query_trace_.StartSpan("query.execute");
+    Result<engine::QueryResult> result = db_.ExecuteStatement(*stmt_or);
+    if (result.ok()) exec_span.SetRows(result->rows.size());
+    if (!result.ok()) exec_span.SetDetail(std::string(result.status().message()));
+    exec_span.End();
     if (result.ok() || !result.status().IsAborted() ||
         result.status().message().find("schema changed") ==
             std::string::npos) {

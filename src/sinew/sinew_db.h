@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "engine/database.h"
 #include "sinew/catalog.h"
@@ -85,6 +86,14 @@ class SinewDb {
   /// EXPLAIN of the rewritten query.
   Result<std::string> Explain(std::string_view sql);
 
+  /// Spans recorded by the most recent Query() call (rewrite / plan+execute
+  /// phases, with wall clock and row counts). The trace is cleared at the
+  /// start of each Query(); with concurrent callers it holds an interleaving
+  /// of their spans — per-query isolation is not promised, observability is.
+  std::vector<metrics::TraceEvent> LastQueryTrace() const {
+    return query_trace_.events();
+  }
+
   // --- schema maintenance ---
   /// One schema-analyzer pass (threshold evaluation; flags columns dirty).
   Result<std::vector<SchemaAnalyzer::Decision>> AnalyzeSchema(
@@ -139,6 +148,7 @@ class SinewDb {
   SchemaAnalyzer analyzer_;
   ColumnMaterializer materializer_;
   QueryRewriter rewriter_;
+  metrics::TraceContext query_trace_;
   std::vector<std::string> tables_;
   mutable std::mutex tables_mutex_;
 

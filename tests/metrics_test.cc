@@ -1,0 +1,222 @@
+// Unit tests for the observability layer (common/metrics.h): counter /
+// gauge / histogram semantics, exact totals under concurrent updates from
+// the shared thread pool, registry snapshot/dump shape, and registry reset.
+//
+// Metric-value assertions are gated on SINEW_METRICS_DISABLED so the suite
+// also passes (as a set of no-op checks) under -DSINEW_METRICS=OFF builds.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace sinew::metrics {
+namespace {
+
+#if !defined(SINEW_METRICS_DISABLED)
+
+TEST(MetricsTest, CounterSemantics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSemantics) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(20);
+  EXPECT_EQ(g.value(), -5);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);
+
+  // 0 has bit_width 0; 1 -> bucket 1; 2,3 -> bucket 2; 1000 -> bucket 10.
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(1000);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1006u);
+  std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), Histogram::kBuckets);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[10], 1u);
+
+  // Median lands in bucket 2 (values in [2,4)): upper bound 3.
+  EXPECT_EQ(h.ApproxQuantile(0.5), 3u);
+  // p100 lands in bucket 10: upper bound 1023.
+  EXPECT_EQ(h.ApproxQuantile(1.0), 1023u);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.BucketCounts()[2], 0u);
+}
+
+TEST(MetricsTest, HistogramHugeValueClampsToLastBucket) {
+  Histogram h;
+  h.Observe(~0ull);  // bit_width 64 > kBuckets - 1
+  EXPECT_EQ(h.BucketCounts()[Histogram::kBuckets - 1], 1u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("test.a_total");
+  Counter* b = registry.counter("test.a_total");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.counter("test.b_total"), a);
+  // Same name, different kind: distinct metric objects.
+  EXPECT_NE(static_cast<void*>(registry.gauge("test.a_total")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsTest, ConcurrentCounterTotalsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("test.concurrent_total");
+  ThreadPool pool(4);
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 10000;
+  std::vector<std::future<Status>> futures;
+  for (int t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.Submit([counter]() {
+      for (int i = 0; i < kPerTask; ++i) counter->Increment();
+      return Status::OK();
+    }));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kTasks) * static_cast<uint64_t>(kPerTask));
+}
+
+TEST(MetricsTest, SnapshotExpandsHistogramsAndSorts) {
+  MetricsRegistry registry;
+  registry.counter("test.z_total")->Add(7);
+  registry.gauge("test.depth")->Set(-3);
+  registry.histogram("test.lat_ns")->Observe(100);
+
+  std::vector<Sample> samples = registry.Snapshot();
+  // Sorted by name.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+  auto find = [&](const std::string& name) -> const Sample* {
+    for (const Sample& s : samples) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const Sample* counter = find("test.z_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->type, "counter");
+  EXPECT_DOUBLE_EQ(counter->value, 7.0);
+  const Sample* gauge = find("test.depth");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->type, "gauge");
+  EXPECT_DOUBLE_EQ(gauge->value, -3.0);
+  ASSERT_NE(find("test.lat_ns.count"), nullptr);
+  EXPECT_DOUBLE_EQ(find("test.lat_ns.count")->value, 1.0);
+  ASSERT_NE(find("test.lat_ns.sum_ns"), nullptr);
+  EXPECT_DOUBLE_EQ(find("test.lat_ns.sum_ns")->value, 100.0);
+  ASSERT_NE(find("test.lat_ns.p50_ns"), nullptr);
+  ASSERT_NE(find("test.lat_ns.p99_ns"), nullptr);
+}
+
+TEST(MetricsTest, DumpJsonContainsMetricsAndTrace) {
+  MetricsRegistry registry;
+  registry.counter("test.json_total")->Add(3);
+  registry.AddTrace(
+      TraceEvent{"test.event", "detail \"quoted\"", 123, 456, 7});
+  std::string json = registry.DumpJson();
+  EXPECT_NE(json.find("\"test.json_total\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.event\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
+}
+
+TEST(MetricsTest, TraceRingKeepsLastEventsAndCountsDrops) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 300; ++i) {
+    registry.AddTrace(TraceEvent{"e" + std::to_string(i), "", 0, 0, 0});
+  }
+  std::vector<TraceEvent> events = registry.TraceEvents();
+  ASSERT_EQ(events.size(), 256u);
+  // Oldest-first: 300 - 256 = 44 events were dropped from the front.
+  EXPECT_EQ(events.front().name, "e44");
+  EXPECT_EQ(events.back().name, "e299");
+  EXPECT_NE(registry.DumpJson().find("\"trace_dropped\": 44"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, ResetZeroesEverythingButKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("test.reset_total");
+  Gauge* gauge = registry.gauge("test.reset_depth");
+  Histogram* hist = registry.histogram("test.reset_ns");
+  counter->Add(5);
+  gauge->Set(9);
+  hist->Observe(42);
+  registry.AddTrace(TraceEvent{"event", "", 0, 0, 0});
+
+  registry.Reset();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(hist->count(), 0u);
+  EXPECT_TRUE(registry.TraceEvents().empty());
+  // The same pointers keep working after Reset.
+  counter->Increment();
+  EXPECT_EQ(counter->value(), 1u);
+}
+
+TEST(MetricsTest, TraceContextRecordsSpans) {
+  TraceContext ctx;
+  {
+    TraceContext::Span span = ctx.StartSpan("phase");
+    span.SetRows(12);
+    span.SetDetail("d");
+  }  // records on destruction
+  {
+    TraceContext::Span ended = ctx.StartSpan("explicit");
+    ended.End();
+    ended.End();  // idempotent
+  }
+  std::vector<TraceEvent> events = ctx.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "phase");
+  EXPECT_EQ(events[0].rows, 12u);
+  EXPECT_EQ(events[0].detail, "d");
+  EXPECT_EQ(events[1].name, "explicit");
+  ctx.Clear();
+  EXPECT_TRUE(ctx.events().empty());
+}
+
+#endif  // !SINEW_METRICS_DISABLED
+
+TEST(MetricsTest, GlobalRegistryIsASingleton) {
+  EXPECT_NE(MetricsRegistry::Global(), nullptr);
+  EXPECT_EQ(MetricsRegistry::Global(), MetricsRegistry::Global());
+  // The convenience helpers route to the global registry in every build
+  // mode, so instrumented call sites never null-check.
+  EXPECT_NE(GetCounter("test.global_total"), nullptr);
+  EXPECT_NE(GetGauge("test.global_depth"), nullptr);
+  EXPECT_NE(GetHistogram("test.global_ns"), nullptr);
+}
+
+}  // namespace
+}  // namespace sinew::metrics
