@@ -283,6 +283,57 @@ class ProjectOp : public Operator {
   ExecContext* ctx_;
 };
 
+// ---------------------------------------------------------------- Extract
+
+// Batched virtual-attribute extraction (kExtract): appends one computed
+// column per target to each child row, decoding every serialized source
+// column once per row through the registered batch-extract function. The
+// operator itself is stateless across rows, so Gather worker clones are
+// safe; decode tallies accumulate locally and flush into the plan node's
+// OperatorStats on destruction (like GatherOp's morsel counts).
+class ExtractOp : public Operator {
+ public:
+  ExtractOp(const PlanNode& node, OperatorPtr child, ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  ~ExtractOp() override {
+    if (ctx_->stats != nullptr) {
+      if (OperatorStats* s = ctx_->stats->For(node_)) {
+        s->decodes.fetch_add(stats_.decodes, std::memory_order_relaxed);
+        s->attrs.fetch_add(stats_.attrs, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  Status Open() override {
+    fn_ = ctx_->udfs == nullptr
+              ? nullptr
+              : ctx_->udfs->FindBatchExtract(node_.extract_fn);
+    if (fn_ == nullptr) {
+      return Status::Internal("batch extract function ", node_.extract_fn,
+                              " is not registered");
+    }
+    return child_->Open();
+  }
+
+  Result<bool> Next(DatumRow* out) override {
+    ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    RETURN_NOT_OK((*fn_)(*out, node_.extract_targets, &outs_, &stats_));
+    out->reserve(out->size() + outs_.size());
+    for (Datum& d : outs_) out->push_back(std::move(d));
+    return true;
+  }
+
+ private:
+  const PlanNode& node_;
+  OperatorPtr child_;
+  ExecContext* ctx_;
+  const BatchExtractFn* fn_ = nullptr;
+  std::vector<Datum> outs_;
+  BatchExtractStats stats_;
+};
+
 // ---------------------------------------------------------------- Sort
 
 class SortOp : public Operator {
@@ -1154,6 +1205,8 @@ Result<OperatorPtr> BuildOperatorInner(const PlanNode& node, ExecContext* ctx,
       return OperatorPtr(new FilterOp(node, std::move(children[0]), ctx));
     case PlanKind::kProject:
       return OperatorPtr(new ProjectOp(node, std::move(children[0]), ctx));
+    case PlanKind::kExtract:
+      return OperatorPtr(new ExtractOp(node, std::move(children[0]), ctx));
     case PlanKind::kSort:
       return OperatorPtr(new SortOp(node, std::move(children[0]), ctx));
     case PlanKind::kHashJoin:
@@ -1246,6 +1299,10 @@ void AppendAnalyzedNode(const PlanNode& node, const PlanStats& stats,
         *out << " (morsels=" << s->morsels.load(std::memory_order_relaxed)
              << " stalls=" << s->stalls.load(std::memory_order_relaxed)
              << ")";
+      }
+      if (node.kind == PlanKind::kExtract) {
+        *out << " (decodes=" << s->decodes.load(std::memory_order_relaxed)
+             << " attrs=" << s->attrs.load(std::memory_order_relaxed) << ")";
       }
     }
   }

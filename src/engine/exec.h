@@ -41,6 +41,9 @@ struct OperatorStats {
   // kGather only:
   std::atomic<uint64_t> morsels{0};     // morsel claims across workers
   std::atomic<uint64_t> stalls{0};      // bounded-queue full waits
+  // kExtract only:
+  std::atomic<uint64_t> decodes{0};     // source documents decoded
+  std::atomic<uint64_t> attrs{0};       // attributes extracted from them
 };
 
 /// Side table of per-node actuals for one execution, indexed by plan node

@@ -30,6 +30,8 @@ const char* PlanKindName(PlanKind kind) {
       return "Limit";
     case PlanKind::kGather:
       return "Gather";
+    case PlanKind::kExtract:
+      return "SinewExtract";
   }
   return "?";
 }
@@ -103,6 +105,17 @@ std::string PlanNode::Summary() const {
                   : "streaming")
           << ")";
       break;
+    case PlanKind::kExtract: {
+      size_t sources = 0;
+      int prev_slot = -1;
+      for (const ExtractTarget& t : extract_targets) {
+        if (t.source_slot != prev_slot) ++sources;  // targets grouped by slot
+        prev_slot = t.source_slot;
+      }
+      out << " (attrs=" << extract_targets.size() << ", sources=" << sources
+          << ")";
+      break;
+    }
     case PlanKind::kUnique:
     case PlanKind::kLimit:
       break;

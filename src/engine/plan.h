@@ -13,6 +13,7 @@
 #include "engine/eval.h"
 #include "engine/expr.h"
 #include "engine/table.h"
+#include "engine/udf.h"
 
 namespace sinew::engine {
 
@@ -29,6 +30,7 @@ enum class PlanKind : uint8_t {
   kUnique,          // DISTINCT over sorted input
   kLimit,
   kGather,          // merge of a parallel (morsel-driven) child pipeline
+  kExtract,         // batched document extraction (appends computed columns)
 };
 
 const char* PlanKindName(PlanKind kind);
@@ -94,6 +96,13 @@ struct PlanNode {
   // child is the template pipeline each worker instantiates over its own
   // morsel stream (see exec.cc).
   int parallel_degree = 0;
+
+  // kExtract: each target appends one output column (after the child's
+  // columns) computed by the registered batch-extract function; targets
+  // sharing a source column decode it once per row. Grouped by source_slot
+  // and sorted by (prefix_ids, attr_id) — the BatchExtractFn contract.
+  std::vector<ExtractTarget> extract_targets;
+  std::string extract_fn;  // name resolved via UdfRegistry::FindBatchExtract
 
   /// EXPLAIN rendering (multi-line tree).
   std::string DebugString() const;

@@ -77,6 +77,8 @@ class Planner::SelectPlanner {
   Result<PlanPtr> AddDistinct(PlanPtr child);
   Result<PlanPtr> AddOrderByAndLimit(PlanPtr child,
                                      std::vector<OrderItem> order_by);
+  void HoistBatchedExtraction(PlanPtr* node) const;
+  void TryHoistBatchedExtraction(PlanNode* cap) const;
   void ParallelizePlan(PlanPtr* node) const;
   int ParallelDegreeFor(const PlanNode& chain) const;
   static bool IsPipelineChain(const PlanNode& node);
@@ -899,11 +901,311 @@ Result<PlanPtr> Planner::SelectPlanner::AddOrderByAndLimit(
   return child;
 }
 
+namespace {
+
+/// The batch-extract implementation Sinew registers (see
+/// sinew/extract_functions.cc). The hoist pass only runs when this name is
+/// resolvable, so engine-only databases are unaffected.
+constexpr std::string_view kBatchExtractFnName = "sinew_extract_many";
+
+/// A document-extraction call the planner can fold into a kExtract node:
+/// sinew_extract_chain[_bytes](<bound column>, <type tag>, <id>...). The
+/// rewriter resolves every id literal at bind time, which is exactly what
+/// makes the call hoistable — its per-row work is a pure function of the
+/// source column.
+bool IsHoistableChainCall(const Expr& e) {
+  if (e.kind != ExprKind::kFunction) return false;
+  if (e.fname != "sinew_extract_chain" &&
+      e.fname != "sinew_extract_chain_bytes") {
+    return false;
+  }
+  if (e.args.size() < 3) return false;
+  if (e.args[0]->kind != ExprKind::kColumnRef || e.args[0]->bound_slot < 0) {
+    return false;
+  }
+  for (size_t i = 1; i < e.args.size(); ++i) {
+    if (e.args[i]->kind != ExprKind::kLiteral ||
+        !e.args[i]->literal.is_int()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Collects pointers to every maximal hoistable chain-call subtree (calls
+/// nested inside COALESCE etc. are found; the enclosing expression stays).
+void CollectChainCallSites(ExprPtr* expr, std::vector<ExprPtr*>* sites) {
+  if (IsHoistableChainCall(**expr)) {
+    sites->push_back(expr);
+    return;
+  }
+  for (ExprPtr& a : (*expr)->args) CollectChainCallSites(&a, sites);
+}
+
+ExtractTarget TargetFromCall(const Expr& call) {
+  ExtractTarget t;
+  t.source_slot = call.args[0]->bound_slot;
+  t.type_tag = call.args[1]->literal.int_value();
+  t.raw_bytes = call.fname == "sinew_extract_chain_bytes";
+  for (size_t i = 2; i + 1 < call.args.size(); ++i) {
+    t.prefix_ids.push_back(
+        static_cast<uint32_t>(call.args[i]->literal.int_value()));
+  }
+  t.attr_id = static_cast<uint32_t>(call.args.back()->literal.int_value());
+  return t;
+}
+
+}  // namespace
+
+// Post-pass: fold repeated document-extraction calls over one scan into
+// kExtract nodes — predicate attributes into one node below the rebuilt
+// filter (predicates and projections of the same attribute share that
+// decode), projection-only attributes into one node above it (rows the
+// filter drops never pay for them). Only pipelines capped by a Project or
+// Aggregate are rewritten — their output schemas hide the appended columns
+// from everything upstream.
+void Planner::SelectPlanner::HoistBatchedExtraction(PlanPtr* node) const {
+  PlanNode& n = **node;
+  if ((n.kind == PlanKind::kProject || n.kind == PlanKind::kHashAggregate ||
+       n.kind == PlanKind::kGroupAggregate) &&
+      n.children.size() == 1) {
+    TryHoistBatchedExtraction(&n);
+  }
+  for (PlanPtr& child : n.children) HoistBatchedExtraction(&child);
+}
+
+void Planner::SelectPlanner::TryHoistBatchedExtraction(PlanNode* cap) const {
+  // Walk down through schema-preserving streaming nodes to a base scan.
+  std::vector<PlanNode*> mid;
+  PlanPtr* slot = &cap->children[0];
+  while (((*slot)->kind == PlanKind::kFilter ||
+          (*slot)->kind == PlanKind::kSort ||
+          (*slot)->kind == PlanKind::kUnique ||
+          (*slot)->kind == PlanKind::kLimit) &&
+         (*slot)->children.size() == 1) {
+    mid.push_back(slot->get());
+    slot = &(*slot)->children[0];
+  }
+  if ((*slot)->kind != PlanKind::kSeqScan) return;
+  PlanNode* scan = slot->get();
+
+  // Conjuncts of the pushed-down scan filter that contain extraction calls
+  // must move above the extract node; the rest stay pushed down.
+  std::vector<ExprPtr> keep, moved;
+  if (scan->scan_filter != nullptr) {
+    std::vector<ExprPtr> parts = SplitConjuncts(*scan->scan_filter);
+    for (ExprPtr& part : parts) {
+      std::vector<ExprPtr*> in_part;
+      CollectChainCallSites(&part, &in_part);
+      (in_part.empty() ? keep : moved).push_back(std::move(part));
+    }
+  }
+
+  // Sites referenced by a predicate must be extracted below the rebuilt
+  // filter; sites referenced only by sort keys or the cap are extracted
+  // above it, so rows the filter drops never pay for projection-only
+  // attributes (SELECT * behind a selective virtual predicate would
+  // otherwise decode the whole wide schema for every row).
+  std::vector<ExprPtr*> below_sites, above_sites;
+  for (ExprPtr& part : moved) CollectChainCallSites(&part, &below_sites);
+  for (PlanNode* m : mid) {
+    if (m->kind == PlanKind::kFilter && m->predicate != nullptr) {
+      CollectChainCallSites(&m->predicate, &below_sites);
+    }
+    for (ExprPtr& k : m->sort_keys) CollectChainCallSites(&k, &above_sites);
+  }
+  if (cap->kind == PlanKind::kProject) {
+    for (ExprPtr& p : cap->projections) {
+      CollectChainCallSites(&p, &above_sites);
+    }
+  } else {
+    for (ExprPtr& k : cap->group_keys) CollectChainCallSites(&k, &above_sites);
+    for (AggSpec& a : cap->aggs) {
+      if (a.arg != nullptr) CollectChainCallSites(&a.arg, &above_sites);
+    }
+  }
+  // A lone call gains nothing from batching (one decode either way) and
+  // would pay an extra operator hop; leave it on the scalar UDF path.
+  if (below_sites.size() + above_sites.size() < 2) return;
+
+  // A lone predicate site decodes once per row either way and is cheapest
+  // evaluated inside the scan, where dropped rows are never materialized
+  // through the extra operator hop. Hoist a predicate group only when it
+  // batches at least two call sites into one decode.
+  if (below_sites.size() < 2) {
+    below_sites.clear();
+    moved.clear();  // conjuncts stay in the scan filter, on the chain path
+  }
+
+  // Dedupe call sites by structural equality. A site that appears in both
+  // a predicate and the projection lands in the below group: predicate and
+  // projection then share one decode through the same output column.
+  std::vector<ExprPtr> below_templates, above_templates;
+  std::vector<std::string> below_texts, above_texts;
+  for (ExprPtr* site : below_sites) {
+    std::string text = (*site)->ToString();
+    if (std::find(below_texts.begin(), below_texts.end(), text) ==
+        below_texts.end()) {
+      below_texts.push_back(std::move(text));
+      below_templates.push_back((*site)->Clone());
+    }
+  }
+
+  // Above-group sites whose text matches a predicate target reuse its
+  // output column for free. A single remaining fresh site stays on the
+  // chain path for the same lone-site reason; two or more batch into one
+  // decode per filter-surviving row.
+  std::vector<ExprPtr*> shared_above, fresh_above;
+  for (ExprPtr* site : above_sites) {
+    bool is_shared = std::find(below_texts.begin(), below_texts.end(),
+                               (*site)->ToString()) != below_texts.end();
+    (is_shared ? shared_above : fresh_above).push_back(site);
+  }
+  const bool hoist_above = fresh_above.size() >= 2;
+  if (below_sites.empty() && !hoist_above) return;
+  if (hoist_above) {
+    for (ExprPtr* site : fresh_above) {
+      std::string text = (*site)->ToString();
+      if (std::find(above_texts.begin(), above_texts.end(), text) ==
+          above_texts.end()) {
+        above_texts.push_back(std::move(text));
+        above_templates.push_back((*site)->Clone());
+      }
+    }
+  }
+
+  // call text -> (output slot, column name), across both extract nodes.
+  std::map<std::string, std::pair<size_t, std::string>> out_by_text;
+  size_t next_rank = 0;
+  // Builds one kExtract node appending the group's targets to in_schema.
+  // Targets are ordered by (source, prefix chain, attr id): the
+  // BatchExtractFn contract that lets the implementation decode each source
+  // once and merge-join all wanted ids in a single ascending pass.
+  auto make_extract = [&](std::vector<ExprPtr>* templates,
+                          std::vector<std::string>* texts,
+                          const ExecSchema& in_schema,
+                          double est_rows) -> PlanPtr {
+    std::vector<ExtractTarget> targets;
+    targets.reserve(templates->size());
+    for (const ExprPtr& t : *templates) targets.push_back(TargetFromCall(*t));
+    std::vector<size_t> order(templates->size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const ExtractTarget& ta = targets[a];
+      const ExtractTarget& tb = targets[b];
+      if (ta.source_slot != tb.source_slot) {
+        return ta.source_slot < tb.source_slot;
+      }
+      if (ta.prefix_ids != tb.prefix_ids) {
+        return ta.prefix_ids < tb.prefix_ids;
+      }
+      if (ta.attr_id != tb.attr_id) return ta.attr_id < tb.attr_id;
+      return ta.raw_bytes < tb.raw_bytes;
+    });
+    auto extract = std::make_unique<PlanNode>();
+    extract->kind = PlanKind::kExtract;
+    extract->extract_fn = std::string(kBatchExtractFnName);
+    extract->output_schema = in_schema;
+    extract->est_rows = est_rows;
+    for (size_t i : order) {
+      std::string name = "$x" + std::to_string(next_rank++);
+      out_by_text[(*texts)[i]] = {extract->output_schema.cols.size(), name};
+      extract->output_schema.cols.push_back(ExecSchema::Col{
+          "", std::move(name), InferType(*(*templates)[i],
+                                         scan->output_schema)});
+      extract->extract_targets.push_back(std::move(targets[i]));
+    }
+    return extract;
+  };
+
+  // Rebuild the pushed-down filter and its projection pushdown: columns a
+  // moved conjunct needed (the reservoir in particular) shift from the
+  // filter phase to the output phase, so the decoded set is unchanged.
+  if (!moved.empty()) {
+    std::set<size_t> decoded(scan->scan_filter_cols.begin(),
+                             scan->scan_filter_cols.end());
+    decoded.insert(scan->scan_output_cols.begin(),
+                   scan->scan_output_cols.end());
+    scan->scan_filter =
+        keep.empty() ? nullptr : CombineConjuncts(std::move(keep));
+    std::set<size_t> filter_cols;
+    if (scan->scan_filter != nullptr) {
+      std::vector<const Expr*> refs;
+      scan->scan_filter->CollectColumnRefs(&refs);
+      for (const Expr* ref : refs) {
+        if (ref->bound_slot >= 0) {
+          filter_cols.insert(static_cast<size_t>(ref->bound_slot));
+        }
+      }
+    }
+    for (size_t col : filter_cols) decoded.erase(col);
+    scan->scan_filter_cols.assign(filter_cols.begin(), filter_cols.end());
+    scan->scan_output_cols.assign(decoded.begin(), decoded.end());
+  }
+
+  // Build both nodes up front (the above node's input schema includes the
+  // below node's outputs), then swap call sites while the moved conjuncts
+  // are still intact, then splice.
+  PlanPtr below_node, above_node;
+  if (!below_templates.empty()) {
+    below_node = make_extract(&below_templates, &below_texts,
+                              scan->output_schema, scan->est_rows);
+  }
+  if (!above_templates.empty()) {
+    above_node = make_extract(
+        &above_templates, &above_texts,
+        below_node ? below_node->output_schema : scan->output_schema,
+        scan->est_rows);
+  }
+
+  // Swap every call site for a reference to its extract output column.
+  // Below-group outputs flow through the filter and the above node, so a
+  // projection referencing a predicate attribute reuses the below decode.
+  auto swap_sites = [&](std::vector<ExprPtr*>* sites) {
+    for (ExprPtr* site : *sites) {
+      const auto& out = out_by_text[(*site)->ToString()];
+      ExprPtr ref = Expr::Column("", out.second);
+      ref->bound_slot = static_cast<int>(out.first);
+      *site = std::move(ref);
+    }
+  };
+  swap_sites(&below_sites);
+  swap_sites(&shared_above);
+  if (hoist_above) swap_sites(&fresh_above);
+
+  // Splice: scan -> extract(predicate attrs) [-> filter with the moved
+  // conjuncts] [-> extract(projection-only attrs)], and widen the schemas
+  // of the pass-through nodes above (rows now carry the appended columns up
+  // to the cap, whose own output schema hides them).
+  PlanPtr spliced = std::move(*slot);
+  if (below_node) {
+    below_node->children.push_back(std::move(spliced));
+    spliced = std::move(below_node);
+  }
+  if (!moved.empty()) {
+    auto filter = std::make_unique<PlanNode>();
+    filter->kind = PlanKind::kFilter;
+    filter->predicate = CombineConjuncts(std::move(moved));
+    filter->output_schema = spliced->output_schema;
+    filter->est_rows = spliced->est_rows;
+    filter->children.push_back(std::move(spliced));
+    spliced = std::move(filter);
+  }
+  if (above_node) {
+    above_node->children.push_back(std::move(spliced));
+    spliced = std::move(above_node);
+  }
+
+  for (PlanNode* m : mid) m->output_schema = spliced->output_schema;
+  *slot = std::move(spliced);
+}
+
 // A scan → filter → project pipeline: the plan shape Gather workers can run
 // independently over disjoint morsels (one base table, no blocking state).
 bool Planner::SelectPlanner::IsPipelineChain(const PlanNode& node) {
   if (node.kind == PlanKind::kSeqScan) return true;
-  if ((node.kind == PlanKind::kFilter || node.kind == PlanKind::kProject) &&
+  if ((node.kind == PlanKind::kFilter || node.kind == PlanKind::kProject ||
+       node.kind == PlanKind::kExtract) &&
       node.children.size() == 1) {
     return IsPipelineChain(*node.children[0]);
   }
@@ -993,6 +1295,10 @@ Result<PlanPtr> Planner::SelectPlanner::Plan() {
   }
   ASSIGN_OR_RETURN(root,
                    AddOrderByAndLimit(std::move(root), std::move(order_by)));
+  if (options_.enable_batched_extraction && udfs_ != nullptr &&
+      udfs_->FindBatchExtract(kBatchExtractFnName) != nullptr) {
+    HoistBatchedExtraction(&root);
+  }
   if (options_.parallelism > 1) ParallelizePlan(&root);
   return root;
 }

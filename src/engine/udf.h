@@ -22,6 +22,35 @@ namespace sinew::engine {
 using UdfArgs = std::vector<const Datum*>;
 using UdfFn = std::function<Result<Datum>(const UdfArgs&)>;
 
+/// One output of a batched extraction call (plan node kExtract): read the
+/// serialized document in input slot `source_slot`, descend through the
+/// nested-object attributes `prefix_ids`, then extract `attr_id` and decode
+/// it per `type_tag` (a ValueType tag; opaque to the engine). `raw_bytes`
+/// skips decoding and emits the value's serialized bytes verbatim.
+struct ExtractTarget {
+  int source_slot = -1;
+  int64_t type_tag = 0;
+  bool raw_bytes = false;
+  std::vector<uint32_t> prefix_ids;
+  uint32_t attr_id = 0;
+};
+
+/// Work done by one batch-extract invocation, fed into per-node EXPLAIN
+/// ANALYZE stats by the executor.
+struct BatchExtractStats {
+  uint64_t decodes = 0;  // source documents decoded (header walks)
+  uint64_t attrs = 0;    // attributes requested across those decodes
+};
+
+/// Batched extraction function: fills (*outs)[i] from targets[i] for one
+/// row. The planner guarantees targets arrive grouped by source_slot and
+/// sorted by (prefix_ids, attr_id), so implementations can decode each
+/// source once and merge-join all wanted ids in a single header pass.
+using BatchExtractFn =
+    std::function<Status(const DatumRow& row,
+                         const std::vector<ExtractTarget>& targets,
+                         std::vector<Datum>* outs, BatchExtractStats* stats)>;
+
 class UdfRegistry {
  public:
   /// Registers (or replaces) a scalar function under a lower-case name.
@@ -36,8 +65,21 @@ class UdfRegistry {
 
   bool Contains(std::string_view name) const { return Find(name) != nullptr; }
 
+  /// Registers (or replaces) a batched extraction function (the engine's
+  /// kExtract node resolves its implementation through here, keeping the
+  /// serialized-format knowledge outside the engine).
+  void RegisterBatchExtract(std::string name, BatchExtractFn fn) {
+    batch_extract_[std::move(name)] = std::move(fn);
+  }
+
+  const BatchExtractFn* FindBatchExtract(std::string_view name) const {
+    auto it = batch_extract_.find(name);
+    return it == batch_extract_.end() ? nullptr : &it->second;
+  }
+
  private:
   std::map<std::string, UdfFn, std::less<>> fns_;
+  std::map<std::string, BatchExtractFn, std::less<>> batch_extract_;
 };
 
 /// Registers the engine's built-in scalar functions: coalesce, abs, lower,

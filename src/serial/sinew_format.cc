@@ -282,6 +282,38 @@ std::optional<std::string_view> DocumentView::Extract(uint32_t id) const {
   return data_.substr(body_base + begin, end - begin);
 }
 
+size_t DocumentView::ExtractMany(const uint32_t* ids, size_t count,
+                                 std::optional<std::string_view>* out) const {
+  for (size_t i = 0; i < count; ++i) out[i] = std::nullopt;
+  if (count == 0 || data_.size() < kU32) return 0;
+  uint32_t n = LoadU32(data_, 0);
+  size_t body_base = kU32 * (2 + 2 * static_cast<size_t>(n));
+  if (data_.size() < body_base || n == 0) return 0;
+  const char* ids_base = data_.data() + kU32;
+  size_t offsets_base = kU32 * (1 + n);
+  size_t found = 0;
+  uint32_t pos = 0;
+  uint32_t doc_id;
+  std::memcpy(&doc_id, ids_base, kU32);
+  for (size_t i = 0; i < count && pos < n;) {
+    if (doc_id < ids[i]) {
+      ++pos;
+      if (pos < n) std::memcpy(&doc_id, ids_base + kU32 * pos, kU32);
+    } else if (doc_id > ids[i]) {
+      ++i;
+    } else {
+      uint32_t begin = LoadU32(data_, offsets_base + kU32 * pos);
+      uint32_t end = LoadU32(data_, offsets_base + kU32 * (pos + 1));
+      if (body_base + end <= data_.size() && begin <= end) {
+        out[i] = data_.substr(body_base + begin, end - begin);
+        ++found;
+      }
+      ++i;  // pos stays put so a duplicate wanted id matches again
+    }
+  }
+  return found;
+}
+
 Result<Value> DocumentView::ExtractValue(uint32_t id,
                                          const AttributeDictionary& dict) const {
   std::optional<std::string_view> bytes = Extract(id);

@@ -91,6 +91,15 @@ class DocumentView {
   /// Raw value bytes for `id`, or nullopt if absent. O(log n).
   std::optional<std::string_view> Extract(uint32_t id) const;
 
+  /// Batched extraction: fills out[i] with the value bytes of ids[i], or
+  /// nullopt when absent. `ids` must be ascending (equal adjacent ids are
+  /// allowed and each receives the shared value); the wanted list is
+  /// merge-joined against the document's sorted ID run in one forward pass,
+  /// so the header is parsed once for all attributes instead of once per
+  /// Extract call. Returns the number of ids found.
+  size_t ExtractMany(const uint32_t* ids, size_t count,
+                     std::optional<std::string_view>* out) const;
+
   /// Extracts and decodes `id` as its dictionary-declared type. Returns
   /// kNull Value if the attribute is absent.
   Result<Value> ExtractValue(uint32_t id, const AttributeDictionary& dict) const;

@@ -5,7 +5,12 @@ namespace sinew {
 Result<uint32_t> AttributeCatalog::Intern(std::string_view key,
                                           ValueType type) {
   std::lock_guard lock(mutex_);
-  return dict_.Intern(key, type);
+  const size_t before = dict_.size();
+  Result<uint32_t> id = dict_.Intern(key, type);
+  if (id.ok() && dict_.size() != before) {
+    version_.fetch_add(1, std::memory_order_release);
+  }
+  return id;
 }
 
 std::optional<uint32_t> AttributeCatalog::FindId(std::string_view key,
@@ -129,11 +134,45 @@ std::mutex& AttributeCatalog::MaintenanceLatch(const std::string& table) {
   return *latch;
 }
 
+std::map<std::string, AttributeCatalog::ResolvedPath, std::less<>>
+AttributeCatalog::ResolveBatch(const std::string& table,
+                               const std::vector<std::string>& paths) const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, ResolvedPath, std::less<>> out;
+  auto t = tables_.find(table);
+  auto state_of = [&](uint32_t id) -> std::optional<AttributeState> {
+    if (t == tables_.end()) return std::nullopt;
+    auto a = t->second.find(id);
+    if (a == t->second.end()) return std::nullopt;
+    return a->second;
+  };
+  for (const std::string& path : paths) {
+    if (out.count(path) != 0) continue;
+    ResolvedPath resolved;
+    resolved.types = dict_.FindAllTypes(path);
+    for (const serial::Attribute& attr : resolved.types) {
+      resolved.states.push_back(state_of(attr.id));
+    }
+    for (size_t dot = path.find('.'); dot != std::string::npos;
+         dot = path.find('.', dot + 1)) {
+      std::optional<uint32_t> oid =
+          dict_.FindId(std::string_view(path).substr(0, dot),
+                       ValueType::kObject);
+      resolved.prefix_ids.push_back(oid);
+      resolved.prefix_states.push_back(
+          oid.has_value() ? state_of(*oid) : std::nullopt);
+    }
+    out.emplace(path, std::move(resolved));
+  }
+  return out;
+}
+
 void AttributeCatalog::Clear() {
   std::lock_guard lock(mutex_);
   dict_.Clear();
   tables_.clear();
   latches_.clear();
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace sinew

@@ -14,6 +14,7 @@
 #ifndef SINEW_SINEW_CATALOG_H_
 #define SINEW_SINEW_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -50,6 +51,27 @@ class AttributeCatalog : public serial::AttributeDictionary {
   std::vector<serial::Attribute> FindAllTypes(std::string_view key) const override;
   size_t size() const override;
 
+  /// Monotone dictionary version, bumped whenever Intern adds a new
+  /// attribute (and on Clear). Lock-free, so per-query resolution caches can
+  /// validate their entries without touching the catalog mutex on every row.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Everything the query rewriter needs to know about one dotted path:
+  /// every typed variant, its per-table state, and the object attribute id
+  /// (plus state) of each dotted prefix, shortest first.
+  struct ResolvedPath {
+    std::vector<serial::Attribute> types;
+    std::vector<std::optional<AttributeState>> states;  // parallel to types
+    std::vector<std::optional<uint32_t>> prefix_ids;
+    std::vector<std::optional<AttributeState>> prefix_states;
+  };
+
+  /// Bind-time batch resolution: resolves every path for `table` under a
+  /// single mutex acquisition, instead of one lock round-trip per path per
+  /// lookup kind per row. The rewriter calls this once per query.
+  std::map<std::string, ResolvedPath, std::less<>> ResolveBatch(
+      const std::string& table, const std::vector<std::string>& paths) const;
+
   // --- per-table state ---
   /// Registers a table (idempotent).
   void RegisterTable(const std::string& table);
@@ -85,6 +107,7 @@ class AttributeCatalog : public serial::AttributeDictionary {
 
  private:
   mutable std::mutex mutex_;
+  std::atomic<uint64_t> version_{1};
   serial::SimpleDictionary dict_;
   std::map<std::string, std::map<uint32_t, AttributeState>> tables_;
   // Stable-address latches (std::mutex is not movable).

@@ -1,7 +1,14 @@
 #include "sinew/extract_functions.h"
 
+#include <map>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/metrics.h"
 #include "serial/sinew_format.h"
 
 namespace sinew {
@@ -24,14 +31,105 @@ Status CheckDataPathArgs(const UdfArgs& args, const char* fn) {
   return Status::OK();
 }
 
+/// A (path, type) resolution against the dictionary, precomputed so per-row
+/// extraction is pure header lookups: `direct_id` is the attribute id of the
+/// full dotted path at this nesting level, `prefixes` the object-typed id of
+/// each dotted prefix with the resolution subtree inside that object.
+/// Mirrors DocumentView::ExtractPath with every FindId call hoisted out.
+struct ResolvedNode {
+  std::optional<uint32_t> direct_id;
+  std::vector<std::pair<uint32_t, ResolvedNode>> prefixes;
+};
+
+std::optional<std::string_view> WalkResolved(std::string_view data,
+                                             const ResolvedNode& node) {
+  serial::DocumentView view(data);
+  if (node.direct_id.has_value()) {
+    if (std::optional<std::string_view> v = view.Extract(*node.direct_id)) {
+      return v;
+    }
+  }
+  for (const auto& [oid, sub] : node.prefixes) {
+    std::optional<std::string_view> s = view.Extract(oid);
+    if (!s.has_value()) continue;
+    // Commit to the first present enclosing object, exactly as
+    // DocumentView::ExtractPath does.
+    return WalkResolved(*s, sub);
+  }
+  return std::nullopt;
+}
+
+/// Fix for the per-row catalog latch: typed extractors used to call
+/// ExtractPath, which takes the catalog mutex (FindId) once per dotted
+/// prefix per row. This cache resolves a (path, type) pair once per
+/// dictionary version; subsequent rows validate against the catalog's
+/// lock-free version counter and never touch the mutex.
+class PathResolutionCache {
+ public:
+  std::shared_ptr<const ResolvedNode> Resolve(const AttributeCatalog& catalog,
+                                              std::string_view path,
+                                              ValueType type) {
+    static metrics::Counter* hits =
+        metrics::GetCounter("extract.path_cache_hits");
+    static metrics::Counter* misses =
+        metrics::GetCounter("extract.path_cache_misses");
+    const uint64_t version = catalog.version();
+    std::string key(path);
+    key.push_back('\0');
+    key.push_back(static_cast<char>(type));
+    {
+      std::shared_lock lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end() && it->second.first == version) {
+        hits->Increment();
+        return it->second.second;
+      }
+    }
+    misses->Increment();
+    auto node = std::make_shared<ResolvedNode>();
+    Build(catalog, path, type, 0, node.get());
+    std::unique_lock lock(mu_);
+    auto& entry = cache_[std::move(key)];
+    entry.first = version;
+    entry.second = node;
+    return node;
+  }
+
+ private:
+  static void Build(const AttributeCatalog& catalog, std::string_view path,
+                    ValueType type, size_t start, ResolvedNode* node) {
+    node->direct_id = catalog.FindId(path, type);
+    // Only prefixes extending the already-descended one can exist inside a
+    // nested object (its keys are all strictly longer dotted paths), so the
+    // recursion starts after the last consumed dot — same reachable set as
+    // ExtractPath's full rescan, without the provably-dead lookups.
+    for (size_t dot = path.find('.', start); dot != std::string_view::npos;
+         dot = path.find('.', dot + 1)) {
+      std::optional<uint32_t> oid =
+          catalog.FindId(path.substr(0, dot), ValueType::kObject);
+      if (!oid.has_value()) continue;
+      node->prefixes.emplace_back(*oid, ResolvedNode{});
+      Build(catalog, path, type, dot + 1, &node->prefixes.back().second);
+    }
+  }
+
+  std::shared_mutex mu_;
+  std::map<std::string, std::pair<uint64_t, std::shared_ptr<const ResolvedNode>>,
+           std::less<>>
+      cache_;
+};
+
 /// Extracts the raw bytes of (path, type) from a serialized document,
-/// descending through nested objects as needed.
+/// descending through nested objects as needed. Resolution comes from the
+/// shared cache; no catalog lock on the per-row path.
 std::optional<std::string_view> ExtractTyped(const AttributeCatalog& catalog,
+                                             PathResolutionCache* cache,
                                              std::string_view data,
                                              std::string_view path,
                                              ValueType type) {
-  serial::DocumentView view(data);
-  return view.ExtractPath(path, type, catalog);
+  std::shared_ptr<const ResolvedNode> node =
+      cache->Resolve(catalog, path, type);
+  return WalkResolved(data, *node);
 }
 
 Result<Datum> DecodeScalarTyped(const AttributeCatalog& catalog,
@@ -40,16 +138,110 @@ Result<Datum> DecodeScalarTyped(const AttributeCatalog& catalog,
   return Datum::FromValue(v);
 }
 
-engine::UdfFn MakeTypedExtractor(AttributeCatalog* catalog, ValueType type,
-                                 const char* fn_name) {
-  return [catalog, type, fn_name](
+engine::UdfFn MakeTypedExtractor(AttributeCatalog* catalog,
+                                 std::shared_ptr<PathResolutionCache> cache,
+                                 ValueType type, const char* fn_name) {
+  return [catalog, cache, type, fn_name](
              const UdfArgs& args) -> Result<Datum> {
     RETURN_NOT_OK(CheckDataPathArgs(args, fn_name));
     if (args[0]->is_null()) return Datum::Null();
-    std::optional<std::string_view> bytes =
-        ExtractTyped(*catalog, args[0]->str(), args[1]->str(), type);
+    std::optional<std::string_view> bytes = ExtractTyped(
+        *catalog, cache.get(), args[0]->str(), args[1]->str(), type);
     if (!bytes.has_value()) return Datum::Null();
     return DecodeScalarTyped(*catalog, type, *bytes);
+  };
+}
+
+/// The batched fast path behind the planner's kExtract node: decodes each
+/// row's reservoir header once per source column and serves every wanted
+/// attribute from that single pass (DocumentView::ExtractMany). Targets
+/// arrive grouped by source slot and sorted by (prefix chain, attr id);
+/// equal prefix chains share one descent.
+engine::BatchExtractFn MakeBatchExtractor(AttributeCatalog* catalog) {
+  return [catalog](const engine::DatumRow& row,
+                   const std::vector<engine::ExtractTarget>& targets,
+                   std::vector<Datum>* outs,
+                   engine::BatchExtractStats* stats) -> Status {
+    static metrics::Counter* decodes_counter =
+        metrics::GetCounter("reservoir.decodes");
+    static metrics::Histogram* attrs_hist =
+        metrics::GetHistogram("reservoir.attrs_per_decode");
+    outs->assign(targets.size(), Datum::Null());
+    size_t i = 0;
+    while (i < targets.size()) {
+      const int slot = targets[i].source_slot;
+      size_t j = i;
+      while (j < targets.size() && targets[j].source_slot == slot) ++j;
+      if (slot < 0 || static_cast<size_t>(slot) >= row.size()) {
+        return Status::Internal("sinew_extract_many: source slot ", slot,
+                                " out of range");
+      }
+      const Datum& src = row[slot];
+      if (src.is_null()) {
+        i = j;
+        continue;
+      }
+      if (!src.is_bytes()) {
+        return Status::TypeError(
+            "sinew_extract_many: source must be serialized data");
+      }
+      stats->decodes += 1;
+      stats->attrs += j - i;
+      decodes_counter->Increment();
+      attrs_hist->Observe(j - i);
+      // Sub-group targets sharing a prefix descent so nested objects are
+      // also decoded once per row.
+      size_t g = i;
+      while (g < j) {
+        size_t h = g;
+        while (h < j && targets[h].prefix_ids == targets[g].prefix_ids) ++h;
+        std::string_view current = src.str();
+        bool present = true;
+        for (uint32_t pid : targets[g].prefix_ids) {
+          serial::DocumentView view(current);
+          std::optional<std::string_view> sub = view.Extract(pid);
+          if (!sub.has_value()) {
+            present = false;
+            break;
+          }
+          current = *sub;
+        }
+        if (!present) {
+          g = h;  // every target under this prefix chain stays NULL
+          continue;
+        }
+        // Scratch buffers are thread_local: the registered std::function is
+        // shared by every worker clone of the Extract operator.
+        thread_local std::vector<uint32_t> wanted;
+        thread_local std::vector<std::optional<std::string_view>> values;
+        wanted.clear();
+        for (size_t k = g; k < h; ++k) wanted.push_back(targets[k].attr_id);
+        values.assign(h - g, std::nullopt);
+        serial::DocumentView view(current);
+        view.ExtractMany(wanted.data(), wanted.size(), values.data());
+        for (size_t k = g; k < h; ++k) {
+          const std::optional<std::string_view>& bytes = values[k - g];
+          if (!bytes.has_value()) continue;
+          const engine::ExtractTarget& t = targets[k];
+          if (t.raw_bytes) {
+            (*outs)[k] = Datum::Bytes(std::string(*bytes));
+            continue;
+          }
+          ValueType type = static_cast<ValueType>(t.type_tag);
+          if (type == ValueType::kObject || type == ValueType::kArray) {
+            ASSIGN_OR_RETURN(Value v,
+                             serial::DecodeValueBody(type, *bytes, *catalog));
+            (*outs)[k] = Datum::Text(v.ToJson());
+          } else {
+            ASSIGN_OR_RETURN((*outs)[k],
+                             DecodeScalarTyped(*catalog, type, *bytes));
+          }
+        }
+        g = h;
+      }
+      i = j;
+    }
+    return Status::OK();
   };
 }
 
@@ -66,27 +258,30 @@ Result<std::pair<ValueType, std::string>> EncodeScalarDatum(const Datum& v) {
 
 void RegisterSinewFunctions(engine::UdfRegistry* registry,
                             AttributeCatalog* catalog) {
+  // One resolution cache shared by every path-taking extractor registered
+  // against this catalog; lives as long as any of the registered closures.
+  auto cache = std::make_shared<PathResolutionCache>();
   registry->Register("sinew_extract_text",
-                     MakeTypedExtractor(catalog, ValueType::kString,
+                     MakeTypedExtractor(catalog, cache, ValueType::kString,
                                         "sinew_extract_text"));
-  registry->Register(
-      "sinew_extract_int",
-      MakeTypedExtractor(catalog, ValueType::kInt, "sinew_extract_int"));
+  registry->Register("sinew_extract_int",
+                     MakeTypedExtractor(catalog, cache, ValueType::kInt,
+                                        "sinew_extract_int"));
   registry->Register("sinew_extract_double",
-                     MakeTypedExtractor(catalog, ValueType::kDouble,
+                     MakeTypedExtractor(catalog, cache, ValueType::kDouble,
                                         "sinew_extract_double"));
-  registry->Register(
-      "sinew_extract_bool",
-      MakeTypedExtractor(catalog, ValueType::kBool, "sinew_extract_bool"));
+  registry->Register("sinew_extract_bool",
+                     MakeTypedExtractor(catalog, cache, ValueType::kBool,
+                                        "sinew_extract_bool"));
 
   registry->Register(
       "sinew_extract_num",
-      [catalog](const UdfArgs& args) -> Result<Datum> {
+      [catalog, cache](const UdfArgs& args) -> Result<Datum> {
         RETURN_NOT_OK(CheckDataPathArgs(args, "sinew_extract_num"));
         if (args[0]->is_null()) return Datum::Null();
         for (ValueType type : {ValueType::kInt, ValueType::kDouble}) {
-          std::optional<std::string_view> bytes =
-              ExtractTyped(*catalog, args[0]->str(), args[1]->str(), type);
+          std::optional<std::string_view> bytes = ExtractTyped(
+              *catalog, cache.get(), args[0]->str(), args[1]->str(), type);
           if (bytes.has_value()) {
             return DecodeScalarTyped(*catalog, type, *bytes);
           }
@@ -96,15 +291,15 @@ void RegisterSinewFunctions(engine::UdfRegistry* registry,
 
   registry->Register(
       "sinew_extract_any",
-      [catalog](const UdfArgs& args) -> Result<Datum> {
+      [catalog, cache](const UdfArgs& args) -> Result<Datum> {
         RETURN_NOT_OK(CheckDataPathArgs(args, "sinew_extract_any"));
         if (args[0]->is_null()) return Datum::Null();
         static constexpr ValueType kOrder[] = {
             ValueType::kBool,   ValueType::kInt,   ValueType::kDouble,
             ValueType::kString, ValueType::kArray, ValueType::kObject};
         for (ValueType type : kOrder) {
-          std::optional<std::string_view> bytes =
-              ExtractTyped(*catalog, args[0]->str(), args[1]->str(), type);
+          std::optional<std::string_view> bytes = ExtractTyped(
+              *catalog, cache.get(), args[0]->str(), args[1]->str(), type);
           if (!bytes.has_value()) continue;
           if (type == ValueType::kArray || type == ValueType::kObject) {
             ASSIGN_OR_RETURN(Value v,
@@ -118,16 +313,21 @@ void RegisterSinewFunctions(engine::UdfRegistry* registry,
 
   registry->Register(
       "sinew_extract_bytes",
-      [catalog](const UdfArgs& args) -> Result<Datum> {
+      [catalog, cache](const UdfArgs& args) -> Result<Datum> {
         RETURN_NOT_OK(CheckDataPathArgs(args, "sinew_extract_bytes"));
         if (args[0]->is_null()) return Datum::Null();
         for (ValueType type : {ValueType::kObject, ValueType::kArray}) {
-          std::optional<std::string_view> bytes =
-              ExtractTyped(*catalog, args[0]->str(), args[1]->str(), type);
+          std::optional<std::string_view> bytes = ExtractTyped(
+              *catalog, cache.get(), args[0]->str(), args[1]->str(), type);
           if (bytes.has_value()) return Datum::Bytes(std::string(*bytes));
         }
         return Datum::Null();
       });
+
+  // Batched extraction behind the planner's SinewExtract node: one reservoir
+  // decode per row serves every hoisted virtual-attribute reference.
+  registry->RegisterBatchExtract("sinew_extract_many",
+                                 MakeBatchExtractor(catalog));
 
   // Chain extraction: the query rewriter resolves a dotted path to the
   // attribute-ID descent chain at rewrite time, so the per-row work is pure
@@ -145,6 +345,13 @@ void RegisterSinewFunctions(engine::UdfRegistry* registry,
     if (!args[0]->is_bytes() || !args[1]->is_int()) {
       return Status::TypeError("sinew_extract_chain(bytes, int, int...)");
     }
+    // Each chain call decodes the row's reservoir anew for one attribute —
+    // this is the per-attribute cost the batched path amortizes.
+    static metrics::Counter* decodes = metrics::GetCounter("reservoir.decodes");
+    static metrics::Histogram* attrs =
+        metrics::GetHistogram("reservoir.attrs_per_decode");
+    decodes->Increment();
+    attrs->Observe(1);
     std::string_view current = args[0]->str();
     for (size_t i = 2; i + 1 < args.size(); ++i) {
       if (!args[i]->is_int()) {
@@ -211,7 +418,7 @@ void RegisterSinewFunctions(engine::UdfRegistry* registry,
 
   registry->Register(
       "sinew_array_contains",
-      [catalog](const UdfArgs& args) -> Result<Datum> {
+      [catalog, cache](const UdfArgs& args) -> Result<Datum> {
         if (args.size() != 3) {
           return Status::InvalidArgument(
               "sinew_array_contains expects (data, path, value)");
@@ -224,7 +431,7 @@ void RegisterSinewFunctions(engine::UdfRegistry* registry,
           // The first argument is itself the serialized array.
           bytes = args[0]->str();
         } else {
-          bytes = ExtractTyped(*catalog, args[0]->str(), path,
+          bytes = ExtractTyped(*catalog, cache.get(), args[0]->str(), path,
                                ValueType::kArray);
         }
         if (!bytes.has_value()) return Datum::Null();

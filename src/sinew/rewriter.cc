@@ -121,8 +121,15 @@ class QueryRewriter::Impl {
       return st.engine_table != nullptr;
     }
     if (st.is_sinew) {
-      for (const serial::Attribute& attr : catalog_->FindAllTypes(path)) {
-        if (catalog_->GetState(st.name, attr.id).has_value()) return true;
+      if (const AttributeCatalog::ResolvedPath* rp =
+              FindResolved(st.name, path)) {
+        for (const std::optional<AttributeState>& state : rp->states) {
+          if (state.has_value()) return true;
+        }
+      } else {
+        for (const serial::Attribute& attr : catalog_->FindAllTypes(path)) {
+          if (catalog_->GetState(st.name, attr.id).has_value()) return true;
+        }
       }
     }
     if (st.engine_table != nullptr &&
@@ -130,6 +137,52 @@ class QueryRewriter::Impl {
       return true;
     }
     return false;
+  }
+
+  // ------------------------------------------- bind-time batch resolution
+
+  /// Collects every dotted path a statement references per sinew table.
+  void CollectPaths(const Expr& e,
+                    std::map<std::string, std::vector<std::string>>* out) const {
+    if (e.kind == ExprKind::kColumnRef) {
+      if (e.table.empty() && output_aliases_.count(e.column) != 0) return;
+      Result<std::pair<const ScopeTable*, std::string>> resolved =
+          ResolveRef(e);
+      if (resolved.ok()) {
+        const auto& [st, path] = *resolved;
+        if (st->is_sinew && path != kReservoirColumn && path != "__rid") {
+          (*out)[st->name].push_back(path);
+        }
+      }
+      return;
+    }
+    for (const ExprPtr& a : e.args) {
+      if (a != nullptr) CollectPaths(*a, out);
+    }
+  }
+
+  /// Resolves every collected path with one catalog latch acquisition per
+  /// table; later per-path lookups during rewriting hit this snapshot
+  /// instead of re-locking the catalog per lookup kind.
+  void PrefetchResolutions(
+      const std::map<std::string, std::vector<std::string>>& by_table) {
+    static metrics::Counter* bind_resolutions =
+        metrics::GetCounter("extract.bind_time_resolutions");
+    for (const auto& [table, paths] : by_table) {
+      std::map<std::string, AttributeCatalog::ResolvedPath, std::less<>>
+          batch = catalog_->ResolveBatch(table, paths);
+      bind_resolutions->Add(batch.size());
+      auto& dest = resolved_[table];
+      for (auto& [path, rp] : batch) dest.insert_or_assign(path, std::move(rp));
+    }
+  }
+
+  const AttributeCatalog::ResolvedPath* FindResolved(
+      const std::string& table, std::string_view path) const {
+    auto t = resolved_.find(table);
+    if (t == resolved_.end()) return nullptr;
+    auto p = t->second.find(path);
+    return p == t->second.end() ? nullptr : &p->second;
   }
 
   // ------------------------------------------------------------ rewriting
@@ -298,9 +351,21 @@ class QueryRewriter::Impl {
       return Status::InvalidArgument(
           "array_contains over a non-document table");
     }
-    std::optional<uint32_t> id = catalog_->FindId(path, ValueType::kArray);
-    std::optional<AttributeState> state =
-        id.has_value() ? catalog_->GetState(st->name, *id) : std::nullopt;
+    std::optional<uint32_t> id;
+    std::optional<AttributeState> state;
+    if (const AttributeCatalog::ResolvedPath* rp =
+            FindResolved(st->name, path)) {
+      for (size_t i = 0; i < rp->types.size(); ++i) {
+        if (rp->types[i].type == ValueType::kArray) {
+          id = rp->types[i].id;
+          state = rp->states[i];
+          break;
+        }
+      }
+    } else {
+      id = catalog_->FindId(path, ValueType::kArray);
+      if (id.has_value()) state = catalog_->GetState(st->name, *id);
+    }
     ExprPtr source;
     std::string sub_path;
     // As in ExtractionSource: materialized in the catalog but no physical
@@ -331,7 +396,7 @@ class QueryRewriter::Impl {
         args.push_back(
             Expr::Column(st->alias, std::string(kReservoirColumn)));
         args.push_back(std::move(expr.args[1]));
-        for (uint32_t pid : ChainPrefixIds(path, "")) {
+        for (uint32_t pid : ChainPrefixIds(*st, path, "")) {
           args.push_back(Expr::Literal(engine::Datum::Int(pid)));
         }
         args.push_back(Expr::Literal(engine::Datum::Int(*id)));
@@ -374,15 +439,26 @@ class QueryRewriter::Impl {
       (*e)->column = path;
       return Status::OK();
     }
-    // Attributes registered for this key name in this table.
+    // Attributes registered for this key name in this table, from the
+    // bind-time snapshot when the path was prefetched.
     struct Candidate {
       serial::Attribute attr;
       AttributeState state;
     };
     std::vector<Candidate> candidates;
-    for (const serial::Attribute& attr : catalog_->FindAllTypes(path)) {
-      std::optional<AttributeState> state = catalog_->GetState(st->name, attr.id);
-      if (state.has_value()) candidates.push_back(Candidate{attr, *state});
+    if (const AttributeCatalog::ResolvedPath* rp =
+            FindResolved(st->name, path)) {
+      for (size_t i = 0; i < rp->types.size(); ++i) {
+        if (rp->states[i].has_value()) {
+          candidates.push_back(Candidate{rp->types[i], *rp->states[i]});
+        }
+      }
+    } else {
+      for (const serial::Attribute& attr : catalog_->FindAllTypes(path)) {
+        std::optional<AttributeState> state =
+            catalog_->GetState(st->name, attr.id);
+        if (state.has_value()) candidates.push_back(Candidate{attr, *state});
+      }
     }
     if (candidates.empty()) {
       // Plain relational column of a hybrid table?
@@ -473,14 +549,22 @@ class QueryRewriter::Impl {
 
   /// Object-typed attribute ids for each dotted prefix of `path` strictly
   /// inside `ancestor` (the static descent chain, resolved at rewrite time).
-  std::vector<uint32_t> ChainPrefixIds(const std::string& path,
+  /// Served from the bind-time snapshot when available: the snapshot's
+  /// prefix_ids array holds one entry per dot of `path`, in order.
+  std::vector<uint32_t> ChainPrefixIds(const ScopeTable& st,
+                                       const std::string& path,
                                        const std::string& ancestor) {
     std::vector<uint32_t> ids;
-    size_t start = ancestor.empty() ? 0 : ancestor.size() + 1;
-    for (size_t dot = path.find('.', start); dot != std::string::npos;
-         dot = path.find('.', dot + 1)) {
+    const size_t start = ancestor.empty() ? 0 : ancestor.size() + 1;
+    const AttributeCatalog::ResolvedPath* rp = FindResolved(st.name, path);
+    size_t prefix_idx = 0;
+    for (size_t dot = path.find('.'); dot != std::string::npos;
+         dot = path.find('.', dot + 1), ++prefix_idx) {
+      if (dot < start) continue;
       std::optional<uint32_t> id =
-          catalog_->FindId(path.substr(0, dot), ValueType::kObject);
+          rp != nullptr && prefix_idx < rp->prefix_ids.size()
+              ? rp->prefix_ids[prefix_idx]
+              : catalog_->FindId(path.substr(0, dot), ValueType::kObject);
       if (id.has_value()) ids.push_back(*id);
     }
     return ids;
@@ -492,14 +576,25 @@ class QueryRewriter::Impl {
   ExprPtr ExtractionSource(const ScopeTable& st, const std::string& path,
                            std::string* ancestor) {
     ancestor->clear();
+    const AttributeCatalog::ResolvedPath* rp = FindResolved(st.name, path);
+    // Map each dot position to its index in the snapshot's prefix arrays.
+    std::vector<size_t> dots;
+    for (size_t d = path.find('.'); d != std::string::npos;
+         d = path.find('.', d + 1)) {
+      dots.push_back(d);
+    }
     size_t dot = path.rfind('.');
     while (dot != std::string::npos) {
       std::string prefix = path.substr(0, dot);
+      size_t idx = 0;
+      while (idx < dots.size() && dots[idx] != dot) ++idx;
+      const bool snap = rp != nullptr && idx < rp->prefix_ids.size();
       std::optional<uint32_t> pid =
-          catalog_->FindId(prefix, ValueType::kObject);
+          snap ? rp->prefix_ids[idx]
+               : catalog_->FindId(prefix, ValueType::kObject);
       if (pid.has_value()) {
         std::optional<AttributeState> pstate =
-            catalog_->GetState(st.name, *pid);
+            snap ? rp->prefix_states[idx] : catalog_->GetState(st.name, *pid);
         // The physical column only exists once the materializer's first
         // pass created it; between the analyzer flagging the ancestor
         // materialized and that point the values are all still in the
@@ -511,7 +606,7 @@ class QueryRewriter::Impl {
           *ancestor = prefix;
           if (!pstate->dirty) return col;
           // Dirty ancestor: coalesce its column with reservoir extraction.
-          std::vector<uint32_t> chain = ChainPrefixIds(prefix, "");
+          std::vector<uint32_t> chain = ChainPrefixIds(st, prefix, "");
           std::vector<ExprPtr> eargs;
           eargs.push_back(
               Expr::Column(st.alias, std::string(kReservoirColumn)));
@@ -559,7 +654,7 @@ class QueryRewriter::Impl {
                          Hint hint, const Candidates& candidates) {
     std::string ancestor;
     ExprPtr source = ExtractionSource(st, path, &ancestor);
-    std::vector<uint32_t> prefix_ids = ChainPrefixIds(path, ancestor);
+    std::vector<uint32_t> prefix_ids = ChainPrefixIds(st, path, ancestor);
 
     // Filter candidates by type evidence.
     std::vector<std::pair<ValueType, uint32_t>> typed;
@@ -614,6 +709,10 @@ class QueryRewriter::Impl {
   const TextIndexMap* indexes_;
   std::vector<ScopeTable> scope_;
   std::set<std::string> output_aliases_;
+  /// Bind-time resolution snapshot, per table then path (PrefetchResolutions).
+  std::map<std::string,
+           std::map<std::string, AttributeCatalog::ResolvedPath, std::less<>>>
+      resolved_;
 };
 
 std::vector<std::string> QueryRewriter::TopLevelLogicalColumns(
@@ -667,6 +766,22 @@ Status QueryRewriter::RewriteSelect(engine::SelectStatement* stmt) const {
   }
   stmt->items = std::move(items);
 
+  // Bind-time attribute resolution: collect every path the statement
+  // references and resolve them all under one catalog latch per table.
+  std::map<std::string, std::vector<std::string>> referenced;
+  for (const engine::SelectItem& item : stmt->items) {
+    if (item.expr->kind != ExprKind::kStar) {
+      impl.CollectPaths(*item.expr, &referenced);
+    }
+  }
+  if (stmt->where != nullptr) impl.CollectPaths(*stmt->where, &referenced);
+  for (const ExprPtr& g : stmt->group_by) impl.CollectPaths(*g, &referenced);
+  if (stmt->having != nullptr) impl.CollectPaths(*stmt->having, &referenced);
+  for (const engine::OrderItem& item : stmt->order_by) {
+    impl.CollectPaths(*item.expr, &referenced);
+  }
+  impl.PrefetchResolutions(referenced);
+
   for (engine::SelectItem& item : stmt->items) {
     if (item.expr->kind == ExprKind::kStar) continue;
     RETURN_NOT_OK(impl.RewriteExpr(&item.expr, Hint::kAny));
@@ -695,6 +810,12 @@ Status QueryRewriter::RewriteUpdate(engine::UpdateStatement* stmt) const {
   Impl impl(db_, catalog_, indexes_);
   RETURN_NOT_OK(impl.AddScope(stmt->table, stmt->table));
   const Impl::ScopeTable& st = impl.scope()[0];
+  std::map<std::string, std::vector<std::string>> referenced;
+  if (stmt->where != nullptr) impl.CollectPaths(*stmt->where, &referenced);
+  for (const auto& [column, rhs] : stmt->assignments) {
+    impl.CollectPaths(*rhs, &referenced);
+  }
+  impl.PrefetchResolutions(referenced);
   if (stmt->where != nullptr) {
     RETURN_NOT_OK(impl.RewriteExpr(&stmt->where, Hint::kBool));
   }
@@ -761,6 +882,9 @@ Status QueryRewriter::RewriteDelete(engine::DeleteStatement* stmt) const {
   Impl impl(db_, catalog_, indexes_);
   RETURN_NOT_OK(impl.AddScope(stmt->table, stmt->table));
   if (stmt->where != nullptr) {
+    std::map<std::string, std::vector<std::string>> referenced;
+    impl.CollectPaths(*stmt->where, &referenced);
+    impl.PrefetchResolutions(referenced);
     RETURN_NOT_OK(impl.RewriteExpr(&stmt->where, Hint::kBool));
   }
   return Status::OK();

@@ -122,6 +122,36 @@ TEST(ExplainTest, CreateTableRejectsReservedMetricsName) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST(SinewExtractExplainTest, GoldenNodeAndAnalyzeStats) {
+  SinewDb db;
+  std::ostringstream jsonl;
+  for (int i = 0; i < 100; ++i) {
+    jsonl << "{\"a\": " << i << ", \"b\": " << i % 10 << ", \"c\": \"s"
+          << i % 3 << "\"}\n";
+  }
+  ASSERT_TRUE(db.LoadJsonLines("docs", jsonl.str()).ok());
+
+  // EXPLAIN pins the node name and its resolved-attribute count: three
+  // virtual references over one scan fold into one extraction node.
+  auto plan = db.Explain("SELECT a AS x, b AS y, c AS z FROM docs");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("SinewExtract (attrs=3, sources=1)"),
+            std::string::npos)
+      << *plan;
+
+  // EXPLAIN ANALYZE reports the node's actuals: one reservoir decode per
+  // row, three attributes served per decode.
+  auto analyzed =
+      db.Query("EXPLAIN ANALYZE SELECT a AS x, b AS y, c AS z FROM docs");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  std::string text = ExplainText(*analyzed);
+  EXPECT_NE(text.find("SinewExtract (attrs=3, sources=1)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("(decodes=100 attrs=300)"), std::string::npos) << text;
+  EXPECT_NE(text.find("actual rows=100"), std::string::npos) << text;
+}
+
 TEST(SinewMetricsTableTest, ParallelQueryPopulatesCounters) {
   SinewOptions options;
   options.parallelism = 4;
