@@ -1,9 +1,17 @@
 // Figures 6a/6b: NoBench query performance (Q1-Q10) across the four
 // systems, at two dataset scales ("small" fits the paper's in-memory case,
 // "large" is 4x). Prints one row per query with per-system execution time in
-// milliseconds — the series plotted in Figures 6a and 6b.
+// milliseconds — the series plotted in Figures 6a and 6b. A fifth column,
+// "Sinew-row1", runs the same Sinew configuration with the vectorized
+// executor disabled (batch_size = 1), so every run measures the
+// batch-at-a-time speedup in the same process on the same data.
+//
+// --threads=N sets Sinew's Gather parallelism; --metrics-out=<path> appends
+// the metrics-registry JSON; --bench-out=<dir> places the
+// BENCH_fig6_nobench.json records (default .).
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,14 +20,16 @@
 #include "workloads/nobench/runners.h"
 
 namespace nb = sinew::workloads::nobench;
+using sinew::bench::BenchRecord;
 using sinew::bench::PrintHeader;
 using sinew::bench::Scaled;
 using sinew::bench::Timer;
 
 namespace {
 
-void RunScale(const char* label, uint64_t records, int threads,
-              const std::string& metrics_out) {
+void RunScale(const char* label, const char* tag, uint64_t records,
+              int threads, const std::string& metrics_out,
+              std::vector<BenchRecord>* bench_records) {
   nb::Config config;
   config.num_records = records;
   std::vector<sinew::Value> docs = nb::Generate(config);
@@ -28,6 +38,12 @@ void RunScale(const char* label, uint64_t records, int threads,
   sinew::SinewOptions sinew_options;
   sinew_options.parallelism = threads;
   auto runners = nb::MakeAllRunners(sinew_options);
+  // Same Sinew configuration minus the vectorized executor: the row-at-a-
+  // time baseline for the batch-execution speedup column.
+  sinew::SinewOptions row_options = sinew_options;
+  row_options.exec.batch_size = 1;
+  runners.push_back(std::make_unique<nb::SinewRunner>(row_options,
+                                                      "Sinew-row1"));
   for (auto& runner : runners) {
     sinew::Status st = runner->Load(docs);
     if (st.ok()) st = runner->Prepare();
@@ -45,21 +61,44 @@ void RunScale(const char* label, uint64_t records, int threads,
     std::printf(" %16s", std::string(runner->name()).c_str());
   }
   std::printf("   (ms; lower is better)\n");
+  double best_speedup = 0;
+  int best_speedup_q = 0;
   for (int q = 1; q <= 10; ++q) {
     std::printf("Q%-3d", q);
+    double sinew_ms = -1, sinew_row_ms = -1;
     for (auto& runner : runners) {
       Timer timer;
       auto rows = runner->Execute(q, params);
       double ms = timer.Millis();
       if (!rows.ok()) {
         std::printf(" %16s", "FAILED");
+        ms = -1;
       } else {
         std::printf(" %16.1f", ms);
       }
+      const std::string name(runner->name());
+      if (name == "Sinew") sinew_ms = ms;
+      if (name == "Sinew-row1") sinew_row_ms = ms;
+      bench_records->push_back({"Q" + std::to_string(q),
+                                std::string(tag) + "." + name, ms, records,
+                                threads,
+                                name == "Sinew"        ? sinew_options.exec.batch_size
+                                : name == "Sinew-row1" ? 1
+                                                       : 0});
+    }
+    if (sinew_ms > 0 && sinew_row_ms > 0 &&
+        sinew_row_ms / sinew_ms > best_speedup) {
+      best_speedup = sinew_row_ms / sinew_ms;
+      best_speedup_q = q;
     }
     std::printf("\n");
   }
-  sinew::bench::MaybeWriteMetrics(metrics_out, std::string("fig6.") + label);
+  if (best_speedup > 0) {
+    std::printf("batch executor vs row-at-a-time (Sinew-row1/Sinew): best "
+                "%.2fx on Q%d\n",
+                best_speedup, best_speedup_q);
+  }
+  sinew::bench::MaybeWriteMetrics(metrics_out, std::string("fig6.") + tag);
 }
 
 }  // namespace
@@ -70,8 +109,13 @@ int main(int argc, char** argv) {
   PrintHeader("Figure 6: NoBench Q1-Q10 execution time");
   std::printf("Sinew parallelism: %d thread%s (--threads=N to change)\n",
               threads, threads == 1 ? "" : "s");
-  RunScale("small (Figure 6a)", Scaled(8000), threads, metrics_out);
-  RunScale("large (Figure 6b)", Scaled(32000), threads, metrics_out);
+  std::vector<BenchRecord> records;
+  RunScale("small (Figure 6a)", "small", Scaled(8000), threads, metrics_out,
+           &records);
+  RunScale("large (Figure 6b)", "large", Scaled(32000), threads, metrics_out,
+           &records);
+  sinew::bench::WriteBenchJson(sinew::bench::BenchOutDirFromArgs(argc, argv),
+                               "fig6_nobench", records);
   std::printf(
       "\nPaper shape: Sinew fastest or tied on every query; PG-JSON and EAV\n"
       "an order of magnitude slower on projections/selections; MongoDB-like\n"

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/result.h"
@@ -49,6 +50,24 @@ inline int ThreadsFromArgs(int argc, char** argv) {
   return 1;
 }
 
+/// Executor batch size override: `--batch-size=N` on the command line, else
+/// SINEW_BENCH_BATCH_SIZE, else 0 (keep the engine default). Lets one
+/// binary sweep the vectorization knob (1 = row-at-a-time).
+inline uint64_t BatchSizeFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--batch-size=", 0) == 0) {
+      long long v = std::atoll(arg.c_str() + 13);
+      if (v > 0) return static_cast<uint64_t>(v);
+    }
+  }
+  if (const char* env = std::getenv("SINEW_BENCH_BATCH_SIZE")) {
+    long long v = std::atoll(env);
+    if (v > 0) return static_cast<uint64_t>(v);
+  }
+  return 0;
+}
+
 /// Destination for the metrics-registry JSON dump: `--metrics-out=<path>`
 /// on the command line, else SINEW_BENCH_METRICS_OUT, else "" (disabled).
 inline std::string MetricsOutFromArgs(int argc, char** argv) {
@@ -77,6 +96,63 @@ inline void MaybeWriteMetrics(const std::string& path,
   }
   out << "{\"run\":\"" << label << "\",\"metrics\":"
       << metrics::MetricsRegistry::Global()->DumpJson() << "}\n";
+}
+
+/// One machine-readable measurement from a benchmark binary. The JSON file
+/// adds the derived rows_per_sec / ns_per_row fields so downstream tooling
+/// (bench/compare_bench.py) never recomputes them differently.
+struct BenchRecord {
+  std::string query;   // e.g. "Q3", "project8", "nested"
+  std::string config;  // e.g. "Sinew", "Sinew-row1", "batch1024"
+  double ms = -1;      // wall time of the measured run; < 0 = failed
+  uint64_t rows = 0;   // rows processed (dataset size for scans; 0 unknown)
+  int threads = 1;
+  uint64_t batch_size = 0;
+};
+
+/// Directory for BENCH_<name>.json sidecars: `--bench-out=<dir>` on the
+/// command line, else SINEW_BENCH_OUT, else "." — benchmarks always emit
+/// their JSON, next to wherever they run by default.
+inline std::string BenchOutDirFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--bench-out=", 0) == 0) {
+      return arg.substr(12);
+    }
+  }
+  if (const char* env = std::getenv("SINEW_BENCH_OUT")) {
+    return env;
+  }
+  return ".";
+}
+
+/// Writes `records` to <dir>/BENCH_<name>.json as a JSON array, one object
+/// per measurement, with throughput fields derived from (ms, rows).
+inline void WriteBenchJson(const std::string& dir, const std::string& name,
+                           const std::vector<BenchRecord>& records) {
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench-out: cannot open %s\n", path.c_str());
+    return;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    const double secs = r.ms / 1e3;
+    const bool has_rate = r.ms > 0 && r.rows > 0;
+    out << "  {\"query\": \"" << r.query << "\", \"config\": \"" << r.config
+        << "\", \"ms\": " << r.ms << ", \"rows\": " << r.rows
+        << ", \"rows_per_sec\": "
+        << (has_rate ? static_cast<double>(r.rows) / secs : 0.0)
+        << ", \"ns_per_row\": "
+        << (has_rate ? r.ms * 1e6 / static_cast<double>(r.rows) : 0.0)
+        << ", \"threads\": " << r.threads
+        << ", \"batch_size\": " << r.batch_size << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
 }
 
 class Timer {

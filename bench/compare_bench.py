@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files emitted by the benchmark binaries.
+
+Usage:
+    python3 bench/compare_bench.py BASELINE.json CANDIDATE.json [--threshold=0.10]
+
+Measurements are matched on (query, config). For each pair the script prints
+the ns/row (falling back to ms when a record carries no row count) of both
+runs and the relative change; changes worse than the threshold (default 10%
+slower) are flagged as REGRESSION and make the exit status non-zero, so the
+script doubles as a CI gate:
+
+    ./build/bench/bench_micro_extract --bench-out=/tmp/a   # baseline build
+    ./build/bench/bench_micro_extract --bench-out=/tmp/b   # candidate build
+    python3 bench/compare_bench.py /tmp/a/BENCH_micro_extract.json \
+                                   /tmp/b/BENCH_micro_extract.json
+
+Stdlib only; no third-party dependencies.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        records = json.load(f)
+    out = {}
+    for r in records:
+        out[(r["query"], r["config"])] = r
+    return out
+
+
+def metric(record):
+    """ns/row when available (scale-independent), else raw milliseconds."""
+    if record.get("ns_per_row"):
+        return record["ns_per_row"], "ns/row"
+    return record["ms"], "ms"
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__.strip())
+        return 2
+    threshold = 0.10
+    for a in argv[1:]:
+        if a.startswith("--threshold="):
+            threshold = float(a.split("=", 1)[1])
+    base, cand = load(args[0]), load(args[1])
+
+    common = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    regressions = []
+
+    print(f"{'query':<12} {'config':<16} {'baseline':>12} {'candidate':>12} "
+          f"{'change':>8}  unit")
+    for key in common:
+        b_val, b_unit = metric(base[key])
+        c_val, c_unit = metric(cand[key])
+        if b_unit != c_unit or b_val <= 0 or c_val <= 0:
+            print(f"{key[0]:<12} {key[1]:<16} {'?':>12} {'?':>12} "
+                  f"{'n/a':>8}  (incomparable)")
+            continue
+        change = (c_val - b_val) / b_val
+        flag = ""
+        if change > threshold:
+            flag = "  << REGRESSION"
+            regressions.append((key, change))
+        print(f"{key[0]:<12} {key[1]:<16} {b_val:>12.1f} {c_val:>12.1f} "
+              f"{change:>+7.1%}  {b_unit}{flag}")
+
+    for key in only_base:
+        print(f"{key[0]:<12} {key[1]:<16} only in baseline")
+    for key in only_cand:
+        print(f"{key[0]:<12} {key[1]:<16} only in candidate")
+
+    if regressions:
+        worst = max(regressions, key=lambda kv: kv[1])
+        print(f"\n{len(regressions)} regression(s) worse than "
+              f"{threshold:.0%}; worst: {worst[0][0]}/{worst[0][1]} "
+              f"{worst[1]:+.1%}")
+        return 1
+    print(f"\nno regressions worse than {threshold:.0%} "
+          f"across {len(common)} matched measurements")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

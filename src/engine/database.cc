@@ -148,6 +148,7 @@ Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
   PlanStats stats(*plan);
   ExecOptions options = exec_options_;
   options.stats = &stats;
+  options.time_operators = true;
   RETURN_NOT_OK(ExecutePlan(*plan, &udfs_, options).status());
   std::ostringstream text;
   text << ExplainAnalyzeText(*plan, stats);

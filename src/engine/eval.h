@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "engine/datum.h"
 #include "engine/expr.h"
+#include "engine/row_batch.h"
 #include "engine/udf.h"
 
 namespace sinew::engine {
@@ -47,6 +48,26 @@ Result<Datum> EvalExpr(const Expr& expr, const DatumRow& row,
 /// Evaluates a bound predicate to a filter decision (NULL => false).
 Result<bool> EvalPredicate(const Expr& expr, const DatumRow& row,
                            const UdfRegistry* udfs);
+
+/// Batch evaluation: computes `expr` for every lane in `lanes` (physical row
+/// indices into `batch`), writing one datum per lane into `*out`. Literals,
+/// column refs, comparisons, arithmetic, LIKE/concat, BETWEEN, IS NULL and
+/// literal-only IN lists run as column kernels; AND/OR recurse on the
+/// undecided lane subset so short-circuit semantics (including which side's
+/// runtime errors can fire) match the row evaluator; functions and CASE fall
+/// back to the scalar evaluator per lane, so semantics are identical by
+/// construction. The only permitted deviation from row-at-a-time execution
+/// is *which* lane's error surfaces first when several lanes would error.
+Status EvalExprBatch(const Expr& expr, const RowBatch& batch,
+                     const std::vector<uint32_t>& lanes,
+                     const UdfRegistry* udfs, std::vector<Datum>* out);
+
+/// Batch predicate: evaluates `expr` over the lanes in `*sel` and keeps only
+/// the lanes where it is TRUE (NULL filters, non-boolean errors), preserving
+/// order — the vectorized EvalPredicate.
+Status EvalPredicateBatch(const Expr& expr, const RowBatch& batch,
+                          const UdfRegistry* udfs,
+                          std::vector<uint32_t>* sel);
 
 /// Result type inference for a bound expression (best effort; used to label
 /// output columns).

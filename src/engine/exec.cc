@@ -30,6 +30,10 @@ struct ExecContext {
   ThreadPool* pool = nullptr;
   // Per-node actuals (EXPLAIN ANALYZE); nullptr = don't instrument.
   PlanStats* stats = nullptr;
+  // Rows per RowBatch; 1 = row-at-a-time Volcano (see ExecOptions).
+  size_t batch_size = 1;
+  // Record per-call wall clock into OperatorStats.next_ns.
+  bool time_ops = false;
   // Shared across Gather workers, so the budget covers the whole query.
   std::atomic<uint64_t> mem_used{0};
 
@@ -69,6 +73,51 @@ class Operator {
   virtual Status Open() = 0;
   /// Fills `row` and returns true, or returns false at end-of-stream.
   virtual Result<bool> Next(DatumRow* row) = 0;
+
+  /// Fills `batch` with up to batch_capacity() rows and returns true, or
+  /// returns false at end-of-stream. Batches may return with an empty
+  /// selection (every row filtered out); callers keep pulling until false.
+  /// The default adapts row-only operators (sort, joins, aggregates) to
+  /// batch consumers by draining Next(), so plan coverage is total without
+  /// touching the blocking operators.
+  virtual Result<bool> NextBatch(RowBatch* batch) {
+    batch->Reset(batch->num_cols());
+    DatumRow row;
+    while (batch->size < batch_capacity_) {
+      ASSIGN_OR_RETURN(bool has, Next(&row));
+      if (!has) break;
+      batch->AppendRow(std::move(row));
+    }
+    return batch->size > 0;
+  }
+
+  size_t batch_capacity() const { return batch_capacity_; }
+  void set_batch_capacity(size_t rows) {
+    batch_capacity_ = std::max<size_t>(1, rows);
+  }
+
+ protected:
+  /// Row-at-a-time view over this operator's own NextBatch output.
+  /// Batch-native operators implement Next() with this when running in
+  /// batch mode, so row-only parents (a sort above a filter, a join build
+  /// side) transparently drain the vectorized pipeline below them. Only
+  /// operators that override NextBatch may call it (the default NextBatch
+  /// calls Next, which would recurse).
+  Result<bool> NextFromOwnBatch(DatumRow* out) {
+    while (drain_pos_ >= drain_batch_.active()) {
+      ASSIGN_OR_RETURN(bool has, NextBatch(&drain_batch_));
+      if (!has) return false;
+      drain_pos_ = 0;
+    }
+    drain_batch_.MoveRow(drain_batch_.sel[drain_pos_++], out);
+    return true;
+  }
+
+  size_t batch_capacity_ = 1;
+
+ private:
+  RowBatch drain_batch_;
+  size_t drain_pos_ = 0;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -80,8 +129,8 @@ using OperatorPtr = std::unique_ptr<Operator>;
 /// of children, PostgreSQL-style.
 class InstrumentedOp : public Operator {
  public:
-  InstrumentedOp(OperatorPtr inner, OperatorStats* stats)
-      : inner_(std::move(inner)), stats_(stats) {}
+  InstrumentedOp(OperatorPtr inner, OperatorStats* stats, bool time_ops)
+      : inner_(std::move(inner)), stats_(stats), time_(time_ops) {}
 
   Status Open() override {
     stats_->instances.fetch_add(1, std::memory_order_relaxed);
@@ -94,6 +143,13 @@ class InstrumentedOp : public Operator {
 
   Result<bool> Next(DatumRow* row) override {
     stats_->next_calls.fetch_add(1, std::memory_order_relaxed);
+    if (!time_) {
+      Result<bool> has = inner_->Next(row);
+      if (has.ok() && *has) {
+        stats_->rows.fetch_add(1, std::memory_order_relaxed);
+      }
+      return has;
+    }
     const uint64_t start = metrics::NowNanos();
     Result<bool> has = inner_->Next(row);
     stats_->next_ns.fetch_add(metrics::NowNanos() - start,
@@ -102,9 +158,27 @@ class InstrumentedOp : public Operator {
     return has;
   }
 
+  /// Batch-granularity accounting: one next_calls tick, one timing pair and
+  /// one rows/batches update per batch, not per row.
+  Result<bool> NextBatch(RowBatch* batch) override {
+    stats_->next_calls.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t start = time_ ? metrics::NowNanos() : 0;
+    Result<bool> has = inner_->NextBatch(batch);
+    if (time_) {
+      stats_->next_ns.fetch_add(metrics::NowNanos() - start,
+                                std::memory_order_relaxed);
+    }
+    if (has.ok() && *has) {
+      stats_->rows.fetch_add(batch->active(), std::memory_order_relaxed);
+      stats_->batches.fetch_add(1, std::memory_order_relaxed);
+    }
+    return has;
+  }
+
  private:
   OperatorPtr inner_;
   OperatorStats* stats_;
+  bool time_;
 };
 
 // ---------------------------------------------------------------- SeqScan
@@ -169,7 +243,6 @@ class ScanOp : public Operator {
 
   Result<bool> Next(DatumRow* out) override {
     Table* table = node_.table;
-    const size_t rid_position = live_slots_.size();
     while (rid_ < end_ ||
            (morsels_ != nullptr && morsels_->Claim(&rid_, &end_))) {
       // Chunked shared latching: hold the latch for up to kScanChunk rows so
@@ -177,38 +250,8 @@ class ScanOp : public Operator {
       std::shared_lock lock(table->latch());
       uint64_t chunk_end = std::min(end_, rid_ + kScanChunk);
       for (; rid_ < chunk_end; ++rid_) {
-        const std::string& raw = table->RawRowUnlocked(rid_);
-        if (raw.empty()) continue;  // deleted
-        // Phase 1: decode only the columns the pushed-down filter touches.
-        DatumRow row(rid_position + 1);
-        if (identity_) {
-          RETURN_NOT_OK(DecodeRowSlots(schema_, raw, filter_slots_, &row));
-        } else {
-          DatumRow full(schema_.num_slots());
-          RETURN_NOT_OK(DecodeRowSlots(schema_, raw, filter_slots_, &full));
-          for (size_t i = 0; i < rid_position; ++i) {
-            row[i] = std::move(full[live_slots_[i]]);
-          }
-        }
-        row[rid_position] = Datum::Int(static_cast<int64_t>(rid_));
-        if (node_.scan_filter != nullptr) {
-          ASSIGN_OR_RETURN(
-              bool keep, EvalPredicate(*node_.scan_filter, row, ctx_->udfs));
-          if (!keep) continue;
-        }
-        // Phase 2: decode the remaining referenced columns for survivors.
-        if (!output_slots_.empty()) {
-          if (identity_) {
-            RETURN_NOT_OK(DecodeRowSlots(schema_, raw, output_slots_, &row));
-          } else {
-            DatumRow full(schema_.num_slots());
-            RETURN_NOT_OK(DecodeRowSlots(schema_, raw, output_slots_, &full));
-            for (size_t i = 0; i < rid_position; ++i) {
-              if (row[i].is_null()) row[i] = std::move(full[live_slots_[i]]);
-            }
-          }
-        }
-        *out = std::move(row);
+        ASSIGN_OR_RETURN(bool has, DecodeRowUnlocked(rid_, out));
+        if (!has) continue;
         ++rid_;
         return true;
       }
@@ -216,7 +259,75 @@ class ScanOp : public Operator {
     return false;
   }
 
+  /// Batch scan: one latch acquisition covers a whole batch worth of rows
+  /// (the row path re-latches per emitted row), decoding straight into the
+  /// batch's columns.
+  Result<bool> NextBatch(RowBatch* batch) override {
+    Table* table = node_.table;
+    const size_t rid_position = live_slots_.size();
+    batch->Reset(rid_position + 1);
+    DatumRow row;
+    while (batch->size < batch_capacity_ &&
+           (rid_ < end_ ||
+            (morsels_ != nullptr && morsels_->Claim(&rid_, &end_)))) {
+      std::shared_lock lock(table->latch());
+      uint64_t chunk_end = std::min(end_, rid_ + kScanChunk);
+      for (; rid_ < chunk_end && batch->size < batch_capacity_; ++rid_) {
+        ASSIGN_OR_RETURN(bool has, DecodeRowUnlocked(rid_, &row));
+        if (has) batch->AppendRow(std::move(row));
+      }
+    }
+    return batch->size > 0;
+  }
+
  private:
+  /// Decodes row slot `rid` into `*out` (survivor of the deleted-row check
+  /// and the pushed-down filter), exactly the row-at-a-time inner loop.
+  /// Caller holds the table latch.
+  Result<bool> DecodeRowUnlocked(uint64_t rid, DatumRow* out) {
+    Table* table = node_.table;
+    const size_t rid_position = live_slots_.size();
+    const std::string& raw = table->RawRowUnlocked(rid);
+    if (raw.empty()) return false;  // deleted
+    // Decode straight into the caller's buffer — the batch path hands the
+    // same scratch row back in every iteration, so the steady state reuses
+    // its capacity instead of allocating a fresh row per decode.
+    DatumRow& row = *out;
+    row.assign(rid_position + 1, Datum());
+    // Phase 1: decode only the columns the pushed-down filter touches.
+    if (identity_) {
+      RETURN_NOT_OK(DecodeRowSlots(schema_, raw, filter_slots_, &row));
+    } else {
+      full_scratch_.assign(schema_.num_slots(), Datum());
+      RETURN_NOT_OK(
+          DecodeRowSlots(schema_, raw, filter_slots_, &full_scratch_));
+      for (size_t i = 0; i < rid_position; ++i) {
+        row[i] = std::move(full_scratch_[live_slots_[i]]);
+      }
+    }
+    row[rid_position] = Datum::Int(static_cast<int64_t>(rid));
+    if (node_.scan_filter != nullptr) {
+      ASSIGN_OR_RETURN(bool keep,
+                       EvalPredicate(*node_.scan_filter, row, ctx_->udfs));
+      if (!keep) return false;
+    }
+    // Phase 2: decode the remaining referenced columns for survivors.
+    if (!output_slots_.empty()) {
+      if (identity_) {
+        RETURN_NOT_OK(DecodeRowSlots(schema_, raw, output_slots_, &row));
+      } else {
+        full_scratch_.assign(schema_.num_slots(), Datum());
+        RETURN_NOT_OK(
+            DecodeRowSlots(schema_, raw, output_slots_, &full_scratch_));
+        for (size_t i = 0; i < rid_position; ++i) {
+          if (row[i].is_null()) {
+            row[i] = std::move(full_scratch_[live_slots_[i]]);
+          }
+        }
+      }
+    }
+    return true;
+  }
   const PlanNode& node_;
   ExecContext* ctx_;
   MorselSource* morsels_;
@@ -225,6 +336,8 @@ class ScanOp : public Operator {
   std::vector<size_t> filter_slots_;
   std::vector<size_t> output_slots_;
   bool identity_ = false;
+  /// Full-width decode buffer for non-identity layouts, reused across rows.
+  DatumRow full_scratch_;
   uint64_t rid_ = 0;
   uint64_t end_ = 0;
 };
@@ -239,6 +352,7 @@ class FilterOp : public Operator {
   Status Open() override { return child_->Open(); }
 
   Result<bool> Next(DatumRow* out) override {
+    if (batch_capacity_ > 1) return NextFromOwnBatch(out);
     while (true) {
       ASSIGN_OR_RETURN(bool has, child_->Next(out));
       if (!has) return false;
@@ -246,6 +360,17 @@ class FilterOp : public Operator {
                        EvalPredicate(*node_.predicate, *out, ctx_->udfs));
       if (keep) return true;
     }
+  }
+
+  /// Vectorized filter: refines the selection vector in place. Batches that
+  /// end up with an empty selection are still passed through (downstream
+  /// operators must handle them; the root drain skips them).
+  Result<bool> NextBatch(RowBatch* batch) override {
+    ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+    if (!has) return false;
+    RETURN_NOT_OK(
+        EvalPredicateBatch(*node_.predicate, *batch, ctx_->udfs, &batch->sel));
+    return true;
   }
 
  private:
@@ -264,6 +389,7 @@ class ProjectOp : public Operator {
   Status Open() override { return child_->Open(); }
 
   Result<bool> Next(DatumRow* out) override {
+    if (batch_capacity_ > 1) return NextFromOwnBatch(out);
     DatumRow in;
     ASSIGN_OR_RETURN(bool has, child_->Next(&in));
     if (!has) return false;
@@ -277,10 +403,62 @@ class ProjectOp : public Operator {
     return true;
   }
 
+  /// Vectorized projection: each projection expression runs once over the
+  /// input batch's selected lanes into one output column. The output batch
+  /// is compacted (identity selection), since dead input lanes carry nothing
+  /// worth preserving past a projection.
+  Result<bool> NextBatch(RowBatch* batch) override {
+    ASSIGN_OR_RETURN(bool has, child_->NextBatch(&in_));
+    if (!has) return false;
+    batch->Reset(node_.projections.size());
+    // Dense input (selection vector == identity, the no-filter common case):
+    // a bare column-ref projection can take the whole input column instead
+    // of copying per lane — moved on its last referencing projection, copied
+    // before that. The selection vector is always an ascending subset of the
+    // physical lanes, so dense implies identity.
+    const bool dense = in_.active() == in_.size;
+    for (size_t c = 0; c < node_.projections.size(); ++c) {
+      const Expr& p = *node_.projections[c];
+      if (dense && p.kind == ExprKind::kColumnRef && p.bound_slot >= 0 &&
+          static_cast<size_t>(p.bound_slot) < in_.num_cols()) {
+        if (SlotUsedAfter(c, p.bound_slot)) {
+          batch->cols[c] = in_.cols[p.bound_slot];
+        } else {
+          batch->cols[c] = std::move(in_.cols[p.bound_slot]);
+        }
+        continue;
+      }
+      RETURN_NOT_OK(
+          EvalExprBatch(p, in_, in_.sel, ctx_->udfs, &batch->cols[c]));
+    }
+    batch->size = in_.active();
+    batch->sel.resize(batch->size);
+    for (size_t i = 0; i < batch->size; ++i) {
+      batch->sel[i] = static_cast<uint32_t>(i);
+    }
+    return true;
+  }
+
  private:
+  static bool UsesSlot(const Expr& e, int slot) {
+    if (e.kind == ExprKind::kColumnRef) return e.bound_slot == slot;
+    for (const ExprPtr& a : e.args) {
+      if (UsesSlot(*a, slot)) return true;
+    }
+    return false;
+  }
+
+  bool SlotUsedAfter(size_t c, int slot) const {
+    for (size_t k = c + 1; k < node_.projections.size(); ++k) {
+      if (UsesSlot(*node_.projections[k], slot)) return true;
+    }
+    return false;
+  }
+
   const PlanNode& node_;
   OperatorPtr child_;
   ExecContext* ctx_;
+  RowBatch in_;
 };
 
 // ---------------------------------------------------------------- Extract
@@ -313,10 +491,12 @@ class ExtractOp : public Operator {
       return Status::Internal("batch extract function ", node_.extract_fn,
                               " is not registered");
     }
+    rows_fn_ = ctx_->udfs->FindBatchExtractRows(node_.extract_fn);
     return child_->Open();
   }
 
   Result<bool> Next(DatumRow* out) override {
+    if (batch_capacity_ > 1) return NextFromOwnBatch(out);
     ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
     RETURN_NOT_OK((*fn_)(*out, node_.extract_targets, &outs_, &stats_));
@@ -325,12 +505,67 @@ class ExtractOp : public Operator {
     return true;
   }
 
+  /// Vectorized extraction: one batch-of-rows call serves every selected
+  /// lane (amortizing the std::function dispatch and, per source column,
+  /// decoding each reservoir once). Extracted values scatter into full-size
+  /// NULL-padded output columns so physical lane indices stay aligned with
+  /// the child batch — the selection vector may be sparse here when the
+  /// extraction sits above a filter.
+  Result<bool> NextBatch(RowBatch* batch) override {
+    ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+    if (!has) return false;
+    const size_t num_targets = node_.extract_targets.size();
+    if (batch->active() == 0) {
+      for (size_t t = 0; t < num_targets; ++t) {
+        batch->cols.emplace_back(batch->size);  // all-NULL, width stays right
+      }
+      return true;
+    }
+    if (rows_fn_ != nullptr) {
+      RETURN_NOT_OK((*rows_fn_)(*batch, batch->sel, node_.extract_targets,
+                                &out_cols_, &stats_));
+    } else {
+      // No batch-of-rows entry point registered: run the row-level function
+      // per selected lane over a scratch row of the child's width.
+      out_cols_.resize(num_targets);
+      for (std::vector<Datum>& col : out_cols_) {
+        col.assign(batch->active(), Datum::Null());
+      }
+      DatumRow scratch;
+      for (size_t k = 0; k < batch->sel.size(); ++k) {
+        batch->CopyRow(batch->sel[k], &scratch);
+        RETURN_NOT_OK((*fn_)(scratch, node_.extract_targets, &outs_, &stats_));
+        for (size_t t = 0; t < num_targets; ++t) {
+          out_cols_[t][k] = std::move(outs_[t]);
+        }
+      }
+    }
+    // Dense selection (no filter below): the per-lane outputs already sit in
+    // physical order, so the extractor's columns append wholesale.
+    if (batch->active() == batch->size) {
+      for (size_t t = 0; t < num_targets; ++t) {
+        batch->cols.push_back(std::move(out_cols_[t]));
+      }
+      return true;
+    }
+    for (size_t t = 0; t < num_targets; ++t) {
+      std::vector<Datum> col(batch->size);
+      for (size_t k = 0; k < batch->sel.size(); ++k) {
+        col[batch->sel[k]] = std::move(out_cols_[t][k]);
+      }
+      batch->cols.push_back(std::move(col));
+    }
+    return true;
+  }
+
  private:
   const PlanNode& node_;
   OperatorPtr child_;
   ExecContext* ctx_;
   const BatchExtractFn* fn_ = nullptr;
+  const BatchExtractRowsFn* rows_fn_ = nullptr;
   std::vector<Datum> outs_;
+  std::vector<std::vector<Datum>> out_cols_;
   BatchExtractStats stats_;
 };
 
@@ -928,10 +1163,23 @@ class LimitOp : public Operator {
   }
 
   Result<bool> Next(DatumRow* out) override {
+    if (batch_capacity_ > 1) return NextFromOwnBatch(out);
     if (emitted_ >= node_.limit) return false;
     ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
     ++emitted_;
+    return true;
+  }
+
+  /// Vectorized limit: truncates the batch's selection vector mid-batch
+  /// when the remaining quota is smaller than the batch.
+  Result<bool> NextBatch(RowBatch* batch) override {
+    if (emitted_ >= node_.limit) return false;
+    ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+    if (!has) return false;
+    const uint64_t quota = static_cast<uint64_t>(node_.limit - emitted_);
+    if (batch->sel.size() > quota) batch->sel.resize(quota);
+    emitted_ += static_cast<int64_t>(batch->sel.size());
     return true;
   }
 
@@ -1037,6 +1285,10 @@ class GatherOp : public Operator {
   }
 
   Result<bool> Next(DatumRow* out) override {
+    // In batch mode workers ship whole batches, so the row queue stays
+    // empty — a row-at-a-time parent (e.g. a Sort above the Gather) must
+    // drain through the batch queue.
+    if (batch_capacity_ > 1) return NextFromOwnBatch(out);
     if (partial_agg_) {
       if (agg_pos_ >= agg_results_.size()) return false;
       *out = std::move(agg_results_[agg_pos_]);
@@ -1057,8 +1309,36 @@ class GatherOp : public Operator {
     }
   }
 
+  Result<bool> NextBatch(RowBatch* batch) override {
+    if (partial_agg_) {
+      // Drain the finalized groups directly: the base-class adapter would
+      // call Next(), whose batch-mode guard routes back here.
+      batch->Reset(0);
+      while (batch->size < batch_capacity_ && agg_pos_ < agg_results_.size()) {
+        batch->AppendRow(std::move(agg_results_[agg_pos_]));
+        ++agg_pos_;
+      }
+      return batch->size > 0;
+    }
+    std::unique_lock lock(mu_);
+    while (true) {
+      if (!worker_status_.ok()) return worker_status_;
+      if (!batch_queue_.empty()) {
+        *batch = std::move(batch_queue_.front());
+        batch_queue_.pop_front();
+        not_full_.notify_one();
+        return true;
+      }
+      if (active_workers_ == 0) return false;
+      not_empty_.wait(lock);
+    }
+  }
+
  private:
   static constexpr size_t kQueueCap = 1024;
+  // Batch mode ships up-to-batch_size-row units, so a much shorter queue
+  // provides the same buffering (8 * 1024 rows vs 1024 rows).
+  static constexpr size_t kBatchQueueCap = 8;
 
   Status RunWorker() {
     Status st = partial_agg_ ? RunAggWorker() : RunStreamWorker();
@@ -1077,6 +1357,26 @@ class GatherOp : public Operator {
     ASSIGN_OR_RETURN(OperatorPtr op,
                      BuildOperator(*node_.children[0], ctx_, &morsels_));
     RETURN_NOT_OK(op->Open());
+    if (ctx_->batch_size > 1) {
+      // Batch mode: the bounded queue carries whole RowBatches, so the
+      // mutex is taken once per batch instead of once per row.
+      RowBatch local;
+      while (true) {
+        ASSIGN_OR_RETURN(bool has, op->NextBatch(&local));
+        if (!has) return Status::OK();
+        if (local.active() == 0) continue;  // fully filtered batch
+        std::unique_lock lock(mu_);
+        if (!cancelled_ && batch_queue_.size() >= kBatchQueueCap) {
+          stalls_.fetch_add(1, std::memory_order_relaxed);
+          not_full_.wait(lock, [this] {
+            return cancelled_ || batch_queue_.size() < kBatchQueueCap;
+          });
+        }
+        if (cancelled_) return Status::OK();
+        batch_queue_.push_back(std::move(local));
+        not_empty_.notify_one();
+      }
+    }
     DatumRow row;
     while (true) {
       ASSIGN_OR_RETURN(bool has, op->Next(&row));
@@ -1101,10 +1401,7 @@ class GatherOp : public Operator {
                      BuildOperator(*agg.children[0], ctx_, &morsels_));
     RETURN_NOT_OK(op->Open());
     std::unordered_map<DatumRow, GroupState, RowHasher, RowEq> local;
-    DatumRow row;
-    while (true) {
-      ASSIGN_OR_RETURN(bool has, op->Next(&row));
-      if (!has) break;
+    auto accumulate = [&](DatumRow& row) -> Status {
       DatumRow keys;
       keys.reserve(agg.group_keys.size());
       for (const ExprPtr& k : agg.group_keys) {
@@ -1115,7 +1412,25 @@ class GatherOp : public Operator {
       if (inserted) {
         RETURN_NOT_OK(ctx_->Charge(RowBytes(it->first) + 64));
       }
-      RETURN_NOT_OK(AccumulateRow(agg, row, &it->second, ctx_));
+      return AccumulateRow(agg, row, &it->second, ctx_);
+    };
+    DatumRow row;
+    if (ctx_->batch_size > 1) {
+      RowBatch batch;
+      while (true) {
+        ASSIGN_OR_RETURN(bool has, op->NextBatch(&batch));
+        if (!has) break;
+        for (uint32_t lane : batch.sel) {
+          batch.MoveRow(lane, &row);
+          RETURN_NOT_OK(accumulate(row));
+        }
+      }
+    } else {
+      while (true) {
+        ASSIGN_OR_RETURN(bool has, op->Next(&row));
+        if (!has) break;
+        RETURN_NOT_OK(accumulate(row));
+      }
     }
     std::lock_guard lock(agg_mu_);
     for (auto& [keys, state] : local) {
@@ -1162,7 +1477,8 @@ class GatherOp : public Operator {
   // Streaming-mode merge state (all guarded by mu_).
   std::mutex mu_;
   std::condition_variable not_empty_, not_full_;
-  std::deque<DatumRow> queue_;
+  std::deque<DatumRow> queue_;        // row mode (batch_size == 1)
+  std::deque<RowBatch> batch_queue_;  // batch mode
   size_t active_workers_ = 0;
   bool cancelled_ = false;
   Status worker_status_;
@@ -1177,9 +1493,13 @@ class GatherOp : public Operator {
 Result<OperatorPtr> BuildOperator(const PlanNode& node, ExecContext* ctx,
                                   MorselSource* morsels) {
   ASSIGN_OR_RETURN(OperatorPtr op, BuildOperatorInner(node, ctx, morsels));
+  op->set_batch_capacity(ctx->batch_size);
   if (ctx->stats != nullptr) {
     if (OperatorStats* stats = ctx->stats->For(node)) {
-      return OperatorPtr(new InstrumentedOp(std::move(op), stats));
+      OperatorPtr wrapped(
+          new InstrumentedOp(std::move(op), stats, ctx->time_ops));
+      wrapped->set_batch_capacity(ctx->batch_size);
+      return wrapped;
     }
   }
   return op;
@@ -1251,6 +1571,8 @@ Result<QueryResult> ExecutePlan(const PlanNode& plan, const UdfRegistry* udfs,
   ctx.mem_limit = options.max_intermediate_bytes;
   ctx.pool = options.pool;
   ctx.stats = options.stats;
+  ctx.batch_size = std::max<size_t>(1, options.batch_size);
+  ctx.time_ops = options.time_operators;
   QueryResult result;
   {
     // Scope: the root operator (and any GatherOp inside it, which flushes
@@ -1262,11 +1584,30 @@ Result<QueryResult> ExecutePlan(const PlanNode& plan, const UdfRegistry* udfs,
       result.column_names.push_back(col.name);
       result.column_types.push_back(col.type);
     }
-    DatumRow row;
-    while (true) {
-      ASSIGN_OR_RETURN(bool has, root->Next(&row));
-      if (!has) break;
-      result.rows.push_back(std::move(row));
+    if (ctx.batch_size > 1) {
+      static metrics::Counter* batches_total =
+          metrics::GetCounter("exec.batches_total");
+      static metrics::Histogram* batch_rows_hist =
+          metrics::GetHistogram("exec.batch_rows");
+      RowBatch batch;
+      DatumRow row;
+      while (true) {
+        ASSIGN_OR_RETURN(bool has, root->NextBatch(&batch));
+        if (!has) break;
+        batches_total->Increment();
+        batch_rows_hist->Observe(batch.active());
+        for (uint32_t lane : batch.sel) {
+          batch.MoveRow(lane, &row);
+          result.rows.push_back(std::move(row));
+        }
+      }
+    } else {
+      DatumRow row;
+      while (true) {
+        ASSIGN_OR_RETURN(bool has, root->Next(&row));
+        if (!has) break;
+        result.rows.push_back(std::move(row));
+      }
     }
   }
 
@@ -1303,6 +1644,13 @@ void AppendAnalyzedNode(const PlanNode& node, const PlanStats& stats,
       if (node.kind == PlanKind::kExtract) {
         *out << " (decodes=" << s->decodes.load(std::memory_order_relaxed)
              << " attrs=" << s->attrs.load(std::memory_order_relaxed) << ")";
+      }
+      const uint64_t batches = s->batches.load(std::memory_order_relaxed);
+      if (batches > 0) {
+        *out << " (batches=" << batches
+             << " avg_rows=" << s->rows.load(std::memory_order_relaxed) /
+                                    batches
+             << ")";
       }
     }
   }

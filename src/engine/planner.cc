@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/metrics.h"
+#include "engine/eval.h"
 
 namespace sinew::engine {
 
@@ -39,6 +40,65 @@ std::optional<double> LiteralAsDouble(const Expr& e) {
     return std::nullopt;
   }
   return e.literal.AsDouble();
+}
+
+/// Plan-time constant folding (post-order): an operator node whose inputs
+/// are all literals is evaluated once here instead of per row at execution
+/// time (`1 + 1`, `'a' = 'a'`, `5 BETWEEN 1 AND 9`). Subtrees that error
+/// (e.g. `1/0`) stay in place so the error still surfaces at runtime, and
+/// kFunction/kCase are never folded (UDFs are opaque to the planner).
+/// Decided AND/OR left sides fold too — the row evaluator's Kleene logic
+/// never evaluates the right side of `FALSE AND x` / `TRUE OR x`, so
+/// replacing the conjunction with the decided literal is exact.
+void FoldConstants(ExprPtr* expr) {
+  Expr& e = **expr;
+  for (ExprPtr& arg : e.args) FoldConstants(&arg);
+  switch (e.kind) {
+    case ExprKind::kUnary:
+    case ExprKind::kBinary:
+    case ExprKind::kBetween:
+    case ExprKind::kInList:
+    case ExprKind::kIsNull:
+      break;
+    default:
+      return;
+  }
+  if (e.kind == ExprKind::kBinary &&
+      (e.bop == BinaryOp::kAnd || e.bop == BinaryOp::kOr)) {
+    const bool is_or = e.bop == BinaryOp::kOr;
+    const Expr& lhs = *e.args[0];
+    if (lhs.kind == ExprKind::kLiteral && lhs.literal.is_bool() &&
+        lhs.literal.bool_value() == is_or) {
+      *expr = Expr::Literal(Datum::Bool(is_or));
+      return;
+    }
+  }
+  for (const ExprPtr& arg : e.args) {
+    if (arg->kind != ExprKind::kLiteral) return;
+  }
+  Result<Datum> value = EvalExpr(e, {}, nullptr);
+  if (!value.ok()) return;
+  *expr = Expr::Literal(std::move(*value));
+}
+
+void FoldExprList(std::vector<ExprPtr>* exprs) {
+  for (ExprPtr& e : *exprs) FoldConstants(&e);
+}
+
+/// Folds every expression slot of the plan tree.
+void FoldPlanConstants(PlanNode* node) {
+  if (node->scan_filter != nullptr) FoldConstants(&node->scan_filter);
+  if (node->predicate != nullptr) FoldConstants(&node->predicate);
+  if (node->residual != nullptr) FoldConstants(&node->residual);
+  FoldExprList(&node->projections);
+  FoldExprList(&node->sort_keys);
+  FoldExprList(&node->group_keys);
+  FoldExprList(&node->left_keys);
+  FoldExprList(&node->right_keys);
+  for (AggSpec& agg : node->aggs) {
+    if (agg.arg != nullptr) FoldConstants(&agg.arg);
+  }
+  for (PlanPtr& child : node->children) FoldPlanConstants(child.get());
 }
 
 }  // namespace
@@ -1295,6 +1355,7 @@ Result<PlanPtr> Planner::SelectPlanner::Plan() {
   }
   ASSIGN_OR_RETURN(root,
                    AddOrderByAndLimit(std::move(root), std::move(order_by)));
+  FoldPlanConstants(root.get());
   if (options_.enable_batched_extraction && udfs_ != nullptr &&
       udfs_->FindBatchExtract(kBatchExtractFnName) != nullptr) {
     HoistBatchedExtraction(&root);

@@ -1,0 +1,75 @@
+// RowBatch: the unit of work on the vectorized execution path.
+//
+// A batch holds up to ExecOptions.batch_size rows in column-major order:
+// cols[c][r] is column c of physical row r. The selection vector `sel` lists
+// the physical rows that are logically alive, in ascending order — filters
+// shrink it instead of compacting the columns, so a predicate pass touches
+// only the selection vector and downstream operators skip dead lanes for
+// free. Column vectors are reused across batches (Reset clears without
+// freeing), so the steady-state pipeline allocates nothing per batch.
+
+#ifndef SINEW_ENGINE_ROW_BATCH_H_
+#define SINEW_ENGINE_ROW_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/datum.h"
+
+namespace sinew::engine {
+
+struct RowBatch {
+  /// Column-major values; every column has `size` entries.
+  std::vector<std::vector<Datum>> cols;
+  /// Physical row indices that are logically alive, ascending.
+  std::vector<uint32_t> sel;
+  /// Physical row count (appended rows, dead or alive).
+  size_t size = 0;
+
+  size_t num_cols() const { return cols.size(); }
+  /// Logically alive rows.
+  size_t active() const { return sel.size(); }
+
+  /// Empties the batch and sets the column count, keeping the column
+  /// vectors' capacity for reuse.
+  void Reset(size_t num_columns) {
+    cols.resize(num_columns);
+    for (std::vector<Datum>& c : cols) c.clear();
+    sel.clear();
+    size = 0;
+  }
+
+  /// Appends one row (selected). On the first append the batch adopts the
+  /// row's width, so row→batch adapters need not know the schema up front.
+  void AppendRow(DatumRow&& row) {
+    if (size == 0 && cols.size() != row.size()) {
+      cols.assign(row.size(), {});
+    }
+    for (size_t c = 0; c < cols.size(); ++c) {
+      cols[c].push_back(std::move(row[c]));
+    }
+    sel.push_back(static_cast<uint32_t>(size));
+    ++size;
+  }
+
+  /// Moves physical row `r` out into `*out` (row r's cells are left
+  /// moved-from; callers only move each selected lane once).
+  void MoveRow(uint32_t r, DatumRow* out) {
+    out->clear();
+    out->reserve(cols.size());
+    for (std::vector<Datum>& c : cols) out->push_back(std::move(c[r]));
+  }
+
+  /// Copies physical row `r` into `*out`.
+  void CopyRow(uint32_t r, DatumRow* out) const {
+    out->clear();
+    out->reserve(cols.size());
+    for (const std::vector<Datum>& c : cols) out->push_back(c[r]);
+  }
+};
+
+}  // namespace sinew::engine
+
+#endif  // SINEW_ENGINE_ROW_BATCH_H_

@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "engine/datum.h"
+#include "engine/row_batch.h"
 
 namespace sinew::engine {
 
@@ -51,6 +52,17 @@ using BatchExtractFn =
                          const std::vector<ExtractTarget>& targets,
                          std::vector<Datum>* outs, BatchExtractStats* stats)>;
 
+/// Vectorized variant: serves every listed lane of a RowBatch in one call,
+/// filling (*out_cols)[t][k] from targets[t] for the k-th entry of `lanes`
+/// (NULL-source lanes stay NULL). One call amortizes the std::function
+/// dispatch of BatchExtractFn over the whole batch; per-row guarantees
+/// (targets grouped by source, sorted ids, one decode per source) carry
+/// over unchanged.
+using BatchExtractRowsFn = std::function<Status(
+    const RowBatch& batch, const std::vector<uint32_t>& lanes,
+    const std::vector<ExtractTarget>& targets,
+    std::vector<std::vector<Datum>>* out_cols, BatchExtractStats* stats)>;
+
 class UdfRegistry {
  public:
   /// Registers (or replaces) a scalar function under a lower-case name.
@@ -77,9 +89,22 @@ class UdfRegistry {
     return it == batch_extract_.end() ? nullptr : &it->second;
   }
 
+  /// Registers (or replaces) the batch-of-rows extraction entry point the
+  /// vectorized executor prefers; the row-level BatchExtractFn remains the
+  /// fallback (and the batch_size=1 path).
+  void RegisterBatchExtractRows(std::string name, BatchExtractRowsFn fn) {
+    batch_extract_rows_[std::move(name)] = std::move(fn);
+  }
+
+  const BatchExtractRowsFn* FindBatchExtractRows(std::string_view name) const {
+    auto it = batch_extract_rows_.find(name);
+    return it == batch_extract_rows_.end() ? nullptr : &it->second;
+  }
+
  private:
   std::map<std::string, UdfFn, std::less<>> fns_;
   std::map<std::string, BatchExtractFn, std::less<>> batch_extract_;
+  std::map<std::string, BatchExtractRowsFn, std::less<>> batch_extract_rows_;
 };
 
 /// Registers the engine's built-in scalar functions: coalesce, abs, lower,

@@ -152,6 +152,68 @@ engine::UdfFn MakeTypedExtractor(AttributeCatalog* catalog,
   };
 }
 
+/// Extracts targets [i, j) — one source-slot group — from a single
+/// serialized document, writing each decoded value through `out_at(k)`
+/// (a Datum* for target index k; absent attributes are never written, so
+/// callers pre-fill NULLs). Targets sharing a prefix chain share one
+/// nested-object descent, and all attribute ids under a chain resolve in a
+/// single header pass (DocumentView::ExtractMany). The shared core of the
+/// row-level and batch-of-rows extraction entry points.
+template <typename OutAt>
+Status ExtractGroupFromDoc(const AttributeCatalog& catalog,
+                           const std::vector<engine::ExtractTarget>& targets,
+                           size_t i, size_t j, std::string_view doc,
+                           OutAt&& out_at) {
+  size_t g = i;
+  while (g < j) {
+    size_t h = g;
+    while (h < j && targets[h].prefix_ids == targets[g].prefix_ids) ++h;
+    std::string_view current = doc;
+    bool present = true;
+    for (uint32_t pid : targets[g].prefix_ids) {
+      serial::DocumentView view(current);
+      std::optional<std::string_view> sub = view.Extract(pid);
+      if (!sub.has_value()) {
+        present = false;
+        break;
+      }
+      current = *sub;
+    }
+    if (!present) {
+      g = h;  // every target under this prefix chain stays NULL
+      continue;
+    }
+    // Scratch buffers are thread_local: the registered std::function is
+    // shared by every worker clone of the Extract operator.
+    thread_local std::vector<uint32_t> wanted;
+    thread_local std::vector<std::optional<std::string_view>> values;
+    wanted.clear();
+    for (size_t k = g; k < h; ++k) wanted.push_back(targets[k].attr_id);
+    values.assign(h - g, std::nullopt);
+    serial::DocumentView view(current);
+    view.ExtractMany(wanted.data(), wanted.size(), values.data());
+    for (size_t k = g; k < h; ++k) {
+      const std::optional<std::string_view>& bytes = values[k - g];
+      if (!bytes.has_value()) continue;
+      const engine::ExtractTarget& t = targets[k];
+      if (t.raw_bytes) {
+        *out_at(k) = Datum::Bytes(std::string(*bytes));
+        continue;
+      }
+      ValueType type = static_cast<ValueType>(t.type_tag);
+      if (type == ValueType::kObject || type == ValueType::kArray) {
+        ASSIGN_OR_RETURN(Value v,
+                         serial::DecodeValueBody(type, *bytes, catalog));
+        *out_at(k) = Datum::Text(v.ToJson());
+      } else {
+        ASSIGN_OR_RETURN(*out_at(k), DecodeScalarTyped(catalog, type, *bytes));
+      }
+    }
+    g = h;
+  }
+  return Status::OK();
+}
+
 /// The batched fast path behind the planner's kExtract node: decodes each
 /// row's reservoir header once per source column and serves every wanted
 /// attribute from that single pass (DocumentView::ExtractMany). Targets
@@ -189,56 +251,62 @@ engine::BatchExtractFn MakeBatchExtractor(AttributeCatalog* catalog) {
       stats->attrs += j - i;
       decodes_counter->Increment();
       attrs_hist->Observe(j - i);
-      // Sub-group targets sharing a prefix descent so nested objects are
-      // also decoded once per row.
-      size_t g = i;
-      while (g < j) {
-        size_t h = g;
-        while (h < j && targets[h].prefix_ids == targets[g].prefix_ids) ++h;
-        std::string_view current = src.str();
-        bool present = true;
-        for (uint32_t pid : targets[g].prefix_ids) {
-          serial::DocumentView view(current);
-          std::optional<std::string_view> sub = view.Extract(pid);
-          if (!sub.has_value()) {
-            present = false;
-            break;
-          }
-          current = *sub;
-        }
-        if (!present) {
-          g = h;  // every target under this prefix chain stays NULL
-          continue;
-        }
-        // Scratch buffers are thread_local: the registered std::function is
-        // shared by every worker clone of the Extract operator.
-        thread_local std::vector<uint32_t> wanted;
-        thread_local std::vector<std::optional<std::string_view>> values;
-        wanted.clear();
-        for (size_t k = g; k < h; ++k) wanted.push_back(targets[k].attr_id);
-        values.assign(h - g, std::nullopt);
-        serial::DocumentView view(current);
-        view.ExtractMany(wanted.data(), wanted.size(), values.data());
-        for (size_t k = g; k < h; ++k) {
-          const std::optional<std::string_view>& bytes = values[k - g];
-          if (!bytes.has_value()) continue;
-          const engine::ExtractTarget& t = targets[k];
-          if (t.raw_bytes) {
-            (*outs)[k] = Datum::Bytes(std::string(*bytes));
-            continue;
-          }
-          ValueType type = static_cast<ValueType>(t.type_tag);
-          if (type == ValueType::kObject || type == ValueType::kArray) {
-            ASSIGN_OR_RETURN(Value v,
-                             serial::DecodeValueBody(type, *bytes, *catalog));
-            (*outs)[k] = Datum::Text(v.ToJson());
-          } else {
-            ASSIGN_OR_RETURN((*outs)[k],
-                             DecodeScalarTyped(*catalog, type, *bytes));
-          }
-        }
-        g = h;
+      RETURN_NOT_OK(ExtractGroupFromDoc(
+          *catalog, targets, i, j, src.str(),
+          [outs](size_t k) { return &(*outs)[k]; }));
+      i = j;
+    }
+    return Status::OK();
+  };
+}
+
+/// The vectorized entry point the batch executor prefers: one call serves
+/// every selected lane of a RowBatch. Per source-slot group, the loop over
+/// lanes is the only addition — the per-document work is the same shared
+/// core — but the std::function dispatch, target grouping and slot checks
+/// amortize over the whole batch, and stats/metrics updates collapse from
+/// one per row to one per batch.
+engine::BatchExtractRowsFn MakeBatchRowsExtractor(AttributeCatalog* catalog) {
+  return [catalog](const engine::RowBatch& batch,
+                   const std::vector<uint32_t>& lanes,
+                   const std::vector<engine::ExtractTarget>& targets,
+                   std::vector<std::vector<Datum>>* out_cols,
+                   engine::BatchExtractStats* stats) -> Status {
+    static metrics::Counter* decodes_counter =
+        metrics::GetCounter("reservoir.decodes");
+    static metrics::Histogram* attrs_hist =
+        metrics::GetHistogram("reservoir.attrs_per_decode");
+    out_cols->resize(targets.size());
+    for (std::vector<Datum>& col : *out_cols) {
+      col.assign(lanes.size(), Datum::Null());
+    }
+    size_t i = 0;
+    while (i < targets.size()) {
+      const int slot = targets[i].source_slot;
+      size_t j = i;
+      while (j < targets.size() && targets[j].source_slot == slot) ++j;
+      if (slot < 0 || static_cast<size_t>(slot) >= batch.num_cols()) {
+        return Status::Internal("sinew_extract_many: source slot ", slot,
+                                " out of range");
       }
+      const std::vector<Datum>& src_col = batch.cols[slot];
+      uint64_t decoded = 0;
+      for (size_t n = 0; n < lanes.size(); ++n) {
+        const Datum& src = src_col[lanes[n]];
+        if (src.is_null()) continue;
+        if (!src.is_bytes()) {
+          return Status::TypeError(
+              "sinew_extract_many: source must be serialized data");
+        }
+        ++decoded;
+        RETURN_NOT_OK(ExtractGroupFromDoc(
+            *catalog, targets, i, j, src.str(),
+            [out_cols, n](size_t k) { return &(*out_cols)[k][n]; }));
+      }
+      stats->decodes += decoded;
+      stats->attrs += decoded * (j - i);
+      decodes_counter->Add(decoded);
+      attrs_hist->ObserveN(j - i, decoded);
       i = j;
     }
     return Status::OK();
@@ -325,9 +393,13 @@ void RegisterSinewFunctions(engine::UdfRegistry* registry,
       });
 
   // Batched extraction behind the planner's SinewExtract node: one reservoir
-  // decode per row serves every hoisted virtual-attribute reference.
+  // decode per row serves every hoisted virtual-attribute reference. The
+  // batch-of-rows variant additionally amortizes dispatch and stats over a
+  // whole RowBatch on the vectorized executor path.
   registry->RegisterBatchExtract("sinew_extract_many",
                                  MakeBatchExtractor(catalog));
+  registry->RegisterBatchExtractRows("sinew_extract_many",
+                                     MakeBatchRowsExtractor(catalog));
 
   // Chain extraction: the query rewriter resolves a dotted path to the
   // attribute-ID descent chain at rewrite time, so the per-row work is pure

@@ -130,7 +130,8 @@ void SortRows(std::vector<Value>* rows) {
 
 // ----------------------------------------------------------------- Sinew
 
-SinewRunner::SinewRunner(sinew::SinewOptions options) : db_(options) {}
+SinewRunner::SinewRunner(sinew::SinewOptions options, std::string label)
+    : db_(options), label_(std::move(label)) {}
 
 Status SinewRunner::Load(const std::vector<Value>& docs) {
   return db_.LoadDocuments(kTableName, docs).status();

@@ -54,8 +54,11 @@ class SystemRunner {
 
 class SinewRunner : public SystemRunner {
  public:
-  explicit SinewRunner(sinew::SinewOptions options = {});
-  std::string_view name() const override { return "Sinew"; }
+  /// `label` names the configuration in benchmark tables when several Sinew
+  /// instances run side by side (e.g. "Sinew-row1" for batch_size = 1).
+  explicit SinewRunner(sinew::SinewOptions options = {},
+                       std::string label = "Sinew");
+  std::string_view name() const override { return label_; }
   Status Load(const std::vector<Value>& docs) override;
   Status Prepare() override;
   Result<std::vector<Value>> Run(int q, const QueryParams& p) override;
@@ -65,6 +68,7 @@ class SinewRunner : public SystemRunner {
 
  private:
   sinew::SinewDb db_;
+  std::string label_;
 };
 
 class MongoLikeRunner : public SystemRunner {

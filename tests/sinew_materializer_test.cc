@@ -190,7 +190,7 @@ TEST(BackgroundMaintenance, ConvergesWithoutExplicitCalls) {
   for (int i = 0; i < 400 && !materialized; ++i) {
     EXPECT_EQ(db.Query(sql)->rows[0][0].int_value(), expected);
     auto table = db.engine()->catalog()->GetTable(nb::kTableName);
-    materialized = (*table)->schema().FindColumn("str1").has_value() &&
+    materialized = (*table)->FindColumnLatched("str1").has_value() &&
                    db.catalog()->DirtyAttributes(nb::kTableName).empty();
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
