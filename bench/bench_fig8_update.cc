@@ -1,14 +1,28 @@
 // Figure 8: random update performance — the paper's added task
 // (UPDATE ... SET sparse_588 = 'DUMMY' WHERE sparse_589 = <value>,
 // ~1 in 10000 records affected).
+//
+// Also measures sustained ingest (docs/sec over a fixed wall-clock window)
+// through the crash-safe write path: whole-image-rewrite-per-commit (the
+// pre-WAL durable baseline) vs. the WAL + memtable path at each fsync
+// policy. Flags: --ingest-seconds=<float> (window per config, default 0.5),
+// --fsync=always|group|none (measure one WAL policy instead of all three).
+// Emits BENCH_fig8_ingest.json next to the usual sidecar.
+
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 
 #include "bench/bench_util.h"
+#include "sinew/durable_db.h"
+#include "sinew/persistence.h"
 #include "workloads/nobench/generator.h"
 #include "workloads/nobench/runners.h"
 
 namespace nb = sinew::workloads::nobench;
+using sinew::bench::BenchRecord;
 using sinew::bench::PrintHeader;
 using sinew::bench::Scaled;
 using sinew::bench::Timer;
@@ -46,9 +60,132 @@ void RunScale(const char* label, uint64_t records) {
   }
 }
 
+// ---- sustained ingest through the durable write path ----
+
+double IngestSecondsFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--ingest-seconds=", 17) == 0) {
+      double v = std::atof(argv[i] + 17);
+      if (v > 0) return v;
+    }
+  }
+  return 0.5;
+}
+
+/// "" = all policies; else one of always / group / none.
+std::string FsyncFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fsync=", 8) == 0) return argv[i] + 8;
+  }
+  return "";
+}
+
+std::string FreshDir(const char* tag) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("sinew_ingest_" + std::to_string(::getpid()) + "_" + tag))
+                        .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+constexpr uint64_t kIngestBatchDocs = 8;
+
+/// Baseline: every commit is durable by rewriting the whole database image
+/// (what persistence.h offered before the WAL existed).
+BenchRecord IngestImageCommit(const std::vector<sinew::Value>& docs,
+                              double seconds) {
+  std::string dir = FreshDir("image");
+  sinew::SinewDb db;
+  uint64_t ingested = 0;
+  Timer timer;
+  while (timer.Seconds() < seconds) {
+    std::vector<sinew::Value> batch;
+    for (uint64_t i = 0; i < kIngestBatchDocs; ++i) {
+      batch.push_back(docs[(ingested + i) % docs.size()]);
+    }
+    if (!db.LoadDocuments("ingest", batch).ok()) break;
+    if (!sinew::SaveDatabase(&db, dir).ok()) break;
+    ingested += kIngestBatchDocs;
+  }
+  double ms = timer.Millis();
+  std::filesystem::remove_all(dir);
+  return BenchRecord{"ingest", "image-commit", ms, ingested, 1, 0};
+}
+
+BenchRecord IngestWal(const std::vector<sinew::Value>& docs, double seconds,
+                      const std::string& policy) {
+  std::string dir = FreshDir(policy.c_str());
+  sinew::DurableDbOptions options;
+  if (policy == "always") {
+    options.wal.sync_policy = sinew::WalSyncPolicy::kEveryCommit;
+  } else if (policy == "group") {
+    options.wal.sync_policy = sinew::WalSyncPolicy::kGrouped;
+  } else {
+    options.wal.sync_policy = sinew::WalSyncPolicy::kNever;
+  }
+  BenchRecord record{"ingest", "wal-" + policy, -1, 0, 1, 0};
+  auto db = sinew::DurableDb::Open(dir, options);
+  if (!db.ok()) return record;
+  uint64_t ingested = 0;
+  Timer timer;
+  while (timer.Seconds() < seconds) {
+    std::vector<sinew::Value> batch;
+    for (uint64_t i = 0; i < kIngestBatchDocs; ++i) {
+      batch.push_back(docs[(ingested + i) % docs.size()]);
+    }
+    if (!(*db)->LoadDocuments("ingest", batch).ok()) break;
+    ingested += kIngestBatchDocs;
+  }
+  double ms = timer.Millis();
+  (void)(*db)->Close();
+  std::filesystem::remove_all(dir);
+  record.ms = ms;
+  record.rows = ingested;
+  return record;
+}
+
+void RunIngest(int argc, char** argv) {
+  PrintHeader("Sustained ingest: image-per-commit vs. WAL write path");
+  const double seconds = IngestSecondsFromArgs(argc, argv);
+  const std::string only = FsyncFromArgs(argc, argv);
+
+  nb::Config config;
+  config.num_records = 256;  // a pool to cycle through; size is irrelevant
+  std::vector<sinew::Value> docs = nb::Generate(config);
+
+  std::vector<BenchRecord> records;
+  records.push_back(IngestImageCommit(docs, seconds));
+  for (const char* policy : {"always", "group", "none"}) {
+    if (only.empty() || only == policy) {
+      records.push_back(IngestWal(docs, seconds, policy));
+    }
+  }
+
+  std::printf("%-14s %12s %14s\n", "Config", "docs", "docs/sec");
+  for (const BenchRecord& r : records) {
+    double rate = r.ms > 0 ? static_cast<double>(r.rows) / (r.ms / 1e3) : 0;
+    std::printf("%-14s %12llu %14.0f\n", r.config.c_str(),
+                static_cast<unsigned long long>(r.rows), rate);
+  }
+  const double base = records[0].ms > 0 && records[0].rows > 0
+                          ? static_cast<double>(records[0].rows) /
+                                (records[0].ms / 1e3)
+                          : 0;
+  if (base > 0 && records.size() > 1) {
+    for (size_t i = 1; i < records.size(); ++i) {
+      double rate = static_cast<double>(records[i].rows) /
+                    (records[i].ms / 1e3);
+      std::printf("%s speedup over image-commit: %.1fx\n",
+                  records[i].config.c_str(), rate / base);
+    }
+  }
+  sinew::bench::WriteBenchJson(sinew::bench::BenchOutDirFromArgs(argc, argv),
+                               "fig8_ingest", records);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Figure 8: random update performance");
   RunScale("small", Scaled(8000));
   RunScale("large", Scaled(32000));
@@ -58,5 +195,6 @@ int main() {
       "slowest among RDBMS solutions (self-join + upsert); MongoDB-like's\n"
       "predicate evaluation overhead outweighs its lack of transactional\n"
       "guarantees.\n");
+  RunIngest(argc, argv);
   return 0;
 }

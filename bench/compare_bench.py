@@ -15,6 +15,10 @@ script doubles as a CI gate:
     python3 bench/compare_bench.py /tmp/a/BENCH_micro_extract.json \
                                    /tmp/b/BENCH_micro_extract.json
 
+Works on every sidecar the binaries emit, including BENCH_fig8_ingest.json
+(bench_fig8_update's sustained-ingest mode: query "ingest", one config per
+write path — image-commit vs. wal-always/group/none).
+
 Stdlib only; no third-party dependencies.
 """
 

@@ -164,7 +164,19 @@ Status AtomicWriteFile(Env* env, const std::string& path,
     (void)env->DeleteFile(tmp);  // best-effort; crash GC handles leftovers
     return st;
   }
-  return env->RenameFile(tmp, path);
+  Status rename_st = env->RenameFile(tmp, path);
+  if (!rename_st.ok()) {
+    // The fully written temp file is now garbage; surface a failed cleanup
+    // instead of swallowing it, so callers know a stray "*.tmp" remains
+    // until directory GC (and tests can assert the combined failure).
+    Status cleanup = env->DeleteFile(tmp);
+    if (!cleanup.ok()) {
+      return Status::IOError(rename_st.message(),
+                             "; additionally failed to remove temp file ",
+                             tmp, ": ", cleanup.message());
+    }
+  }
+  return rename_st;
 }
 
 }  // namespace sinew

@@ -69,7 +69,9 @@ class Env {
 /// atomic rename: after a crash at any point `path` holds either its previous
 /// contents or the complete new contents, never a torn mix. The temp file
 /// (`path` + ".tmp") may survive a crash; writers of a directory should
-/// garbage-collect "*.tmp" entries.
+/// garbage-collect "*.tmp" entries. On a failed rename the temp file is
+/// deleted; if that cleanup itself fails the returned status reports both
+/// errors (the stray temp file is left for directory GC).
 Status AtomicWriteFile(Env* env, const std::string& path,
                        std::string_view contents);
 

@@ -15,10 +15,17 @@ Status SimulatedCrash() {
 /// Wraps the underlying file so Append/Sync/Close go through the fault
 /// machinery. On crash the descriptor is released by the destructor; Close
 /// still reports the crash so callers cannot mistake the file for durable.
+///
+/// In sync-buffered mode (CrashAfterSyncs armed when the file was opened)
+/// appends land in `buffer_` — the simulated OS page cache — and only reach
+/// the base file when Sync() flushes them, so a crash drops everything not
+/// yet fsynced. A clean Close() also flushes (a live OS writes its cache
+/// back eventually); only a crash loses the buffer.
 class FaultWritableFile final : public WritableFile {
  public:
-  FaultWritableFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base)
-      : env_(env), base_(std::move(base)) {}
+  FaultWritableFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base,
+                    bool buffered)
+      : env_(env), base_(std::move(base)), buffered_(buffered) {}
 
   Status Append(std::string_view data) override {
     int64_t allowed = 0;
@@ -44,9 +51,16 @@ class FaultWritableFile final : public WritableFile {
         }
       }
     }
-    // The surviving prefix really reaches the base file: this is the torn
-    // tail a real crash leaves behind.
-    Status st = base_->Append(data.substr(0, static_cast<size_t>(allowed)));
+    // The surviving prefix really reaches the base file (or, in buffered
+    // mode, the in-memory cache): this is the torn tail a crash leaves.
+    std::string_view prefix = data.substr(0, static_cast<size_t>(allowed));
+    Status st;
+    if (buffered_) {
+      buffer_.append(prefix.data(), prefix.size());
+      st = Status::OK();
+    } else {
+      st = base_->Append(prefix);
+    }
     {
       std::lock_guard lock(env_->mutex_);
       if (st.ok()) env_->bytes_appended_ += allowed;
@@ -65,25 +79,48 @@ class FaultWritableFile final : public WritableFile {
       RETURN_NOT_OK(env_->BeginOpLocked());
       if (env_->fail_syncs_) return Status::IOError("injected sync error");
     }
-    return base_->Sync();
+    RETURN_NOT_OK(FlushBuffer());
+    RETURN_NOT_OK(base_->Sync());
+    {
+      std::lock_guard lock(env_->mutex_);
+      ++env_->syncs_completed_;
+      if (env_->syncs_until_crash_ > 0 && --env_->syncs_until_crash_ == 0) {
+        // The n-th sync itself completed — its bytes are durable — but the
+        // machine dies right after: later ops fail, unsynced buffers drop.
+        env_->crashed_ = true;
+      }
+    }
+    return Status::OK();
   }
 
   Status Close() override {
     {
       std::lock_guard lock(env_->mutex_);
+      // A crashed close drops the buffered cache — BeginOpLocked errors.
       RETURN_NOT_OK(env_->BeginOpLocked());
     }
+    RETURN_NOT_OK(FlushBuffer());
     return base_->Close();
   }
 
  private:
+  /// Writes the simulated page cache through to the base file.
+  Status FlushBuffer() {
+    if (!buffered_ || buffer_.empty()) return Status::OK();
+    Status st = base_->Append(buffer_);
+    if (st.ok()) buffer_.clear();
+    return st;
+  }
+
   FaultInjectionEnv* env_;
   std::unique_ptr<WritableFile> base_;
+  const bool buffered_;
+  std::string buffer_;  // appended-but-not-fsynced bytes (buffered mode)
 };
 
 Status FaultInjectionEnv::BeginOpLocked() {
   if (crashed_) return SimulatedCrash();
-  if (ops_until_crash_ == 0) {
+  if (ops_until_crash_ == 0 || syncs_until_crash_ == 0) {
     crashed_ = true;
     return SimulatedCrash();
   }
@@ -127,13 +164,22 @@ void FaultInjectionEnv::CrashAfterBytes(int64_t n) {
   bytes_until_crash_ = n;
 }
 
+void FaultInjectionEnv::CrashAfterSyncs(int64_t n) {
+  std::lock_guard lock(mutex_);
+  syncs_until_crash_ = n;
+  sync_buffer_mode_ = n >= 0;
+}
+
 void FaultInjectionEnv::ClearFaults() {
   std::lock_guard lock(mutex_);
   fail_writes_ = fail_syncs_ = fail_renames_ = false;
   crashed_ = false;
   short_append_ = ops_until_crash_ = bytes_until_crash_ = -1;
+  syncs_until_crash_ = -1;
+  sync_buffer_mode_ = false;
   ops_issued_ = 0;
   bytes_appended_ = 0;
+  syncs_completed_ = 0;
 }
 
 bool FaultInjectionEnv::crashed() const {
@@ -151,13 +197,23 @@ int64_t FaultInjectionEnv::bytes_appended() const {
   return bytes_appended_;
 }
 
+int64_t FaultInjectionEnv::syncs_completed() const {
+  std::lock_guard lock(mutex_);
+  return syncs_completed_;
+}
+
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path) {
-  RETURN_NOT_OK(BeginOp());
+  bool buffered;
+  {
+    std::lock_guard lock(mutex_);
+    RETURN_NOT_OK(BeginOpLocked());
+    buffered = sync_buffer_mode_;
+  }
   ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
                    base_->NewWritableFile(path));
   return std::unique_ptr<WritableFile>(
-      std::make_unique<FaultWritableFile>(this, std::move(base)));
+      std::make_unique<FaultWritableFile>(this, std::move(base), buffered));
 }
 
 Result<std::string> FaultInjectionEnv::ReadFileToString(

@@ -12,6 +12,14 @@
 //    crashed state: the op that hits the byte limit persists only the bytes
 //    before the cut (a torn tail) and every subsequent call fails with
 //    "simulated crash".
+//  - Sync cut-offs: CrashAfterSyncs(n) simulates a *power* failure rather
+//    than a process death. It switches writable files into sync-buffered
+//    mode (appends accumulate in memory — the "OS page cache" — and only
+//    reach the underlying file when Sync() flushes them); after the n-th
+//    successful Sync() the env crashes and every unsynced buffer is dropped.
+//    This is how sweeps distinguish "buffered but not fsynced" (lost) from
+//    "durable" (survives): the ops/bytes modes write through, so data a real
+//    power cut would lose still lands on disk there.
 //
 // Because the env writes through to the real filesystem, the on-disk state
 // after a crash IS the post-crash view: whatever was appended before the
@@ -49,6 +57,12 @@ class FaultInjectionEnv final : public Env {
   void CrashAfterOps(int64_t n);
   /// Crash once `n` further bytes have been appended (-1 disables).
   void CrashAfterBytes(int64_t n);
+  /// Power-failure mode: files opened after this call buffer appends until
+  /// Sync(); the env crashes once `n` further Sync() calls have completed
+  /// (the n-th sync IS durable; n = 0 crashes on the next op) and unsynced
+  /// buffers never reach the underlying filesystem. -1 disables and returns
+  /// to write-through mode for new files.
+  void CrashAfterSyncs(int64_t n);
   /// Clears all faults and the crashed state (the "reboot").
   void ClearFaults();
 
@@ -57,6 +71,9 @@ class FaultInjectionEnv final : public Env {
   int64_t ops_issued() const;
   /// Total bytes successfully appended since construction/ClearFaults.
   int64_t bytes_appended() const;
+  /// Total successful WritableFile::Sync() calls since construction/
+  /// ClearFaults (sizes CrashAfterSyncs sweeps, like ops_issued for ops).
+  int64_t syncs_completed() const;
 
   // --- Env ---
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -86,8 +103,11 @@ class FaultInjectionEnv final : public Env {
   int64_t short_append_ = -1;      // -1 = off
   int64_t ops_until_crash_ = -1;   // -1 = off
   int64_t bytes_until_crash_ = -1;  // -1 = off
+  int64_t syncs_until_crash_ = -1;  // -1 = off
+  bool sync_buffer_mode_ = false;   // armed by CrashAfterSyncs
   int64_t ops_issued_ = 0;
   int64_t bytes_appended_ = 0;
+  int64_t syncs_completed_ = 0;
 };
 
 }  // namespace sinew

@@ -1,0 +1,283 @@
+#include "common/wal.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/metrics.h"
+
+namespace sinew {
+
+namespace {
+
+enum FragmentType : uint8_t {
+  kFull = 1,
+  kFirst = 2,
+  kMiddle = 3,
+  kLast = 4,
+  kMaxFragmentType = kLast,
+};
+
+uint32_t FragmentCrc(uint8_t type, std::string_view payload) {
+  char type_byte = static_cast<char>(type);
+  uint32_t crc = crc32c::Extend(0, &type_byte, 1);
+  crc = crc32c::Extend(crc, payload.data(), payload.size());
+  return crc32c::Mask(crc);
+}
+
+void EncodeHeader(char* dst, uint32_t masked_crc, uint16_t len, uint8_t type) {
+  std::memcpy(dst, &masked_crc, sizeof(masked_crc));
+  std::memcpy(dst + 4, &len, sizeof(len));
+  dst[6] = static_cast<char>(type);
+}
+
+metrics::Counter* AppendsCounter() {
+  static metrics::Counter* c = metrics::GetCounter("wal.appends_total");
+  return c;
+}
+
+metrics::Counter* FsyncsCounter() {
+  static metrics::Counter* c = metrics::GetCounter("wal.fsyncs_total");
+  return c;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(Env* env,
+                                                     const std::string& path,
+                                                     WalWriterOptions options) {
+  ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                   env->NewWritableFile(path));
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), options));
+}
+
+Status WalWriter::AppendRecord(std::string_view payload) {
+  if (closed_) return Status::IOError("append to closed WAL");
+  size_t left = payload.size();
+  const char* p = payload.data();
+  bool first_fragment = true;
+  do {
+    size_t block_room = kWalBlockSize - block_offset_;
+    if (block_room < kWalHeaderSize) {
+      // Not even a header fits: pad the block with zeros and start fresh.
+      static const char kZeros[kWalHeaderSize] = {0};
+      RETURN_NOT_OK(file_->Append(std::string_view(kZeros, block_room)));
+      appended_bytes_ += block_room;
+      pending_bytes_ += block_room;
+      block_offset_ = 0;
+      block_room = kWalBlockSize;
+    }
+    size_t fragment_len = std::min(left, block_room - kWalHeaderSize);
+    bool last_fragment = fragment_len == left;
+    uint8_t type;
+    if (first_fragment && last_fragment) {
+      type = kFull;
+    } else if (first_fragment) {
+      type = kFirst;
+    } else if (last_fragment) {
+      type = kLast;
+    } else {
+      type = kMiddle;
+    }
+    std::string_view fragment(p, fragment_len);
+    char header[kWalHeaderSize];
+    EncodeHeader(header, FragmentCrc(type, fragment),
+                 static_cast<uint16_t>(fragment_len), type);
+    // One Append per fragment piece keeps torn-write cut points realistic
+    // under FaultInjectionEnv byte sweeps.
+    std::string buf;
+    buf.reserve(kWalHeaderSize + fragment_len);
+    buf.append(header, kWalHeaderSize);
+    buf.append(fragment.data(), fragment.size());
+    RETURN_NOT_OK(file_->Append(buf));
+    appended_bytes_ += buf.size();
+    pending_bytes_ += buf.size();
+    block_offset_ += buf.size();
+    p += fragment_len;
+    left -= fragment_len;
+    first_fragment = false;
+  } while (left > 0);
+  ++appended_records_;
+  AppendsCounter()->Increment();
+  return Status::OK();
+}
+
+Status WalWriter::Commit() {
+  if (closed_) return Status::IOError("commit on closed WAL");
+  ++pending_commits_;
+  bool sync_now = false;
+  switch (options_.sync_policy) {
+    case WalSyncPolicy::kEveryCommit:
+      sync_now = true;
+      break;
+    case WalSyncPolicy::kGrouped:
+      sync_now = pending_commits_ >= options_.group_commits ||
+                 pending_bytes_ >= options_.group_bytes;
+      break;
+    case WalSyncPolicy::kNever:
+      break;
+  }
+  if (!sync_now) return Status::OK();
+  return Sync();
+}
+
+Status WalWriter::Sync() {
+  if (closed_) return Status::IOError("sync of closed WAL");
+  if (pending_commits_ == 0 && pending_bytes_ == 0) return Status::OK();
+  RETURN_NOT_OK(file_->Sync());
+  FsyncsCounter()->Increment();
+  pending_commits_ = 0;
+  pending_bytes_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (closed_) return Status::OK();
+  // Flush the pending group so a clean shutdown never loses acknowledged
+  // commits, whatever the policy.
+  Status sync_st =
+      (pending_commits_ > 0 || pending_bytes_ > 0) ? file_->Sync()
+                                                   : Status::OK();
+  if (sync_st.ok() && (pending_commits_ > 0 || pending_bytes_ > 0)) {
+    FsyncsCounter()->Increment();
+  }
+  pending_commits_ = 0;
+  pending_bytes_ = 0;
+  closed_ = true;
+  Status close_st = file_->Close();
+  return sync_st.ok() ? close_st : sync_st;
+}
+
+namespace {
+
+struct FragmentHeader {
+  uint32_t masked_crc = 0;
+  uint16_t len = 0;
+  uint8_t type = 0;
+};
+
+FragmentHeader DecodeHeader(const char* src) {
+  FragmentHeader h;
+  std::memcpy(&h.masked_crc, src, sizeof(h.masked_crc));
+  std::memcpy(&h.len, src + 4, sizeof(h.len));
+  h.type = static_cast<uint8_t>(src[6]);
+  return h;
+}
+
+/// Tries to parse a checksum-valid fragment at `pos` that also fits inside
+/// its block. Used to distinguish "garbage then EOF" (torn tail) from
+/// "garbage then more valid data" (mid-log corruption).
+bool ValidFragmentAt(std::string_view data, size_t pos) {
+  if (pos + kWalHeaderSize > data.size()) return false;
+  FragmentHeader h = DecodeHeader(data.data() + pos);
+  if (h.type < kFull || h.type > kMaxFragmentType) return false;
+  size_t block_room = kWalBlockSize - pos % kWalBlockSize;
+  if (block_room < kWalHeaderSize ||
+      static_cast<size_t>(h.len) > block_room - kWalHeaderSize) {
+    return false;
+  }
+  if (pos + kWalHeaderSize + h.len > data.size()) return false;
+  std::string_view payload = data.substr(pos + kWalHeaderSize, h.len);
+  return FragmentCrc(h.type, payload) == h.masked_crc;
+}
+
+bool AnyValidFragmentAfter(std::string_view data, size_t pos) {
+  for (size_t p = pos + 1; p + kWalHeaderSize <= data.size(); ++p) {
+    if (ValidFragmentAt(data, p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<WalReadResult> ParseWal(std::string_view data) {
+  WalReadResult out;
+  std::string pending;        // reassembly buffer for FIRST..LAST chains
+  bool in_fragmented = false;
+  size_t pos = 0;
+
+  // On a bad fragment: a crash can only tear the tail, so any valid fragment
+  // *after* the bad bytes means the damage is mid-log — a hard error. With
+  // nothing valid after, the tail is dropped as torn.
+  auto bad = [&](size_t at, std::string reason) -> Result<WalReadResult> {
+    if (AnyValidFragmentAfter(data, at)) {
+      return Status::IOError("WAL corrupted mid-log at offset ", at, ": ",
+                             reason, " (valid records follow the damage)");
+    }
+    out.truncated_tail = true;
+    out.truncation_reason =
+        "torn tail at offset " + std::to_string(at) + ": " + reason;
+    return out;
+  };
+
+  while (pos < data.size()) {
+    size_t block_room = kWalBlockSize - pos % kWalBlockSize;
+    if (block_room < kWalHeaderSize) {
+      // Block trailer: too small for a header, skipped by the writer.
+      pos += block_room;
+      continue;
+    }
+    if (pos + kWalHeaderSize > data.size()) {
+      // Header cut off at EOF: torn unless it is pure zero padding (a crash
+      // exactly on a fragment boundary after trailer zeros).
+      bool all_zero = true;
+      for (size_t p = pos; p < data.size(); ++p) {
+        if (data[p] != 0) all_zero = false;
+      }
+      if (!all_zero || in_fragmented) {
+        return bad(pos, "incomplete fragment header at EOF");
+      }
+      break;
+    }
+    FragmentHeader h = DecodeHeader(data.data() + pos);
+    if (h.type < kFull || h.type > kMaxFragmentType) {
+      return bad(pos, "bad fragment type " + std::to_string(h.type));
+    }
+    if (static_cast<size_t>(h.len) > block_room - kWalHeaderSize) {
+      return bad(pos, "fragment overruns its block");
+    }
+    if (pos + kWalHeaderSize + h.len > data.size()) {
+      return bad(pos, "fragment payload cut off at EOF");
+    }
+    std::string_view payload = data.substr(pos + kWalHeaderSize, h.len);
+    if (FragmentCrc(h.type, payload) != h.masked_crc) {
+      return bad(pos, "fragment checksum mismatch");
+    }
+    switch (h.type) {
+      case kFull:
+        if (in_fragmented) return bad(pos, "FULL inside a fragmented record");
+        out.records.emplace_back(payload);
+        break;
+      case kFirst:
+        if (in_fragmented) return bad(pos, "FIRST inside a fragmented record");
+        pending.assign(payload);
+        in_fragmented = true;
+        break;
+      case kMiddle:
+        if (!in_fragmented) return bad(pos, "MIDDLE without FIRST");
+        pending.append(payload);
+        break;
+      case kLast:
+        if (!in_fragmented) return bad(pos, "LAST without FIRST");
+        pending.append(payload);
+        out.records.push_back(std::move(pending));
+        pending.clear();
+        in_fragmented = false;
+        break;
+    }
+    pos += kWalHeaderSize + h.len;
+  }
+  if (in_fragmented) {
+    // The log ended inside a FIRST..LAST chain — the tail record is torn.
+    out.truncated_tail = true;
+    out.truncation_reason = "record fragment chain cut off at EOF";
+  }
+  return out;
+}
+
+Result<WalReadResult> ReadWalFile(Env* env, const std::string& path) {
+  ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  return ParseWal(data);
+}
+
+}  // namespace sinew

@@ -1,0 +1,130 @@
+// Write-ahead log: an append-only stream of checksummed, length-prefixed
+// records over an Env file, built for crash recovery of the persistence
+// layer (sinew/durable_db.h layers a memtable + generation images on top).
+//
+// File layout — fixed 4 KiB blocks, each record split into one or more
+// fragments so a fragment never crosses a block boundary:
+//
+//   block := fragment* trailer
+//   fragment := u32 masked CRC32C(type byte + payload)   (little-endian)
+//             | u16 payload length
+//             | u8  type (1=FULL, 2=FIRST, 3=MIDDLE, 4=LAST)
+//             | payload bytes
+//   trailer := 0..6 zero bytes (when < 7 bytes remain in the block)
+//
+// The per-fragment CRC covers the type byte too, so a FIRST fragment spliced
+// onto the wrong LAST is detected. A record larger than one block spans the
+// writer's internal block boundary as FIRST/MIDDLE*/LAST fragments.
+//
+// Torn tails vs. mid-log corruption (the recovery contract):
+//  - A crash mid-append leaves a partial fragment (or a fragment with a bad
+//    CRC) at the tail and nothing after it. The reader drops the torn record
+//    and reports `truncated_tail` — every complete record before it is
+//    returned. This is the expected shape after a crash and is NOT an error.
+//  - A bad fragment *followed by more valid fragments* cannot be produced by
+//    a crash (appends are sequential); it means the log was corrupted in the
+//    middle (bit rot, manual truncation). The reader returns an IOError and
+//    the caller must treat the whole log as untrustworthy.
+//
+// Durability (group commit): AppendRecord only buffers into the OS file;
+// Commit() marks a commit boundary and fsyncs per the configured policy —
+// kEveryCommit fsyncs each boundary, kGrouped amortizes one fsync over N
+// commits / B bytes (a batched group commit), kNever leaves flushing to the
+// OS. A commit is acknowledged durable only once its fsync has happened;
+// under kGrouped/kNever an acknowledged-but-unsynced commit can be lost to a
+// power failure — the standard tradeoff (cf. synchronous_commit=off).
+//
+// All I/O goes through an Env, so FaultInjectionEnv crash sweeps (including
+// CrashAfterSyncs, which drops buffered-but-unsynced bytes) apply directly.
+
+#ifndef SINEW_COMMON_WAL_H_
+#define SINEW_COMMON_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+
+namespace sinew {
+
+inline constexpr size_t kWalBlockSize = 4096;
+inline constexpr size_t kWalHeaderSize = 7;  // u32 crc + u16 len + u8 type
+
+enum class WalSyncPolicy {
+  kEveryCommit,  // fsync at every Commit() — every acknowledged commit durable
+  kGrouped,      // fsync every group_commits commits or group_bytes bytes
+  kNever,        // never fsync; durability deferred to the OS / next flush
+};
+
+struct WalWriterOptions {
+  WalSyncPolicy sync_policy = WalSyncPolicy::kEveryCommit;
+  /// kGrouped: fsync once this many Commit() boundaries are pending...
+  uint64_t group_commits = 8;
+  /// ...or once this many bytes have been appended since the last fsync.
+  uint64_t group_bytes = 256 * 1024;
+};
+
+class WalWriter {
+ public:
+  /// Creates (truncating) `path` and returns a writer positioned at offset 0.
+  static Result<std::unique_ptr<WalWriter>> Create(Env* env,
+                                                   const std::string& path,
+                                                   WalWriterOptions options);
+
+  /// Appends one record (any size, including empty). The record is in the OS
+  /// buffer on return, not yet durable — call Commit().
+  Status AppendRecord(std::string_view payload);
+
+  /// Marks a commit boundary; fsyncs per the sync policy. On OK under
+  /// kEveryCommit (or when the group threshold was hit) everything appended
+  /// so far is durable.
+  Status Commit();
+
+  /// Unconditional fsync barrier.
+  Status Sync();
+
+  /// Closes the file (final group fsync under kGrouped). Idempotent.
+  Status Close();
+
+  uint64_t appended_records() const { return appended_records_; }
+  /// Physical bytes appended (fragment headers + padding included).
+  uint64_t appended_bytes() const { return appended_bytes_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, WalWriterOptions options)
+      : file_(std::move(file)), options_(options) {}
+
+  std::unique_ptr<WritableFile> file_;
+  WalWriterOptions options_;
+  size_t block_offset_ = 0;  // write position within the current block
+  uint64_t appended_records_ = 0;
+  uint64_t appended_bytes_ = 0;
+  uint64_t pending_commits_ = 0;  // commits since the last fsync
+  uint64_t pending_bytes_ = 0;    // bytes appended since the last fsync
+  bool closed_ = false;
+};
+
+struct WalReadResult {
+  std::vector<std::string> records;
+  /// True when a torn record at the tail was dropped (normal after a crash).
+  bool truncated_tail = false;
+  /// Why the tail was truncated ("" when truncated_tail is false).
+  std::string truncation_reason;
+};
+
+/// Reads every complete record of the log at `path`. A missing file is an
+/// error (callers treat absence as an empty log via Env::FileExists); an
+/// empty file yields zero records. Torn tails truncate (see header comment);
+/// mid-log corruption returns IOError.
+Result<WalReadResult> ReadWalFile(Env* env, const std::string& path);
+
+/// Parses an in-memory log image (exposed for tests and corruption sweeps).
+Result<WalReadResult> ParseWal(std::string_view data);
+
+}  // namespace sinew
+
+#endif  // SINEW_COMMON_WAL_H_

@@ -93,4 +93,19 @@ Result<Table*> LoadTable(const std::string& path, Catalog* catalog, Env* env) {
   return DeserializeTable(image, catalog);
 }
 
+Status CopyTableImage(const std::string& from, const std::string& to,
+                      Env* env) {
+  if (env == nullptr) env = Env::Default();
+  ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(from));
+  // Refuse to propagate a damaged source into the new generation: a copy
+  // that merely moved corruption forward would defeat the retained-fallback
+  // recovery path.
+  RETURN_NOT_OK(VerifyImageFooter(bytes).status());
+  RETURN_NOT_OK(AtomicWriteFile(env, to, bytes));
+  static metrics::Counter* copied =
+      metrics::GetCounter("persist.table_images_copied_total");
+  copied->Increment();
+  return Status::OK();
+}
+
 }  // namespace sinew::engine

@@ -40,6 +40,14 @@ Result<Table*> DeserializeTable(std::string_view image, Catalog* catalog);
 Result<Table*> LoadTable(const std::string& path, Catalog* catalog,
                          Env* env = nullptr);
 
+/// Copies a previously saved table image verbatim (footer and all) after
+/// verifying its checksum, writing the copy atomically. Used by LSM
+/// compaction (sinew/durable_db.h) to carry tables that have not mutated
+/// since the previous generation into the next one without re-serializing
+/// them.
+Status CopyTableImage(const std::string& from, const std::string& to,
+                      Env* env = nullptr);
+
 }  // namespace sinew::engine
 
 #endif  // SINEW_ENGINE_PERSIST_H_

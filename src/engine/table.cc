@@ -9,12 +9,16 @@ namespace sinew::engine {
 
 Status Table::AddColumn(Column column) {
   std::unique_lock lock(latch_);
-  return schema_.AddColumn(std::move(column));
+  RETURN_NOT_OK(schema_.AddColumn(std::move(column)));
+  BumpVersion();
+  return Status::OK();
 }
 
 Status Table::DropColumn(std::string_view column) {
   std::unique_lock lock(latch_);
-  return schema_.DropColumn(column);
+  RETURN_NOT_OK(schema_.DropColumn(column));
+  BumpVersion();
+  return Status::OK();
 }
 
 Result<uint64_t> Table::AppendRow(const DatumRow& row) {
@@ -23,6 +27,7 @@ Result<uint64_t> Table::AppendRow(const DatumRow& row) {
   data_bytes_ += encoded.size();
   rows_.push_back(std::move(encoded));
   ++live_rows_;
+  BumpVersion();
   return rows_.size() - 1;
 }
 
@@ -69,6 +74,7 @@ Status Table::UpdateRow(uint64_t rid, const DatumRow& row) {
   data_bytes_ += encoded.size();
   data_bytes_ -= rows_[rid].size();
   rows_[rid] = std::move(encoded);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -80,6 +86,7 @@ Status Table::DeleteRow(uint64_t rid) {
   data_bytes_ -= rows_[rid].size();
   rows_[rid].clear();
   --live_rows_;
+  BumpVersion();
   return Status::OK();
 }
 
@@ -91,6 +98,7 @@ Status Table::RestoreRawRow(std::string encoded) {
     ++live_rows_;
   }
   rows_.push_back(std::move(encoded));
+  BumpVersion();
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #ifndef SINEW_ENGINE_TABLE_H_
 #define SINEW_ENGINE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -85,6 +86,14 @@ class Table {
   /// Sum of encoded row bytes (the Table 3 "storage size" measure).
   uint64_t DataBytes() const;
 
+  /// Monotonic counter bumped by every successful mutation (append, update,
+  /// delete, schema change, raw restore). Persistence compares snapshots of
+  /// it to skip re-serializing tables unchanged since the last generation
+  /// image. Latch-free read; only equality of two snapshots is meaningful.
+  uint64_t MutationVersion() const {
+    return mutation_version_.load(std::memory_order_acquire);
+  }
+
   /// Restores a row image verbatim at the next row id (persist/load path);
   /// an empty string restores a deleted slot. Validates decodability.
   Status RestoreRawRow(std::string encoded);
@@ -105,11 +114,17 @@ class Table {
   const Schema& SchemaUnlocked() const { return schema_; }
 
  private:
+  /// Bump under the exclusive latch after a successful mutation.
+  void BumpVersion() {
+    mutation_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   std::string name_;
   Schema schema_;
   std::vector<std::string> rows_;  // empty string = deleted
   uint64_t live_rows_ = 0;
   uint64_t data_bytes_ = 0;
+  std::atomic<uint64_t> mutation_version_{0};
   TableStats stats_;
   mutable std::shared_mutex latch_;
 };

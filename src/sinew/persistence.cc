@@ -219,6 +219,12 @@ Status RestoreCatalogImage(SinewDb* db, std::string_view image) {
 }
 
 Status SaveDatabase(SinewDb* db, const std::string& directory, Env* env) {
+  return SaveDatabaseGeneration(db, directory, env).status();
+}
+
+Result<uint64_t> SaveDatabaseGeneration(SinewDb* db,
+                                        const std::string& directory,
+                                        Env* env, const SaveOptions& options) {
   if (env == nullptr) env = Env::Default();
   RETURN_NOT_OK(env->CreateDirs(directory));
 
@@ -251,11 +257,28 @@ Status SaveDatabase(SinewDb* db, const std::string& directory, Env* env) {
   manifest.current = next;
   manifest.previous = committed;
   manifest.tables = db->Tables();
+  const std::string prev_gen_dir =
+      committed != 0 ? GenDirName(directory, committed) : std::string();
   for (const std::string& table : manifest.tables) {
     ASSIGN_OR_RETURN(engine::Table * engine_table,
                      db->engine()->catalog()->GetTable(table));
-    RETURN_NOT_OK(engine::SaveTable(*engine_table,
-                                    TableImagePath(gen_dir, table), env));
+    const std::string dst = TableImagePath(gen_dir, table);
+    // Compaction fast path: an unchanged table's image is copied verbatim
+    // from the previous generation instead of re-serialized. A failed copy
+    // (missing/damaged source) silently falls back to a full save — the
+    // copy is an optimization, never a correctness dependency.
+    bool copied = false;
+    if (!prev_gen_dir.empty() &&
+        std::find(options.unchanged_tables.begin(),
+                  options.unchanged_tables.end(),
+                  table) != options.unchanged_tables.end()) {
+      copied = engine::CopyTableImage(TableImagePath(prev_gen_dir, table),
+                                      dst, env)
+                   .ok();
+    }
+    if (!copied) {
+      RETURN_NOT_OK(engine::SaveTable(*engine_table, dst, env));
+    }
   }
 
   // Commit point: atomically publish the manifest naming the new generation.
@@ -266,7 +289,7 @@ Status SaveDatabase(SinewDb* db, const std::string& directory, Env* env) {
   generations_committed->Increment();
 
   GarbageCollect(env, directory, manifest.current, manifest.previous);
-  return Status::OK();
+  return manifest.current;
 }
 
 Status LoadDatabase(SinewDb* db, const std::string& directory, Env* env) {

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/env.h"
 #include "common/result.h"
@@ -47,6 +48,23 @@ class SinewDb;
 /// generation. On any error the previously committed generation is untouched.
 Status SaveDatabase(SinewDb* db, const std::string& directory,
                     Env* env = nullptr);
+
+struct SaveOptions {
+  /// Tables whose engine state is known unchanged since the previous
+  /// committed generation (Table::MutationVersion snapshots match). Their
+  /// image files are copied verbatim from that generation instead of being
+  /// re-serialized — the LSM-compaction fast path for cold tables. Names
+  /// not present in the previous generation fall back to a normal save.
+  std::vector<std::string> unchanged_tables;
+};
+
+/// Like SaveDatabase, but returns the committed generation number and
+/// accepts compaction options. The WAL layer (sinew/durable_db.h) names its
+/// log segments after this number to tie each log to the image it deltas.
+Result<uint64_t> SaveDatabaseGeneration(SinewDb* db,
+                                        const std::string& directory,
+                                        Env* env = nullptr,
+                                        const SaveOptions& options = {});
 
 /// Restores the committed generation into `db`, which must be freshly
 /// constructed (no tables). Failure-atomic: on a non-OK return (missing

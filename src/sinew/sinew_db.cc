@@ -17,6 +17,33 @@ engine::PlannerOptions WithParallelism(engine::PlannerOptions planner,
   return planner;
 }
 
+bool IsDmlStatement(engine::StatementKind kind) {
+  switch (kind) {
+    case engine::StatementKind::kCreateTable:
+    case engine::StatementKind::kInsert:
+    case engine::StatementKind::kUpdate:
+    case engine::StatementKind::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string DmlTargetTable(const engine::Statement& stmt) {
+  switch (stmt.kind) {
+    case engine::StatementKind::kCreateTable:
+      return stmt.create_table->table;
+    case engine::StatementKind::kInsert:
+      return stmt.insert->table;
+    case engine::StatementKind::kUpdate:
+      return stmt.update->table;
+    case engine::StatementKind::kDelete:
+      return stmt.del->table;
+    default:
+      return "";
+  }
+}
+
 }  // namespace
 
 SinewDb::SinewDb(SinewOptions options)
@@ -41,6 +68,18 @@ Result<uint64_t> SinewDb::LoadJsonLines(const std::string& table,
 
 Result<uint64_t> SinewDb::LoadDocuments(const std::string& table,
                                         const std::vector<Value>& docs) {
+  // Log the batch before applying it; the hook holds its commit lock from
+  // Before* to AfterWrite, so log order matches apply order.
+  if (write_hook_ != nullptr) {
+    RETURN_NOT_OK(write_hook_->BeforeLoad(table, docs));
+  }
+  Result<uint64_t> loaded = LoadDocumentsUnlogged(table, docs);
+  if (write_hook_ != nullptr) write_hook_->AfterWrite(loaded.status());
+  return loaded;
+}
+
+Result<uint64_t> SinewDb::LoadDocumentsUnlogged(const std::string& table,
+                                                const std::vector<Value>& docs) {
   bool fresh = !catalog_.HasTable(table);
   textindex::InvertedIndex* index = nullptr;
   auto it = indexes_.find(table);
@@ -60,13 +99,28 @@ Result<engine::QueryResult> SinewDb::Query(std::string_view sql) {
   // A query planned just before a background schema change (column added by
   // the materializer, dropped by dematerialization) fails fast with
   // kAborted instead of misreading rows; rewrite + replan and try again.
+  // Mutating statements are logged through the write-ahead hook exactly once
+  // (before the first execution attempt), and the hook's AfterWrite fires
+  // exactly once with the final outcome regardless of which exit is taken.
   Status last;
+  bool logged = false;
+  auto finish = [&](Result<engine::QueryResult> r) {
+    if (logged) write_hook_->AfterWrite(r.status());
+    return r;
+  };
   for (int attempt = 0; attempt < 4; ++attempt) {
     metrics::TraceContext::Span rewrite_span =
         query_trace_.StartSpan("query.rewrite");
     Result<engine::Statement> stmt_or = rewriter_.Rewrite(sql);
     rewrite_span.End();
-    RETURN_NOT_OK(stmt_or.status());
+    if (!stmt_or.ok()) return finish(stmt_or.status());
+    if (write_hook_ != nullptr && !logged && IsDmlStatement(stmt_or->kind)) {
+      // A non-OK Before* means the write was never logged: reject it without
+      // applying (and without AfterWrite, per the hook contract).
+      RETURN_NOT_OK(
+          write_hook_->BeforeDml(sql, DmlTargetTable(*stmt_or), stmt_or->kind));
+      logged = true;
+    }
     metrics::TraceContext::Span exec_span =
         query_trace_.StartSpan("query.execute");
     Result<engine::QueryResult> result = db_.ExecuteStatement(*stmt_or);
@@ -76,11 +130,11 @@ Result<engine::QueryResult> SinewDb::Query(std::string_view sql) {
     if (result.ok() || !result.status().IsAborted() ||
         result.status().message().find("schema changed") ==
             std::string::npos) {
-      return result;
+      return finish(std::move(result));
     }
     last = result.status();
   }
-  return last;
+  return finish(last);
 }
 
 Result<std::string> SinewDb::Explain(std::string_view sql) {

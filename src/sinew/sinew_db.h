@@ -52,6 +52,30 @@ struct SinewOptions {
   int parallelism = 1;
 };
 
+/// Intercepts every mutating entry point of a SinewDb *before* the mutation
+/// is applied in memory — the seam the write-ahead log hangs off
+/// (sinew/durable_db.h). The contract is strictly paired: when a Before*
+/// call returns OK, SinewDb applies the write and then calls AfterWrite
+/// exactly once with the apply outcome (every return path, success or
+/// failure); when Before* returns non-OK the write is rejected without
+/// being applied and AfterWrite is NOT called. Implementations may hold a
+/// lock across the Before*/AfterWrite pair to serialize commits against
+/// memtable flushes.
+class WriteAheadHook {
+ public:
+  virtual ~WriteAheadHook() = default;
+  /// A document batch about to be loaded into `table`.
+  virtual Status BeforeLoad(const std::string& table,
+                            const std::vector<Value>& docs) = 0;
+  /// A mutating SQL statement (INSERT/UPDATE/DELETE/CREATE TABLE) about to
+  /// execute. `table` is the statement's target ("" when unknown).
+  virtual Status BeforeDml(std::string_view sql, const std::string& table,
+                           engine::StatementKind kind) = 0;
+  /// The paired completion callback; `apply_status` is the in-memory apply
+  /// outcome. Runs on the writer's thread — may trigger a memtable flush.
+  virtual void AfterWrite(const Status& apply_status) = 0;
+};
+
 /// One logical column of the user-facing universal relation view.
 struct LogicalColumn {
   std::string name;
@@ -80,6 +104,10 @@ class SinewDb {
                                  std::string_view jsonl);
   Result<uint64_t> LoadDocuments(const std::string& table,
                                  const std::vector<Value>& docs);
+  /// LoadDocuments minus the write-ahead hook — the WAL replay path, where
+  /// the records being applied came *from* the log and must not re-enter it.
+  Result<uint64_t> LoadDocumentsUnlogged(const std::string& table,
+                                         const std::vector<Value>& docs);
 
   // --- querying (standard SQL over the logical schema) ---
   Result<engine::QueryResult> Query(std::string_view sql);
@@ -132,6 +160,12 @@ class SinewDb {
   /// Registers a table name in the managed list (persistence restore path).
   void NoteTable(const std::string& table);
 
+  /// Installs (or clears, with nullptr) the write-ahead hook. Not
+  /// synchronized: install before concurrent use — the durable layer does it
+  /// once at Open, after WAL replay, before handing the db out.
+  void SetWriteAheadHook(WriteAheadHook* hook) { write_hook_ = hook; }
+  WriteAheadHook* write_ahead_hook() const { return write_hook_; }
+
   /// Drops every managed table and all catalog state, returning the instance
   /// to freshly-constructed. Used by persistence to make a failed restore
   /// failure-atomic: after a non-OK LoadDatabase the db is reset rather than
@@ -149,6 +183,7 @@ class SinewDb {
   ColumnMaterializer materializer_;
   QueryRewriter rewriter_;
   metrics::TraceContext query_trace_;
+  WriteAheadHook* write_hook_ = nullptr;
   std::vector<std::string> tables_;
   mutable std::mutex tables_mutex_;
 

@@ -199,5 +199,53 @@ TEST(FaultEnv, CrashAfterOpsStopsLaterOps) {
   ASSERT_TRUE(env.RemoveAll(dir).ok());
 }
 
+TEST(FaultEnv, CrashAfterSyncsDropsUnsyncedBuffers) {
+  // Power-failure mode: appends are "page cache" until Sync. The n-th sync
+  // is durable, then the machine dies; whatever was only buffered is gone.
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("crash_syncs");
+  env.CrashAfterSyncs(1);
+  auto durable = env.NewWritableFile(dir + "/durable");
+  auto lost = env.NewWritableFile(dir + "/lost");
+  ASSERT_TRUE(durable.ok());
+  ASSERT_TRUE(lost.ok());
+  ASSERT_TRUE((*durable)->Append("synced").ok());
+  ASSERT_TRUE((*lost)->Append("buffered only").ok());
+  // Buffered appends are not yet visible through the base filesystem.
+  EXPECT_EQ(*Env::Default()->ReadFileToString(dir + "/durable"), "");
+  ASSERT_TRUE((*durable)->Sync().ok());  // fsync #1: durable, then power cut
+  EXPECT_TRUE(env.crashed());
+  EXPECT_FALSE((*lost)->Sync().ok());
+  EXPECT_FALSE((*lost)->Append("more").ok());
+  (void)(*lost)->Close();  // crashed close drops the buffer
+  env.ClearFaults();
+  EXPECT_EQ(*env.ReadFileToString(dir + "/durable"), "synced");
+  EXPECT_EQ(*env.ReadFileToString(dir + "/lost"), "");
+  EXPECT_EQ(env.syncs_completed(), 0);  // reset by ClearFaults
+  ASSERT_TRUE(env.RemoveAll(dir).ok());
+}
+
+TEST(FaultEnv, AtomicWriteSurfacesTempCleanupFailure) {
+  // When the rename fails AND removing the temp file also fails, the status
+  // must report both — a silently leaked temp file hid real crashes before.
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("cleanup");
+  // Ops: NewWritableFile, Append, Sync, Close succeed; Rename is op 5 and
+  // crashes; the DeleteFile cleanup then also fails (crashed env).
+  env.CrashAfterOps(4);
+  Status st = AtomicWriteFile(&env, dir + "/f", "data");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("temp file"), std::string::npos)
+      << "cleanup failure not surfaced: " << st.ToString();
+  env.ClearFaults();
+  EXPECT_FALSE(env.FileExists(dir + "/f"));
+  // The orphaned temp file is still on disk — exactly what the combined
+  // error message warned about.
+  auto names = env.ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+  ASSERT_TRUE(env.RemoveAll(dir).ok());
+}
+
 }  // namespace
 }  // namespace sinew

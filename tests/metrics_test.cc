@@ -9,11 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <future>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "sinew/durable_db.h"
 
 namespace sinew::metrics {
 namespace {
@@ -204,6 +206,38 @@ TEST(MetricsTest, TraceContextRecordsSpans) {
   EXPECT_EQ(events[1].name, "explicit");
   ctx.Clear();
   EXPECT_TRUE(ctx.events().empty());
+}
+
+TEST(MetricsTest, WritePathMetricsAreWired) {
+  // One tiny DurableDb lifecycle — write, close, reopen (replay + recovery
+  // flush) — must move every write-path metric.
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "sinew_metrics_write_path")
+                        .string();
+  std::filesystem::remove_all(dir);
+
+  uint64_t appends = GetCounter("wal.appends_total")->value();
+  uint64_t fsyncs = GetCounter("wal.fsyncs_total")->value();
+  uint64_t replayed = GetCounter("wal.replayed_records_total")->value();
+  uint64_t compactions = GetCounter("compaction.runs_total")->value();
+
+  {
+    auto db = sinew::DurableDb::Open(dir);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->LoadJsonLines("t", "{\"a\": 1}").ok());
+    EXPECT_GE(GetCounter("wal.appends_total")->value(), appends + 1);
+    EXPECT_GE(GetCounter("wal.fsyncs_total")->value(), fsyncs + 1);
+    EXPECT_GT(GetGauge("memtable.bytes")->value(), 0);
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  {
+    auto db = sinew::DurableDb::Open(dir);  // replay + recovery flush
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_GE(GetCounter("wal.replayed_records_total")->value(), replayed + 1);
+    EXPECT_GE(GetCounter("compaction.runs_total")->value(), compactions + 1);
+    EXPECT_EQ(GetGauge("memtable.bytes")->value(), 0);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 #endif  // !SINEW_METRICS_DISABLED

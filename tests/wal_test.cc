@@ -1,0 +1,301 @@
+// Write-ahead log (common/wal.h): record round trips across block
+// boundaries, the torn-tail vs. mid-log-corruption contract, bit-flip
+// detection at every position, and group-commit fsync accounting.
+
+#include "common/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_env.h"
+
+namespace sinew {
+namespace {
+
+// Pid-qualified: ctest runs each test as its own concurrent process, so a
+// shared name (WriteLog's scratch dir) would collide across tests.
+std::string TempDir(const std::string& name) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("sinew_wal_" + std::to_string(::getpid()) + "_" + name))
+                        .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Writes `records` to a fresh log and returns the raw file bytes.
+std::string WriteLog(const std::vector<std::string>& records,
+                     WalWriterOptions options = {}) {
+  Env* env = Env::Default();
+  std::string dir = TempDir("write_log");
+  std::string path = dir + "/wal.log";
+  auto writer = WalWriter::Create(env, path, options);
+  EXPECT_TRUE(writer.ok());
+  for (const std::string& record : records) {
+    EXPECT_TRUE((*writer)->AppendRecord(record).ok());
+    EXPECT_TRUE((*writer)->Commit().ok());
+  }
+  EXPECT_TRUE((*writer)->Close().ok());
+  auto data = env->ReadFileToString(path);
+  EXPECT_TRUE(data.ok());
+  std::filesystem::remove_all(dir);
+  return data.ok() ? *data : std::string();
+}
+
+TEST(Wal, EmptyLogYieldsNoRecords) {
+  Env* env = Env::Default();
+  std::string dir = TempDir("empty");
+  std::string path = dir + "/wal.log";
+  auto writer = WalWriter::Create(env, path, {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto result = ReadWalFile(env, path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->records.empty());
+  EXPECT_FALSE(result->truncated_tail);
+  // A missing file is an error (callers gate on FileExists), not empty.
+  EXPECT_FALSE(ReadWalFile(env, dir + "/absent.log").ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Wal, ExactlyOneRecordRoundTrips) {
+  std::string data = WriteLog({"the one record"});
+  auto result = ParseWal(data);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->records.size(), 1u);
+  EXPECT_EQ(result->records[0], "the one record");
+  EXPECT_FALSE(result->truncated_tail);
+}
+
+TEST(Wal, MixedSizesRoundTripIncludingEmptyAndBinary) {
+  std::vector<std::string> records = {
+      "",                                  // empty record is legal
+      std::string("\0\x01\xff", 3),        // binary-safe
+      "small",
+      std::string(kWalBlockSize - kWalHeaderSize, 'x'),  // exactly one block
+      std::string(3 * kWalBlockSize + 17, 'y'),          // FIRST/MIDDLE/LAST
+  };
+  auto result = ParseWal(WriteLog(records));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(result->records[i], records[i]) << "record " << i;
+  }
+}
+
+TEST(Wal, RecordSpanningBlockBoundaryFragments) {
+  // Two records: the second starts mid-block and must span into the next
+  // block as FIRST/LAST fragments.
+  std::vector<std::string> records = {
+      std::string(1000, 'a'), std::string(kWalBlockSize, 'b')};
+  std::string data = WriteLog(records);
+  EXPECT_GT(data.size(), kWalBlockSize);  // really crossed a block
+  auto result = ParseWal(data);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->records.size(), 2u);
+  EXPECT_EQ(result->records[1], records[1]);
+}
+
+TEST(Wal, BlockTrailerPaddingIsSkipped) {
+  // Fill a block to within < 7 bytes of its end so the writer zero-pads,
+  // then append another record; both must read back.
+  std::string first(kWalBlockSize - kWalHeaderSize - 3, 'p');
+  auto result = ParseWal(WriteLog({first, "after padding"}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->records.size(), 2u);
+  EXPECT_EQ(result->records[0], first);
+  EXPECT_EQ(result->records[1], "after padding");
+}
+
+TEST(Wal, EveryTruncationIsAPrefixNeverAnError) {
+  std::vector<std::string> records = {"alpha", "beta", std::string(5000, 'c'),
+                                      "delta"};
+  std::string data = WriteLog(records);
+  for (size_t len = 0; len <= data.size(); ++len) {
+    auto result = ParseWal(std::string_view(data).substr(0, len));
+    ASSERT_TRUE(result.ok())
+        << "truncation to " << len << ": " << result.status().ToString();
+    ASSERT_LE(result->records.size(), records.size());
+    for (size_t i = 0; i < result->records.size(); ++i) {
+      EXPECT_EQ(result->records[i], records[i])
+          << "truncation to " << len << ", record " << i;
+    }
+    if (len == data.size()) {
+      EXPECT_EQ(result->records.size(), records.size());
+      EXPECT_FALSE(result->truncated_tail);
+    }
+  }
+}
+
+TEST(Wal, BitFlipInHeadOrMiddleIsMidLogCorruption) {
+  std::string data = WriteLog({"head record", "middle record", "tail record"});
+  // Flip a payload byte of the first record (offset just past its header):
+  // valid records follow, so this cannot be a torn tail.
+  std::string head_flip = data;
+  head_flip[kWalHeaderSize + 2] ^= 0x40;
+  auto head = ParseWal(head_flip);
+  ASSERT_FALSE(head.ok());
+  EXPECT_TRUE(head.status().IsIOError());
+  EXPECT_NE(head.status().ToString().find("mid-log"), std::string::npos)
+      << head.status().ToString();
+
+  // Flip inside the second record: same verdict.
+  size_t second_payload =
+      (kWalHeaderSize + std::string("head record").size()) + kWalHeaderSize + 3;
+  std::string mid_flip = data;
+  mid_flip[second_payload] ^= 0x01;
+  auto mid = ParseWal(mid_flip);
+  ASSERT_FALSE(mid.ok());
+  EXPECT_TRUE(mid.status().IsIOError());
+}
+
+TEST(Wal, BitFlipInTailRecordTruncates) {
+  std::vector<std::string> records = {"head record", "middle record",
+                                      "tail record"};
+  std::string data = WriteLog(records);
+  // Flip a byte in the LAST record's payload: nothing valid follows, so the
+  // reader must drop it as a torn tail and keep the records before it.
+  std::string tail_flip = data;
+  tail_flip[data.size() - 2] ^= 0x10;
+  auto result = ParseWal(tail_flip);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->truncated_tail);
+  ASSERT_EQ(result->records.size(), 2u);
+  EXPECT_EQ(result->records[0], records[0]);
+  EXPECT_EQ(result->records[1], records[1]);
+}
+
+TEST(Wal, EveryBitFlipEitherErrorsOrTruncatesCleanly) {
+  std::vector<std::string> records = {"r1", "r2", "r3", "r4"};
+  std::string data = WriteLog(records);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    std::string mutated = data;
+    mutated[byte] ^= 0x04;
+    auto result = ParseWal(mutated);
+    if (!result.ok()) continue;  // mid-log corruption: correctly refused
+    // Whatever survived must be an intact prefix: a flipped record fails its
+    // fragment checksum and is dropped (torn tail), never returned mutated.
+    ASSERT_LE(result->records.size(), records.size());
+    for (size_t i = 0; i < result->records.size(); ++i) {
+      EXPECT_EQ(result->records[i], records[i]) << "byte " << byte;
+    }
+  }
+}
+
+TEST(Wal, GroupCommitPolicyControlsFsyncs) {
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("group");
+
+  // kEveryCommit: one fsync per commit.
+  {
+    auto writer = WalWriter::Create(&env, dir + "/every.log", {});
+    ASSERT_TRUE(writer.ok());
+    int64_t before = env.syncs_completed();
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE((*writer)->AppendRecord("r").ok());
+      ASSERT_TRUE((*writer)->Commit().ok());
+    }
+    EXPECT_EQ(env.syncs_completed() - before, 6);
+    ASSERT_TRUE((*writer)->Close().ok());
+    EXPECT_EQ(env.syncs_completed() - before, 6);  // nothing pending at close
+  }
+
+  // kGrouped with group_commits = 3: one fsync per 3 commits, plus the final
+  // group flushed by Close.
+  {
+    WalWriterOptions options;
+    options.sync_policy = WalSyncPolicy::kGrouped;
+    options.group_commits = 3;
+    auto writer = WalWriter::Create(&env, dir + "/grouped.log", options);
+    ASSERT_TRUE(writer.ok());
+    int64_t before = env.syncs_completed();
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE((*writer)->AppendRecord("r").ok());
+      ASSERT_TRUE((*writer)->Commit().ok());
+    }
+    EXPECT_EQ(env.syncs_completed() - before, 2);  // after commits 3 and 6
+    ASSERT_TRUE((*writer)->Close().ok());
+    EXPECT_EQ(env.syncs_completed() - before, 3);  // commit 7 flushed at close
+  }
+
+  // kNever: no fsync from commits; Close still flushes the pending tail.
+  {
+    WalWriterOptions options;
+    options.sync_policy = WalSyncPolicy::kNever;
+    auto writer = WalWriter::Create(&env, dir + "/never.log", options);
+    ASSERT_TRUE(writer.ok());
+    int64_t before = env.syncs_completed();
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*writer)->AppendRecord("r").ok());
+      ASSERT_TRUE((*writer)->Commit().ok());
+    }
+    EXPECT_EQ(env.syncs_completed() - before, 0);
+    ASSERT_TRUE((*writer)->Close().ok());
+    EXPECT_EQ(env.syncs_completed() - before, 1);
+  }
+
+  // All three logs parse completely.
+  for (const char* name : {"/every.log", "/grouped.log", "/never.log"}) {
+    auto result = ReadWalFile(&env, dir + name);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_GE(result->records.size(), 5u) << name;
+    EXPECT_FALSE(result->truncated_tail) << name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Wal, GroupedCommitsLostWithoutSyncSurviveWithIt) {
+  // The durability tradeoff made concrete: under kGrouped, a power failure
+  // after an acknowledged-but-unsynced commit loses it; synced commits
+  // survive. CrashAfterSyncs models the power cut (unsynced buffers drop).
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("group_loss");
+  std::string path = dir + "/wal.log";
+  env.CrashAfterSyncs(1);  // the first fsync is durable, then the cord is cut
+
+  WalWriterOptions options;
+  options.sync_policy = WalSyncPolicy::kGrouped;
+  options.group_commits = 2;
+  auto writer = WalWriter::Create(&env, path, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendRecord("c1").ok());
+  ASSERT_TRUE((*writer)->Commit().ok());  // pending (group of 2)
+  ASSERT_TRUE((*writer)->AppendRecord("c2").ok());
+  ASSERT_TRUE((*writer)->Commit().ok());  // group full -> fsync #1 -> crash
+  EXPECT_FALSE((*writer)->AppendRecord("c3").ok());  // the machine is dead
+  (void)(*writer)->Close();  // crashed: any buffered tail is gone
+
+  env.ClearFaults();
+  auto result = ReadWalFile(&env, path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->records.size(), 2u);  // c3 was never durable
+  EXPECT_EQ(result->records[0], "c1");
+  EXPECT_EQ(result->records[1], "c2");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Wal, WriterCountsRecordsAndBytes) {
+  Env* env = Env::Default();
+  std::string dir = TempDir("counts");
+  auto writer = WalWriter::Create(env, dir + "/wal.log", {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendRecord("abc").ok());
+  ASSERT_TRUE((*writer)->AppendRecord(std::string(kWalBlockSize, 'z')).ok());
+  EXPECT_EQ((*writer)->appended_records(), 2u);
+  // Physical bytes: payloads + one header per fragment (2nd record spans).
+  EXPECT_GE((*writer)->appended_bytes(), 3 + kWalBlockSize + 3 * kWalHeaderSize);
+  ASSERT_TRUE((*writer)->Close().ok());
+  ASSERT_TRUE((*writer)->Close().ok());  // idempotent
+  EXPECT_FALSE((*writer)->AppendRecord("late").ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sinew
