@@ -19,6 +19,16 @@ Works on every sidecar the binaries emit, including BENCH_fig8_ingest.json
 (bench_fig8_update's sustained-ingest mode: query "ingest", one config per
 write path — image-commit vs. wal-always/group/none).
 
+A single file can also be diffed against itself across two configs it
+contains — e.g. the columnar-segment ablation, where BENCH_fig6_columnar.json
+carries a "rows" and a "strips" measurement per query:
+
+    python3 bench/compare_bench.py BENCH_fig6_columnar.json \
+            --configs=rows,strips
+
+treats the first config as baseline and the second as candidate, matched on
+query. The regression flag then reads "strips slower than rows".
+
 Stdlib only; no third-party dependencies.
 """
 
@@ -42,16 +52,34 @@ def metric(record):
     return record["ms"], "ms"
 
 
+def split_configs(path, config_pair):
+    """One file, two configs: baseline = first config, candidate = second."""
+    base_cfg, cand_cfg = config_pair.split(",", 1)
+    records = load(path)
+    base = {(q, base_cfg): r for (q, c), r in records.items() if c == base_cfg}
+    cand = {(q, base_cfg): r for (q, c), r in records.items() if c == cand_cfg}
+    if not base or not cand:
+        print(f"config(s) not found in {path}: {config_pair}")
+        sys.exit(2)
+    return base, cand
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
-    if len(args) != 2:
-        print(__doc__.strip())
-        return 2
     threshold = 0.10
+    configs = None
     for a in argv[1:]:
         if a.startswith("--threshold="):
             threshold = float(a.split("=", 1)[1])
-    base, cand = load(args[0]), load(args[1])
+        if a.startswith("--configs="):
+            configs = a.split("=", 1)[1]
+    if configs is not None and len(args) == 1:
+        base, cand = split_configs(args[0], configs)
+    elif len(args) == 2:
+        base, cand = load(args[0]), load(args[1])
+    else:
+        print(__doc__.strip())
+        return 2
 
     common = sorted(set(base) & set(cand))
     only_base = sorted(set(base) - set(cand))

@@ -1,0 +1,240 @@
+#include "common/column_strip.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+
+namespace sinew {
+
+namespace {
+
+constexpr uint8_t kStripFormatVersion = 1;
+constexpr uint8_t kFlagHasNan = 0x1;
+
+bool IsStrippableType(ValueType t) {
+  return t == ValueType::kBool || t == ValueType::kInt ||
+         t == ValueType::kDouble || t == ValueType::kString;
+}
+
+}  // namespace
+
+std::string EncodeColumnStrip(const ColumnStrip& strip) {
+  const uint32_t non_null = strip.non_null();
+  BufferWriter w(64 + strip.presence.size() * 8 + non_null * 8 +
+                 strip.str_blob.size());
+  w.PutU8(kStripFormatVersion);
+  w.PutU64(strip.first_row);
+  w.PutU32(strip.row_count);
+  w.PutU8(static_cast<uint8_t>(strip.type));
+  w.PutU8(strip.has_nan ? kFlagHasNan : 0);
+  w.PutU32(non_null);
+  for (uint64_t word : strip.presence) w.PutU64(word);
+  switch (strip.type) {
+    case ValueType::kBool:
+      for (uint8_t v : strip.bools) w.PutU8(v);
+      break;
+    case ValueType::kInt:
+      for (int64_t v : strip.ints) w.PutI64(v);
+      break;
+    case ValueType::kDouble:
+      for (double v : strip.doubles) w.PutDouble(v);
+      break;
+    case ValueType::kString:
+      for (uint32_t off : strip.str_offsets) w.PutU32(off);
+      w.PutBytes(strip.str_blob);
+      break;
+    default:
+      break;  // caller bug; decoder rejects the type byte anyway
+  }
+  if (non_null > 0) {
+    switch (strip.type) {
+      case ValueType::kBool:
+        w.PutU8(strip.zone_min_bool);
+        w.PutU8(strip.zone_max_bool);
+        break;
+      case ValueType::kInt:
+        w.PutI64(strip.zone_min_int);
+        w.PutI64(strip.zone_max_int);
+        break;
+      case ValueType::kDouble:
+        w.PutDouble(strip.zone_min_double);
+        w.PutDouble(strip.zone_max_double);
+        break;
+      case ValueType::kString:
+        w.PutLengthPrefixed(strip.zone_min_str);
+        w.PutLengthPrefixed(strip.zone_max_str);
+        break;
+      default:
+        break;
+    }
+  }
+  const uint32_t crc = crc32c::Mask(crc32c::Value(w.buffer()));
+  w.PutU32(crc);
+  return w.Release();
+}
+
+Result<ColumnStrip> DecodeColumnStrip(std::string_view data) {
+  if (data.size() < sizeof(uint32_t)) {
+    return Status::IOError("column strip shorter than its checksum");
+  }
+  const size_t payload_size = data.size() - sizeof(uint32_t);
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, data.data() + payload_size, sizeof(stored_crc));
+  const uint32_t actual = crc32c::Value(data.data(), payload_size);
+  if (crc32c::Unmask(stored_crc) != actual) {
+    return Status::IOError("column strip checksum mismatch");
+  }
+
+  BufferReader r(data.substr(0, payload_size));
+  ColumnStrip strip;
+  ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+  if (version != kStripFormatVersion) {
+    return Status::IOError("unknown column strip version ", version);
+  }
+  ASSIGN_OR_RETURN(strip.first_row, r.ReadU64());
+  ASSIGN_OR_RETURN(strip.row_count, r.ReadU32());
+  if (strip.row_count == 0 || strip.row_count > kMaxStripRowCount) {
+    return Status::IOError("column strip row_count ", strip.row_count,
+                              " out of range");
+  }
+  ASSIGN_OR_RETURN(uint8_t type_byte, r.ReadU8());
+  strip.type = static_cast<ValueType>(type_byte);
+  if (!IsStrippableType(strip.type)) {
+    return Status::IOError("column strip type ", type_byte,
+                              " is not strippable");
+  }
+  ASSIGN_OR_RETURN(uint8_t flags, r.ReadU8());
+  if (flags & ~kFlagHasNan) {
+    return Status::IOError("column strip has unknown flag bits");
+  }
+  strip.has_nan = (flags & kFlagHasNan) != 0;
+  if (strip.has_nan && strip.type != ValueType::kDouble) {
+    return Status::IOError("has_nan flag on non-double strip");
+  }
+  ASSIGN_OR_RETURN(uint32_t non_null, r.ReadU32());
+  if (non_null > strip.row_count) {
+    return Status::IOError("column strip non_null ", non_null,
+                              " exceeds row_count ", strip.row_count);
+  }
+  const size_t words = (strip.row_count + 63) / 64;
+  strip.presence.resize(words);
+  for (size_t i = 0; i < words; ++i) {
+    ASSIGN_OR_RETURN(strip.presence[i], r.ReadU64());
+  }
+  // Bits past row_count in the last word must be clear, and the popcount
+  // must match the declared value count exactly.
+  if (strip.row_count % 64 != 0) {
+    const uint64_t tail_mask = ~uint64_t{0} << (strip.row_count % 64);
+    if (strip.presence.back() & tail_mask) {
+      return Status::IOError("column strip presence bits past row_count");
+    }
+  }
+  if (strip.non_null() != non_null) {
+    return Status::IOError("column strip presence popcount != non_null");
+  }
+  switch (strip.type) {
+    case ValueType::kBool: {
+      strip.bools.resize(non_null);
+      for (uint32_t i = 0; i < non_null; ++i) {
+        ASSIGN_OR_RETURN(strip.bools[i], r.ReadU8());
+        if (strip.bools[i] > 1) {
+          return Status::IOError("column strip bool value > 1");
+        }
+      }
+      break;
+    }
+    case ValueType::kInt: {
+      strip.ints.resize(non_null);
+      for (uint32_t i = 0; i < non_null; ++i) {
+        ASSIGN_OR_RETURN(strip.ints[i], r.ReadI64());
+      }
+      break;
+    }
+    case ValueType::kDouble: {
+      strip.doubles.resize(non_null);
+      bool saw_nan = false;
+      for (uint32_t i = 0; i < non_null; ++i) {
+        ASSIGN_OR_RETURN(strip.doubles[i], r.ReadDouble());
+        saw_nan |= std::isnan(strip.doubles[i]);
+      }
+      if (saw_nan != strip.has_nan) {
+        return Status::IOError("column strip has_nan flag inconsistent");
+      }
+      break;
+    }
+    case ValueType::kString: {
+      if (non_null > 0) {
+        strip.str_offsets.resize(non_null + 1);
+        for (uint32_t i = 0; i <= non_null; ++i) {
+          ASSIGN_OR_RETURN(strip.str_offsets[i], r.ReadU32());
+        }
+        if (strip.str_offsets[0] != 0) {
+          return Status::IOError("column strip string offsets not 0-based");
+        }
+        for (uint32_t i = 0; i < non_null; ++i) {
+          if (strip.str_offsets[i + 1] < strip.str_offsets[i]) {
+            return Status::IOError(
+                "column strip string offsets not monotone");
+          }
+        }
+        ASSIGN_OR_RETURN(std::string_view blob,
+                         r.ReadBytes(strip.str_offsets[non_null]));
+        strip.str_blob.assign(blob);
+      }
+      break;
+    }
+    default:
+      return Status::IOError("unreachable strip type");
+  }
+  if (non_null > 0) {
+    strip.zone_valid = true;
+    switch (strip.type) {
+      case ValueType::kBool: {
+        ASSIGN_OR_RETURN(strip.zone_min_bool, r.ReadU8());
+        ASSIGN_OR_RETURN(strip.zone_max_bool, r.ReadU8());
+        if (strip.zone_min_bool > 1 || strip.zone_max_bool > 1 ||
+            strip.zone_min_bool > strip.zone_max_bool) {
+          return Status::IOError("column strip bool zone map invalid");
+        }
+        break;
+      }
+      case ValueType::kInt: {
+        ASSIGN_OR_RETURN(strip.zone_min_int, r.ReadI64());
+        ASSIGN_OR_RETURN(strip.zone_max_int, r.ReadI64());
+        if (strip.zone_min_int > strip.zone_max_int) {
+          return Status::IOError("column strip int zone map inverted");
+        }
+        break;
+      }
+      case ValueType::kDouble: {
+        ASSIGN_OR_RETURN(strip.zone_min_double, r.ReadDouble());
+        ASSIGN_OR_RETURN(strip.zone_max_double, r.ReadDouble());
+        if (!strip.has_nan && strip.zone_min_double > strip.zone_max_double) {
+          return Status::IOError("column strip double zone map inverted");
+        }
+        break;
+      }
+      case ValueType::kString: {
+        ASSIGN_OR_RETURN(std::string_view mn, r.ReadLengthPrefixed());
+        ASSIGN_OR_RETURN(std::string_view mx, r.ReadLengthPrefixed());
+        strip.zone_min_str.assign(mn);
+        strip.zone_max_str.assign(mx);
+        if (strip.zone_min_str > strip.zone_max_str) {
+          return Status::IOError("column strip string zone map inverted");
+        }
+        break;
+      }
+      default:
+        return Status::IOError("unreachable strip type");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::IOError("column strip has ", r.remaining(),
+                              " trailing bytes");
+  }
+  return strip;
+}
+
+}  // namespace sinew

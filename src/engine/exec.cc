@@ -13,6 +13,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "engine/columnar.h"
 
 namespace sinew::engine {
 
@@ -191,6 +192,14 @@ class ScanOp : public Operator {
          MorselSource* morsels = nullptr)
       : node_(node), ctx_(ctx), morsels_(morsels) {}
 
+  ~ScanOp() override {
+    if (zone_skips_ != 0 && ctx_->stats != nullptr) {
+      if (OperatorStats* s = ctx_->stats->For(node_)) {
+        s->zone_skips.fetch_add(zone_skips_, std::memory_order_relaxed);
+      }
+    }
+  }
+
   Status Open() override {
     Table* table = node_.table;
     std::shared_lock lock(table->latch());
@@ -238,16 +247,54 @@ class ScanOp : public Operator {
     for (size_t i = 0; identity_ && i < live_slots_.size(); ++i) {
       identity_ = live_slots_[i] == i;
     }
+    // Deferred-bytes pushdown: a lazy source survives Open only when its
+    // column is decoded exclusively in phase 2 (the pushed-down filter never
+    // reads it), so skipping the decode cannot change which rows survive.
+    lazy_eligible_ = false;
+    lazy_positions_.clear();
+    lazy_req_.clear();
+    output_slots_lazy_.clear();
+    for (const LazyScanSource& src : node_.lazy_sources) {
+      if (src.output_pos < 0 ||
+          static_cast<size_t>(src.output_pos) >= live_slots_.size()) {
+        continue;
+      }
+      const size_t table_slot = live_slots_[src.output_pos];
+      if (std::binary_search(filter_slots_.begin(), filter_slots_.end(),
+                             table_slot) ||
+          !std::binary_search(output_slots_.begin(), output_slots_.end(),
+                              table_slot)) {
+        continue;
+      }
+      lazy_positions_.push_back(src.output_pos);
+      lazy_req_.emplace_back(node_.output_schema.cols[src.output_pos].name,
+                             &src);
+      lazy_table_slots_.push_back(table_slot);
+    }
+    if (!lazy_req_.empty()) {
+      lazy_eligible_ = true;
+      for (size_t s : output_slots_) {
+        if (std::find(lazy_table_slots_.begin(), lazy_table_slots_.end(),
+                      s) == lazy_table_slots_.end()) {
+          output_slots_lazy_.push_back(s);
+        }
+      }
+    }
     return Status::OK();
   }
 
   Result<bool> Next(DatumRow* out) override {
     Table* table = node_.table;
+    lazy_active_ = false;  // row-at-a-time consumers always get real bytes
     while (rid_ < end_ ||
            (morsels_ != nullptr && morsels_->Claim(&rid_, &end_))) {
       // Chunked shared latching: hold the latch for up to kScanChunk rows so
       // the background materializer's row updates can interleave.
       std::shared_lock lock(table->latch());
+      if (!node_.zone_filters.empty()) {
+        SkipZonedStripsUnlocked(table);
+        if (rid_ >= end_) continue;
+      }
       uint64_t chunk_end = std::min(end_, rid_ + kScanChunk);
       for (; rid_ < chunk_end; ++rid_) {
         ASSIGN_OR_RETURN(bool has, DecodeRowUnlocked(rid_, out));
@@ -271,16 +318,98 @@ class ScanOp : public Operator {
            (rid_ < end_ ||
             (morsels_ != nullptr && morsels_->Claim(&rid_, &end_)))) {
       std::shared_lock lock(table->latch());
+      if (!node_.zone_filters.empty()) {
+        SkipZonedStripsUnlocked(table);
+        if (rid_ >= end_) continue;
+      }
+      RefreshLazyStateUnlocked(table, batch);
       uint64_t chunk_end = std::min(end_, rid_ + kScanChunk);
       for (; rid_ < chunk_end && batch->size < batch_capacity_; ++rid_) {
         ASSIGN_OR_RETURN(bool has, DecodeRowUnlocked(rid_, &row));
         if (has) batch->AppendRow(std::move(row));
       }
     }
+    lazy_active_ = false;
     return batch->size > 0;
   }
 
  private:
+  /// Advances rid_ past leading column strips whose zone maps prove no row
+  /// can pass the pushed-down filter. Caller holds the table latch, which is
+  /// what makes the consult sound: mutators detach the columnar segment
+  /// before rewriting a covered row, so under one latch acquisition an
+  /// attached segment and the row bytes it summarizes agree.
+  void SkipZonedStripsUnlocked(Table* table) {
+    static metrics::Counter* zonemap_skips =
+        metrics::GetCounter("strips.skipped_by_zonemap");
+    const std::shared_ptr<const ColumnarSegment>& seg =
+        table->ColumnarSegmentUnlocked();
+    if (seg == nullptr || rid_ >= seg->row_count()) return;
+    resolved_zones_.clear();
+    for (const ZoneFilter& zf : node_.zone_filters) {
+      const StripColumn* col =
+          seg->Find(zf.source_column, zf.prefix_ids, zf.attr_id,
+                    static_cast<ValueType>(zf.type_tag));
+      if (col != nullptr) resolved_zones_.emplace_back(col, &zf);
+    }
+    if (resolved_zones_.empty()) return;
+    while (rid_ < end_ && rid_ < seg->row_count()) {
+      const size_t strip = static_cast<size_t>(rid_ / kStripRows);
+      bool skip = false;
+      for (const auto& [col, zf] : resolved_zones_) {
+        if (strip >= col->strips.size()) continue;
+        if (ZoneCanSkip(col->strips[strip], zf->op, zf->literal)) {
+          skip = true;
+          break;
+        }
+      }
+      if (!skip) return;
+      ++zone_skips_;
+      zonemap_skips->Increment();
+      rid_ = std::min(
+          end_, std::min<uint64_t>(
+                    static_cast<uint64_t>(strip + 1) * kStripRows,
+                    seg->row_count()));
+    }
+  }
+
+  /// Decides, per latch chunk, whether phase-2 decode may skip the lazy
+  /// bytes columns: the attached columnar segment must resolve every
+  /// extract target the plan routed through them, and one batch defers
+  /// against exactly one segment (pointer identity, recorded on the batch —
+  /// the extract above re-verifies it before serving). Caller holds the
+  /// table latch.
+  void RefreshLazyStateUnlocked(Table* table, RowBatch* batch) {
+    lazy_active_ = false;
+    if (!lazy_eligible_) return;
+    const std::shared_ptr<const ColumnarSegment>& seg =
+        table->ColumnarSegmentUnlocked();
+    if (seg == nullptr) return;
+    if (batch->lazy_seg != nullptr && batch->lazy_seg != seg.get()) return;
+    if (seg != lazy_resolved_hold_) {
+      lazy_resolved_hold_ = seg;  // pins the address the cache is keyed on
+      lazy_resolved_ok_ = true;
+      for (const auto& [name, src] : lazy_req_) {
+        for (const ExtractTarget& t : src->targets) {
+          if (seg->Find(name, t.prefix_ids, t.attr_id,
+                        static_cast<ValueType>(t.type_tag)) == nullptr) {
+            lazy_resolved_ok_ = false;
+            break;
+          }
+        }
+        if (!lazy_resolved_ok_) break;
+      }
+    }
+    if (!lazy_resolved_ok_) return;
+    lazy_active_ = true;
+    lazy_limit_ = seg->row_count();
+    if (batch->lazy_seg == nullptr) {
+      batch->lazy_seg = seg.get();
+      batch->lazy_limit = seg->row_count();
+      batch->lazy_cols.assign(lazy_positions_.begin(), lazy_positions_.end());
+    }
+  }
+
   /// Decodes row slot `rid` into `*out` (survivor of the deleted-row check
   /// and the pushed-down filter), exactly the row-at-a-time inner loop.
   /// Caller holds the table latch.
@@ -311,14 +440,19 @@ class ScanOp : public Operator {
                        EvalPredicate(*node_.scan_filter, row, ctx_->udfs));
       if (!keep) return false;
     }
-    // Phase 2: decode the remaining referenced columns for survivors.
-    if (!output_slots_.empty()) {
+    // Phase 2: decode the remaining referenced columns for survivors. A
+    // deferring chunk (RefreshLazyStateUnlocked) narrows the slot list for
+    // segment-covered rows: the strips above serve those columns instead.
+    const std::vector<size_t>& out_slots =
+        lazy_active_ && rid < lazy_limit_ ? output_slots_lazy_
+                                          : output_slots_;
+    if (!out_slots.empty()) {
       if (identity_) {
-        RETURN_NOT_OK(DecodeRowSlots(schema_, raw, output_slots_, &row));
+        RETURN_NOT_OK(DecodeRowSlots(schema_, raw, out_slots, &row));
       } else {
         full_scratch_.assign(schema_.num_slots(), Datum());
         RETURN_NOT_OK(
-            DecodeRowSlots(schema_, raw, output_slots_, &full_scratch_));
+            DecodeRowSlots(schema_, raw, out_slots, &full_scratch_));
         for (size_t i = 0; i < rid_position; ++i) {
           if (row[i].is_null()) {
             row[i] = std::move(full_scratch_[live_slots_[i]]);
@@ -340,6 +474,22 @@ class ScanOp : public Operator {
   DatumRow full_scratch_;
   uint64_t rid_ = 0;
   uint64_t end_ = 0;
+  /// Zone filter -> strip column resolution, rebuilt per latch acquisition
+  /// (the attached segment may change between acquisitions, never within).
+  std::vector<std::pair<const StripColumn*, const ZoneFilter*>>
+      resolved_zones_;
+  uint64_t zone_skips_ = 0;  // strips skipped; flushed to stats on destroy
+  // Deferred-bytes pushdown state (node_.lazy_sources; batch path only).
+  bool lazy_eligible_ = false;      // Open-time checks passed
+  bool lazy_active_ = false;        // current chunk skips the lazy columns
+  uint64_t lazy_limit_ = 0;         // segment row_count for current chunk
+  std::vector<int> lazy_positions_;        // scan output positions deferred
+  std::vector<size_t> lazy_table_slots_;   // their physical table slots
+  std::vector<std::pair<std::string, const LazyScanSource*>> lazy_req_;
+  std::vector<size_t> output_slots_lazy_;  // output_slots_ minus lazy slots
+  /// Target-resolution cache, keyed on (and pinning) the segment snapshot.
+  std::shared_ptr<const ColumnarSegment> lazy_resolved_hold_;
+  bool lazy_resolved_ok_ = false;
 };
 
 // ---------------------------------------------------------------- Filter
@@ -479,6 +629,8 @@ class ExtractOp : public Operator {
       if (OperatorStats* s = ctx_->stats->For(node_)) {
         s->decodes.fetch_add(stats_.decodes, std::memory_order_relaxed);
         s->attrs.fetch_add(stats_.attrs, std::memory_order_relaxed);
+        s->columnar_hits.fetch_add(columnar_hits_,
+                                   std::memory_order_relaxed);
       }
     }
   }
@@ -492,6 +644,7 @@ class ExtractOp : public Operator {
                               " is not registered");
     }
     rows_fn_ = ctx_->udfs->FindBatchExtractRows(node_.extract_fn);
+    BindColumnarSegment();
     return child_->Open();
   }
 
@@ -522,11 +675,21 @@ class ExtractOp : public Operator {
       return true;
     }
     if (rows_fn_ != nullptr) {
-      RETURN_NOT_OK((*rows_fn_)(*batch, batch->sel, node_.extract_targets,
-                                &out_cols_, &stats_));
+      ASSIGN_OR_RETURN(bool columnar, TryServeFromStrips(batch));
+      if (!columnar) {
+        RETURN_NOT_OK((*rows_fn_)(*batch, batch->sel, node_.extract_targets,
+                                  &out_cols_, &stats_));
+      }
     } else {
       // No batch-of-rows entry point registered: run the row-level function
-      // per selected lane over a scratch row of the child's width.
+      // per selected lane over a scratch row of the child's width. Deferred
+      // batches can't take this path — the scan only defers for the batch
+      // extractor — but guard anyway: serving from NULL bytes would be
+      // silent corruption, an abort is a replan.
+      if (batch->lazy_seg != nullptr && SourcesLazyColumn(*batch)) {
+        return Status::Aborted(
+            "columnar segment changed concurrently; replan");
+      }
       out_cols_.resize(num_targets);
       for (std::vector<Datum>& col : out_cols_) {
         col.assign(batch->active(), Datum::Null());
@@ -559,6 +722,156 @@ class ExtractOp : public Operator {
   }
 
  private:
+  /// Snapshots the source table's columnar segment and partitions the
+  /// targets into strip-servable (a matching strip column exists) and
+  /// reservoir-only. The mutation version is read *before* the segment
+  /// snapshot: re-checking it per batch then proves the table — and hence
+  /// both the segment and every row byte the scan decodes — unchanged
+  /// since this instant, so strip values and row values agree per row.
+  void BindColumnarSegment() {
+    seg_.reset();
+    servable_.clear();
+    servable_targets_.clear();
+    unservable_targets_.clear();
+    unservable_index_.clear();
+    if (node_.extract_table == nullptr || node_.extract_rid_slot < 0 ||
+        rows_fn_ == nullptr || node_.children.empty()) {
+      return;
+    }
+    open_version_ = node_.extract_table->MutationVersion();
+    seg_ = node_.extract_table->ColumnarSegmentSnapshot();
+    if (seg_ == nullptr) return;
+    const auto& child_cols = node_.children[0]->output_schema.cols;
+    for (size_t t = 0; t < node_.extract_targets.size(); ++t) {
+      const ExtractTarget& target = node_.extract_targets[t];
+      const StripColumn* col = nullptr;
+      if (!target.raw_bytes && target.source_slot >= 0 &&
+          static_cast<size_t>(target.source_slot) < child_cols.size()) {
+        col = seg_->Find(child_cols[target.source_slot].name,
+                         target.prefix_ids, target.attr_id,
+                         static_cast<ValueType>(target.type_tag));
+      }
+      if (col != nullptr) {
+        servable_.emplace_back(t, col);
+        servable_targets_.push_back(target);
+      } else {
+        unservable_index_.push_back(t);
+        unservable_targets_.push_back(target);
+      }
+    }
+    if (servable_.empty()) seg_.reset();
+    // When an unservable target shares its source column with servable
+    // ones, the reservoir decode of that column is paid for every lane
+    // anyway, and the extra attributes ride the same merge-join header pass
+    // almost for free — strip serving would only stack per-lane overhead on
+    // top. Serve the whole node from rows. (A deferring scan cannot reach
+    // this shape: it defers only when the same segment resolves every
+    // target on the column, which puts them all in the servable set.)
+    for (const ExtractTarget& u : unservable_targets_) {
+      if (seg_ == nullptr) break;
+      for (const ExtractTarget& s : servable_targets_) {
+        if (u.source_slot == s.source_slot) {
+          seg_.reset();
+          break;
+        }
+      }
+    }
+  }
+
+  /// True when any extract target reads a column the scan deferred in this
+  /// batch (scan output positions; the child's column prefix preserves
+  /// them, so source_slot compares directly).
+  bool SourcesLazyColumn(const RowBatch& batch) const {
+    for (const ExtractTarget& t : node_.extract_targets) {
+      for (int pos : batch.lazy_cols) {
+        if (t.source_slot == pos) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Serves strip-resident targets for cold lanes (rid inside the segment)
+  /// straight from the columnar segment — a typed copy instead of a
+  /// reservoir header walk — and routes everything else (hot-tail lanes,
+  /// reservoir-only targets) through the registered extractor on subset
+  /// lane/target lists. Subsets preserve the grouped-by-source /
+  /// sorted-by-(prefix, id) contract because they preserve relative order.
+  /// Returns false when strip serving is off for this operator; the caller
+  /// then runs the plain reservoir path.
+  Result<bool> TryServeFromStrips(RowBatch* batch) {
+    static metrics::Counter* strip_hits =
+        metrics::GetCounter("extract.columnar_hits");
+    // Deferred-bytes batches: the scan left reservoir bytes undecoded for
+    // segment-covered rows on the promise that this operator serves those
+    // columns from the very same segment. Anything voiding the promise — a
+    // different (or never bound) segment, a table mutation since Open —
+    // makes the batch unextractable; abort for a replan (the retry rebinds
+    // everything) rather than ever serving NULLs for real values.
+    if (batch->lazy_seg != nullptr && SourcesLazyColumn(*batch)) {
+      if (seg_ == nullptr || batch->lazy_seg != seg_.get() ||
+          node_.extract_table->MutationVersion() != open_version_) {
+        return Status::Aborted(
+            "columnar segment changed concurrently; replan");
+      }
+    }
+    if (seg_ == nullptr) return false;
+    // Any table mutation since Open — value update, append, maintenance —
+    // permanently disables strip serving for this operator instance; the
+    // reservoir path is always correct, strips are only an accelerator.
+    if (node_.extract_table->MutationVersion() != open_version_) {
+      seg_.reset();
+      return false;
+    }
+    const size_t num_targets = node_.extract_targets.size();
+    const std::vector<Datum>& rid_col =
+        batch->cols[static_cast<size_t>(node_.extract_rid_slot)];
+    const uint64_t cold_rows = seg_->row_count();
+    cold_k_.clear();
+    hot_k_.clear();
+    for (size_t k = 0; k < batch->sel.size(); ++k) {
+      const Datum& rid = rid_col[batch->sel[k]];
+      if (rid.is_int() && static_cast<uint64_t>(rid.int_value()) < cold_rows) {
+        cold_k_.push_back(k);
+      } else {
+        hot_k_.push_back(k);
+      }
+    }
+    out_cols_.resize(num_targets);
+    for (std::vector<Datum>& col : out_cols_) {
+      col.assign(batch->sel.size(), Datum::Null());
+    }
+    for (const auto& [t, col] : servable_) {
+      std::vector<Datum>& out = out_cols_[t];
+      for (size_t k : cold_k_) {
+        out[k] = col->GetDatum(
+            static_cast<uint64_t>(rid_col[batch->sel[k]].int_value()));
+      }
+    }
+    const uint64_t hits = cold_k_.size() * servable_.size();
+    columnar_hits_ += hits;
+    if (hits != 0) strip_hits->Add(hits);
+    if (!unservable_targets_.empty()) {
+      RETURN_NOT_OK((*rows_fn_)(*batch, batch->sel, unservable_targets_,
+                                &sub_cols_, &stats_));
+      for (size_t u = 0; u < unservable_index_.size(); ++u) {
+        out_cols_[unservable_index_[u]] = std::move(sub_cols_[u]);
+      }
+    }
+    if (!hot_k_.empty()) {
+      hot_lanes_.clear();
+      for (size_t k : hot_k_) hot_lanes_.push_back(batch->sel[k]);
+      RETURN_NOT_OK((*rows_fn_)(*batch, hot_lanes_, servable_targets_,
+                                &sub_cols_, &stats_));
+      for (size_t v = 0; v < servable_.size(); ++v) {
+        std::vector<Datum>& out = out_cols_[servable_[v].first];
+        for (size_t j = 0; j < hot_k_.size(); ++j) {
+          out[hot_k_[j]] = std::move(sub_cols_[v][j]);
+        }
+      }
+    }
+    return true;
+  }
+
   const PlanNode& node_;
   OperatorPtr child_;
   ExecContext* ctx_;
@@ -567,6 +880,18 @@ class ExtractOp : public Operator {
   std::vector<Datum> outs_;
   std::vector<std::vector<Datum>> out_cols_;
   BatchExtractStats stats_;
+  // Columnar strip serving state (BindColumnarSegment).
+  std::shared_ptr<const ColumnarSegment> seg_;
+  uint64_t open_version_ = 0;
+  std::vector<std::pair<size_t, const StripColumn*>> servable_;
+  std::vector<ExtractTarget> servable_targets_;
+  std::vector<ExtractTarget> unservable_targets_;
+  std::vector<size_t> unservable_index_;
+  std::vector<size_t> cold_k_;
+  std::vector<size_t> hot_k_;
+  std::vector<uint32_t> hot_lanes_;
+  std::vector<std::vector<Datum>> sub_cols_;
+  uint64_t columnar_hits_ = 0;
 };
 
 // ---------------------------------------------------------------- Sort
@@ -1643,7 +1968,13 @@ void AppendAnalyzedNode(const PlanNode& node, const PlanStats& stats,
       }
       if (node.kind == PlanKind::kExtract) {
         *out << " (decodes=" << s->decodes.load(std::memory_order_relaxed)
-             << " attrs=" << s->attrs.load(std::memory_order_relaxed) << ")";
+             << " attrs=" << s->attrs.load(std::memory_order_relaxed)
+             << " columnar_hits="
+             << s->columnar_hits.load(std::memory_order_relaxed) << ")";
+      }
+      if (node.kind == PlanKind::kSeqScan && !node.zone_filters.empty()) {
+        *out << " (zone_skips="
+             << s->zone_skips.load(std::memory_order_relaxed) << ")";
       }
       const uint64_t batches = s->batches.load(std::memory_order_relaxed);
       if (batches > 0) {

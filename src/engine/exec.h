@@ -45,6 +45,9 @@ struct OperatorStats {
   // kExtract only:
   std::atomic<uint64_t> decodes{0};     // source documents decoded
   std::atomic<uint64_t> attrs{0};       // attributes extracted from them
+  std::atomic<uint64_t> columnar_hits{0};  // values served from column strips
+  // kSeqScan only:
+  std::atomic<uint64_t> zone_skips{0};  // strips skipped via zone maps
 };
 
 /// Side table of per-node actuals for one execution, indexed by plan node

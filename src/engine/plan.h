@@ -48,6 +48,33 @@ struct AggSpec {
   bool is_star = false;
 };
 
+/// kSeqScan zone-map pushdown: one entry per scan_filter conjunct of shape
+/// `sinew_extract_chain(col, T, ids...) <cmp> literal`. Before decoding a
+/// strip-aligned chunk of cold rows, the scan asks the table's columnar
+/// segment whether the matching strip's zone map proves no value can satisfy
+/// the comparison; if so the whole strip is skipped. Purely an accelerator:
+/// rows that survive still evaluate the full scan_filter.
+struct ZoneFilter {
+  std::string source_column;         ///< reservoir column name (e.g. "_data")
+  std::vector<uint32_t> prefix_ids;  ///< object-id descent chain
+  uint32_t attr_id = 0;
+  int64_t type_tag = 0;              ///< ValueType of the extracted attribute
+  BinaryOp op = BinaryOp::kEq;       ///< comparison with the value on the left
+  Datum literal;
+};
+
+/// kSeqScan deferred-bytes pushdown: a serialized source column (reservoir)
+/// whose decoded bytes are consumed *only* by hoisted extract targets above
+/// the scan. When the attached columnar segment can serve every listed
+/// target, the batch scan skips decoding the column for segment-covered
+/// rows and records the deferral on the RowBatch (see row_batch.h); the
+/// extract then reads the values from the strips instead. Rows past the
+/// segment and chunks where any target fails to resolve decode normally.
+struct LazyScanSource {
+  int output_pos = -1;  ///< scan output position of the bytes column
+  std::vector<ExtractTarget> targets;  ///< every target sourced from it
+};
+
 struct PlanNode {
   PlanKind kind;
   std::vector<std::unique_ptr<PlanNode>> children;
@@ -103,6 +130,19 @@ struct PlanNode {
   // and sorted by (prefix_ids, attr_id) — the BatchExtractFn contract.
   std::vector<ExtractTarget> extract_targets;
   std::string extract_fn;  // name resolved via UdfRegistry::FindBatchExtract
+  /// Columnar strip serving: when the extract sits over a scan of
+  /// `extract_table` and the child emits the scan's __rid pseudo-column at
+  /// `extract_rid_slot`, the operator serves targets covered by the table's
+  /// columnar segment straight from the strips for cold rows, falling back
+  /// to the reservoir function for hot rows and uncovered targets.
+  Table* extract_table = nullptr;
+  int extract_rid_slot = -1;
+
+  // kSeqScan zone-map pushdown (see ZoneFilter above).
+  std::vector<ZoneFilter> zone_filters;
+
+  // kSeqScan deferred-bytes pushdown (see LazyScanSource above).
+  std::vector<LazyScanSource> lazy_sources;
 
   /// EXPLAIN rendering (multi-line tree).
   std::string DebugString() const;

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/metrics.h"
+#include "common/value.h"
 #include "engine/eval.h"
 
 namespace sinew::engine {
@@ -1015,6 +1016,103 @@ ExtractTarget TargetFromCall(const Expr& call) {
   return t;
 }
 
+/// A hoistable decode-to-value chain call over a scalar type tag — the only
+/// calls whose comparisons a column strip's zone map can reason about (the
+/// _bytes variant and object/array extractions have no strip columns).
+bool IsZoneEligibleChainCall(const Expr& e) {
+  if (!IsHoistableChainCall(e) || e.fname != "sinew_extract_chain") {
+    return false;
+  }
+  const int64_t tag = e.args[1]->literal.int_value();
+  return tag == static_cast<int64_t>(ValueType::kBool) ||
+         tag == static_cast<int64_t>(ValueType::kInt) ||
+         tag == static_cast<int64_t>(ValueType::kDouble) ||
+         tag == static_cast<int64_t>(ValueType::kString);
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kNe || op == BinaryOp::kLt ||
+         op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+BinaryOp FlipComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+ZoneFilter ZoneFilterFromCall(const Expr& call, const ExecSchema& scan_schema,
+                              BinaryOp op, const Datum& literal) {
+  ExtractTarget t = TargetFromCall(call);
+  ZoneFilter zf;
+  zf.source_column = scan_schema.cols[static_cast<size_t>(t.source_slot)].name;
+  zf.prefix_ids = std::move(t.prefix_ids);
+  zf.attr_id = t.attr_id;
+  zf.type_tag = t.type_tag;
+  zf.op = op;
+  zf.literal = literal;
+  return zf;
+}
+
+/// Derives zone filters from one pushed-down conjunct. Recognized shapes:
+/// chain-call-vs-literal comparisons (either side; the op flips when the
+/// literal is on the left) and non-negated BETWEEN with literal bounds.
+/// Anything else contributes nothing — a zone filter is a pure accelerator
+/// whose only promise is "no row of a skipped strip satisfies the conjunct".
+void CollectZoneFilters(const Expr& conjunct, const ExecSchema& scan_schema,
+                        std::vector<ZoneFilter>* out) {
+  if (conjunct.kind == ExprKind::kBinary && IsComparisonOp(conjunct.bop) &&
+      conjunct.args.size() == 2) {
+    const Expr& lhs = *conjunct.args[0];
+    const Expr& rhs = *conjunct.args[1];
+    if (IsZoneEligibleChainCall(lhs) && rhs.kind == ExprKind::kLiteral) {
+      out->push_back(
+          ZoneFilterFromCall(lhs, scan_schema, conjunct.bop, rhs.literal));
+    } else if (IsZoneEligibleChainCall(rhs) &&
+               lhs.kind == ExprKind::kLiteral) {
+      out->push_back(ZoneFilterFromCall(
+          rhs, scan_schema, FlipComparisonOp(conjunct.bop), lhs.literal));
+    }
+    return;
+  }
+  if (conjunct.kind == ExprKind::kBetween && !conjunct.negated &&
+      conjunct.args.size() == 3 &&
+      IsZoneEligibleChainCall(*conjunct.args[0]) &&
+      conjunct.args[1]->kind == ExprKind::kLiteral &&
+      conjunct.args[2]->kind == ExprKind::kLiteral) {
+    out->push_back(ZoneFilterFromCall(*conjunct.args[0], scan_schema,
+                                      BinaryOp::kGe,
+                                      conjunct.args[1]->literal));
+    out->push_back(ZoneFilterFromCall(*conjunct.args[0], scan_schema,
+                                      BinaryOp::kLe,
+                                      conjunct.args[2]->literal));
+  }
+}
+
+/// Attaches zone filters to every base scan whose pushed-down filter holds
+/// chain-call comparisons. Runs before extraction hoisting, while those
+/// conjuncts still live in the scan filter as literal calls; the zone
+/// filters stay on the scan either way, because strip skipping happens
+/// there regardless of where the conjunct is ultimately evaluated.
+void AttachZoneFiltersToScans(PlanNode* node) {
+  if (node->kind == PlanKind::kSeqScan && node->scan_filter != nullptr &&
+      node->table != nullptr) {
+    for (const ExprPtr& part : SplitConjuncts(*node->scan_filter)) {
+      CollectZoneFilters(*part, node->output_schema, &node->zone_filters);
+    }
+  }
+  for (PlanPtr& child : node->children) AttachZoneFiltersToScans(child.get());
+}
+
 }  // namespace
 
 // Post-pass: fold repeated document-extraction calls over one scan into
@@ -1048,6 +1146,16 @@ void Planner::SelectPlanner::TryHoistBatchedExtraction(PlanNode* cap) const {
   }
   if ((*slot)->kind != PlanKind::kSeqScan) return;
   PlanNode* scan = slot->get();
+  // The scan's __rid pseudo-column lets the extract nodes map each row back
+  // to its slot in the table's columnar segment (strips appended later keep
+  // its position, so one resolution serves both nodes).
+  int rid_slot = -1;
+  for (size_t i = 0; i < scan->output_schema.cols.size(); ++i) {
+    if (scan->output_schema.cols[i].name == "__rid") {
+      rid_slot = static_cast<int>(i);
+      break;
+    }
+  }
 
   // Conjuncts of the pushed-down scan filter that contain extraction calls
   // must move above the extract node; the rest stay pushed down.
@@ -1165,6 +1273,8 @@ void Planner::SelectPlanner::TryHoistBatchedExtraction(PlanNode* cap) const {
     auto extract = std::make_unique<PlanNode>();
     extract->kind = PlanKind::kExtract;
     extract->extract_fn = std::string(kBatchExtractFnName);
+    extract->extract_table = scan->table;
+    extract->extract_rid_slot = rid_slot;
     extract->output_schema = in_schema;
     extract->est_rows = est_rows;
     for (size_t i : order) {
@@ -1258,6 +1368,57 @@ void Planner::SelectPlanner::TryHoistBatchedExtraction(PlanNode* cap) const {
 
   for (PlanNode* m : mid) m->output_schema = spliced->output_schema;
   *slot = std::move(spliced);
+
+  // Deferred-bytes pushdown: a serialized source column whose decoded bytes
+  // feed *only* the hoisted extract targets can skip its per-row decode
+  // whenever the table's columnar segment serves every one of those targets
+  // (the scan checks at runtime; see exec.cc). Candidate positions come
+  // from the extract nodes just spliced in; a position is disqualified if
+  // anything else still reads the column — the pushed-down scan filter, the
+  // rebuilt mid-pipeline filter, sort keys, the cap's own expressions — or
+  // if a DISTINCT sits in the chain (it compares entire rows), or if a
+  // raw-bytes target wants the serialized form itself.
+  bool lazy_ok = true;
+  for (PlanNode* m : mid) {
+    if (m->kind == PlanKind::kUnique) lazy_ok = false;
+  }
+  if (cap->kind == PlanKind::kUnique) lazy_ok = false;
+  if (lazy_ok) {
+    std::vector<const Expr*> refs;
+    auto collect = [&refs](const ExprPtr& e) {
+      if (e != nullptr) e->CollectColumnRefs(&refs);
+    };
+    for (const ExprPtr& p : cap->projections) collect(p);
+    for (const ExprPtr& k : cap->group_keys) collect(k);
+    for (const AggSpec& a : cap->aggs) collect(a.arg);
+    for (PlanNode* m : mid) {
+      collect(m->predicate);
+      for (const ExprPtr& k : m->sort_keys) collect(k);
+    }
+    std::map<int, std::vector<ExtractTarget>> candidates;
+    std::set<int> disqualified;
+    for (PlanNode* n = slot->get(); n != scan;
+         n = n->children[0].get()) {
+      if (n->kind == PlanKind::kFilter) collect(n->predicate);
+      if (n->kind != PlanKind::kExtract) continue;
+      for (const ExtractTarget& t : n->extract_targets) {
+        if (t.source_slot < 0) continue;
+        if (t.raw_bytes) disqualified.insert(t.source_slot);
+        candidates[t.source_slot].push_back(t);
+      }
+    }
+    collect(scan->scan_filter);
+    for (const Expr* ref : refs) {
+      if (ref->bound_slot >= 0) disqualified.insert(ref->bound_slot);
+    }
+    for (auto& [pos, targets] : candidates) {
+      if (disqualified.count(pos) != 0) continue;
+      LazyScanSource source;
+      source.output_pos = pos;
+      source.targets = std::move(targets);
+      scan->lazy_sources.push_back(std::move(source));
+    }
+  }
 }
 
 // A scan → filter → project pipeline: the plan shape Gather workers can run
@@ -1356,6 +1517,7 @@ Result<PlanPtr> Planner::SelectPlanner::Plan() {
   ASSIGN_OR_RETURN(root,
                    AddOrderByAndLimit(std::move(root), std::move(order_by)));
   FoldPlanConstants(root.get());
+  AttachZoneFiltersToScans(root.get());
   if (options_.enable_batched_extraction && udfs_ != nullptr &&
       udfs_->FindBatchExtract(kBatchExtractFnName) != nullptr) {
     HoistBatchedExtraction(&root);

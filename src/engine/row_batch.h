@@ -28,6 +28,18 @@ struct RowBatch {
   /// Physical row count (appended rows, dead or alive).
   size_t size = 0;
 
+  /// Deferred-bytes contract between a scan and the extract above it: when
+  /// `lazy_seg` is non-null, rows whose __rid is below `lazy_limit` may
+  /// carry NULL instead of the decoded reservoir bytes in the columns named
+  /// by `lazy_cols` (scan output positions). The scan only defers when the
+  /// columnar segment identified by `lazy_seg` can serve every extract
+  /// target sourced from those columns; the extract verifies it bound the
+  /// same segment (pointer identity + unchanged mutation version) before
+  /// serving, and aborts the query for a replan on any mismatch.
+  const void* lazy_seg = nullptr;
+  uint64_t lazy_limit = 0;
+  std::vector<int> lazy_cols;
+
   size_t num_cols() const { return cols.size(); }
   /// Logically alive rows.
   size_t active() const { return sel.size(); }
@@ -39,6 +51,9 @@ struct RowBatch {
     for (std::vector<Datum>& c : cols) c.clear();
     sel.clear();
     size = 0;
+    lazy_seg = nullptr;
+    lazy_limit = 0;
+    lazy_cols.clear();
   }
 
   /// Appends one row (selected). On the first append the batch adopts the

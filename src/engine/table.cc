@@ -5,6 +5,8 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "engine/columnar.h"
+
 namespace sinew::engine {
 
 Status Table::AddColumn(Column column) {
@@ -17,6 +19,9 @@ Status Table::AddColumn(Column column) {
 Status Table::DropColumn(std::string_view column) {
   std::unique_lock lock(latch_);
   RETURN_NOT_OK(schema_.DropColumn(column));
+  // Strips are keyed by source column name; a drop (and possible later
+  // re-add) could change what that name means, so detach conservatively.
+  columnar_.reset();
   BumpVersion();
   return Status::OK();
 }
@@ -69,6 +74,13 @@ Status Table::UpdateRow(uint64_t rid, const DatumRow& row) {
   std::unique_lock lock(latch_);
   if (rid >= rows_.size() || rows_[rid].empty()) {
     return Status::NotFound("row ", rid, " not found in ", name_);
+  }
+  // Detach the shredded segment before the covered row's bytes change:
+  // readers snapshot the segment pointer under the shared latch, so they see
+  // either the old segment with the old row bytes or no segment at all —
+  // never a strip value disagreeing with the row it was shredded from.
+  if (columnar_ != nullptr && rid < columnar_->row_count()) {
+    columnar_.reset();
   }
   ASSIGN_OR_RETURN(std::string encoded, EncodeRow(schema_, row));
   data_bytes_ += encoded.size();

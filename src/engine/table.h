@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -29,6 +30,8 @@
 namespace sinew::engine {
 
 inline constexpr size_t kScanChunk = 1024;
+
+class ColumnarSegment;
 
 class Table {
  public:
@@ -113,6 +116,41 @@ class Table {
   uint64_t RowSlotCountUnlocked() const { return rows_.size(); }
   const Schema& SchemaUnlocked() const { return schema_; }
 
+  // --- columnar segment (shredded cold-rows accelerator) ---
+  /// Attaches (or detaches, with nullptr) the shredded image of this table's
+  /// cold rows. Takes the latch exclusive but deliberately does NOT bump the
+  /// mutation version: the segment is derived read-only state, and bumping
+  /// would defeat persistence's unchanged-table verbatim-copy fast path.
+  void SetColumnarSegment(std::shared_ptr<const ColumnarSegment> segment) {
+    std::unique_lock lock(latch_);
+    columnar_ = std::move(segment);
+  }
+  /// Attach only if no mutation happened since `expected_version` was
+  /// snapshotted (i.e. since the shredder read the rows). Returns false —
+  /// leaving the current segment untouched — when the table changed
+  /// underneath the shred, so a stale segment can never be published.
+  bool SetColumnarSegmentIfUnchanged(
+      std::shared_ptr<const ColumnarSegment> segment,
+      uint64_t expected_version) {
+    std::unique_lock lock(latch_);
+    if (mutation_version_.load(std::memory_order_acquire) !=
+        expected_version) {
+      return false;
+    }
+    columnar_ = std::move(segment);
+    return true;
+  }
+  /// Latched snapshot for readers outside a scan's chunk lock.
+  std::shared_ptr<const ColumnarSegment> ColumnarSegmentSnapshot() const {
+    std::shared_lock lock(latch_);
+    return columnar_;
+  }
+  /// For readers already holding the latch (scan chunk loop).
+  const std::shared_ptr<const ColumnarSegment>& ColumnarSegmentUnlocked()
+      const {
+    return columnar_;
+  }
+
  private:
   /// Bump under the exclusive latch after a successful mutation.
   void BumpVersion() {
@@ -126,6 +164,10 @@ class Table {
   uint64_t data_bytes_ = 0;
   std::atomic<uint64_t> mutation_version_{0};
   TableStats stats_;
+  /// Shredded strips over rows [0, segment row_count); detached wholesale by
+  /// UpdateRow before any covered row mutates, so a snapshot taken under the
+  /// shared latch always agrees with the row bytes it was shredded from.
+  std::shared_ptr<const ColumnarSegment> columnar_;
   mutable std::shared_mutex latch_;
 };
 

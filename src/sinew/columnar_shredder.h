@@ -1,0 +1,48 @@
+// Columnar shredder: builds a table's ColumnarSegment at flush/compaction
+// time (paper hybrid thesis at segment granularity — frequent attributes go
+// columnar, the reservoir stays authoritative for everything else).
+//
+// Strip selection mirrors the analyzer's catalog view: an attribute
+// qualifies when it is reservoir-resident (not materialized, not dirty),
+// scalar-typed, single-typed (a key observed with more than one type is
+// excluded — its comparisons are type-dependent and its values would split
+// across strips), and at least `min_density` dense. The shredder then
+// replays the exact chain-extraction the executor performs — canonical
+// object-id prefix descent plus one ExtractMany header pass per row — so a
+// strip value is byte-for-byte what sinew_extract_many would have decoded.
+
+#ifndef SINEW_SINEW_COLUMNAR_SHREDDER_H_
+#define SINEW_SINEW_COLUMNAR_SHREDDER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "engine/columnar.h"
+#include "engine/table.h"
+#include "sinew/catalog.h"
+
+namespace sinew {
+
+struct ShredOptions {
+  /// Minimum fraction of rows carrying the attribute. 0 shreds every
+  /// qualifying attribute — sparse attributes benefit most from zone-map
+  /// skipping (an all-null strip skips for free), so the default is 0.
+  double min_density = 0.0;
+  /// Cap on shredded attributes per table, densest first.
+  size_t max_columns = 4096;
+};
+
+/// Shreds rows [0, RowSlotCount) of `table` into a ColumnarSegment and
+/// attaches it. Returns the attached segment, or nullptr when there is
+/// nothing to shred (no rows, no reservoir column, no qualifying attribute)
+/// or the table mutated while shredding (the stale segment is discarded —
+/// shredding is an accelerator, never a correctness requirement).
+Result<std::shared_ptr<const engine::ColumnarSegment>> ShredAndAttachSegment(
+    engine::Table* table, const AttributeCatalog& catalog,
+    const std::string& table_name, const ShredOptions& options = {});
+
+}  // namespace sinew
+
+#endif  // SINEW_SINEW_COLUMNAR_SHREDDER_H_

@@ -255,6 +255,15 @@ Status DurableDb::FlushLocked() {
       (void)db_.AnalyzeAndMaterialize(table);
     }
   }
+  // Columnar shredding rides the same compaction: every table the delta
+  // touched gets a fresh strip segment over its now-cold rows, which the
+  // generation save below persists as a .strips sidecar. Best-effort — a
+  // table that cannot be shredded simply stays on the row reservoir.
+  if (db_.columnar_segments_enabled()) {
+    for (const std::string& table : touched_tables_) {
+      (void)db_.BuildColumnarSegments(table);
+    }
+  }
 
   // Version snapshot BEFORE serialization: a concurrent background-
   // maintenance mutation between snapshot and save makes the recorded

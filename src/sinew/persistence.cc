@@ -9,7 +9,9 @@
 #include "common/bytes.h"
 #include "common/image_io.h"
 #include "common/metrics.h"
+#include "engine/columnar.h"
 #include "engine/persist.h"
+#include "engine/table.h"
 #include "sinew/sinew_db.h"
 
 namespace sinew {
@@ -26,6 +28,50 @@ constexpr std::string_view kGenPrefix = "gen-";
 
 std::string TableImagePath(const std::string& dir, const std::string& table) {
   return dir + "/table_" + table + ".tbl";
+}
+
+/// Columnar strip sidecar: shredded column strips of the table's cold rows,
+/// written next to the row image. Strictly optional — a generation with a
+/// missing, truncated or corrupt sidecar loads fine on the row reservoir.
+std::string StripSidecarPath(const std::string& dir, const std::string& table) {
+  return TableImagePath(dir, table) + ".strips";
+}
+
+/// Best-effort sidecar load: attaches the generation's columnar segment to
+/// the freshly loaded table. Any failure — unreadable file, checksum
+/// mismatch, malformed strips, or a segment covering rows the image does not
+/// have — discards the sidecar and leaves the table on the row reservoir,
+/// which is always correct.
+void LoadStripSidecar(SinewDb* db, const std::string& table,
+                      const std::string& path, Env* env) {
+  static metrics::Counter* loaded =
+      metrics::GetCounter("columnar.sidecar_loads");
+  static metrics::Counter* rejected =
+      metrics::GetCounter("columnar.sidecar_rejected");
+  Result<std::string> payload = ReadImageFile(env, path);
+  if (!payload.ok()) {
+    rejected->Increment();
+    return;
+  }
+  Result<std::shared_ptr<const engine::ColumnarSegment>> segment =
+      engine::ColumnarSegment::Deserialize(*payload);
+  if (!segment.ok()) {
+    rejected->Increment();
+    return;
+  }
+  Result<engine::Table*> engine_table = db->engine()->catalog()->GetTable(table);
+  if (!engine_table.ok()) {
+    rejected->Increment();
+    return;
+  }
+  // The segment may cover fewer rows than the image (rows appended after the
+  // shred are the hot tail, served by the reservoir) but never more.
+  if ((*segment)->row_count() > (*engine_table)->RowSlotCount()) {
+    rejected->Increment();
+    return;
+  }
+  (*engine_table)->SetColumnarSegment(std::move(*segment));
+  loaded->Increment();
 }
 
 std::string ManifestPath(const std::string& dir) {
@@ -126,6 +172,8 @@ Status LoadGeneration(SinewDb* db, const std::string& gen_dir, Env* env) {
     RETURN_NOT_OK(engine::LoadTable(TableImagePath(gen_dir, table),
                                     db->engine()->catalog(), env)
                       .status());
+    const std::string strips = StripSidecarPath(gen_dir, table);
+    if (env->FileExists(strips)) LoadStripSidecar(db, table, strips, env);
   }
   return Status::OK();
 }
@@ -278,6 +326,15 @@ Result<uint64_t> SaveDatabaseGeneration(SinewDb* db,
     }
     if (!copied) {
       RETURN_NOT_OK(engine::SaveTable(*engine_table, dst, env));
+    }
+    // Columnar sidecar: an attached segment summarizes exactly the rows just
+    // serialized (mutators detach it before rewriting a covered row), so it
+    // persists alongside the image. Best-effort — a failed write only costs
+    // a re-shred after the next recovery, never the generation.
+    if (std::shared_ptr<const engine::ColumnarSegment> segment =
+            engine_table->ColumnarSegmentSnapshot()) {
+      (void)WriteImageFile(env, StripSidecarPath(gen_dir, table),
+                           segment->Serialize());
     }
   }
 

@@ -47,7 +47,8 @@ std::string DmlTargetTable(const engine::Statement& stmt) {
 }  // namespace
 
 SinewDb::SinewDb(SinewOptions options)
-    : db_(WithParallelism(options.planner, options.parallelism),
+    : options_(options),
+      db_(WithParallelism(options.planner, options.parallelism),
           options.exec),
       loader_(&db_, &catalog_),
       analyzer_(&db_, &catalog_, options.analyzer),
@@ -128,8 +129,7 @@ Result<engine::QueryResult> SinewDb::Query(std::string_view sql) {
     if (!result.ok()) exec_span.SetDetail(std::string(result.status().message()));
     exec_span.End();
     if (result.ok() || !result.status().IsAborted() ||
-        result.status().message().find("schema changed") ==
-            std::string::npos) {
+        result.status().message().find("replan") == std::string::npos) {
       return finish(std::move(result));
     }
     last = result.status();
@@ -164,6 +164,20 @@ Status SinewDb::MaterializeAll(const std::string& table) {
 Status SinewDb::AnalyzeAndMaterialize(const std::string& table) {
   RETURN_NOT_OK(analyzer_.AnalyzeTable(table).status());
   return materializer_.RunToCompletion(table);
+}
+
+Status SinewDb::BuildColumnarSegments(const std::string& table) {
+  if (!options_.enable_columnar_segments) return Status::OK();
+  if (!catalog_.HasTable(table)) {
+    return Status::NotFound("table ", table, " is not a Sinew table");
+  }
+  ASSIGN_OR_RETURN(engine::Table * engine_table,
+                   db_.catalog()->GetTable(table));
+  // Serialize against the loader/materializer: both rewrite rows, and a
+  // shred racing them would only build a segment it then has to discard.
+  std::lock_guard lock(catalog_.MaintenanceLatch(table));
+  return ShredAndAttachSegment(engine_table, catalog_, table, options_.shred)
+      .status();
 }
 
 Status SinewDb::ForceMaterialization(const std::string& table,

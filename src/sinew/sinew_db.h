@@ -32,6 +32,7 @@
 #include "common/result.h"
 #include "engine/database.h"
 #include "sinew/catalog.h"
+#include "sinew/columnar_shredder.h"
 #include "sinew/loader.h"
 #include "sinew/materializer.h"
 #include "sinew/rewriter.h"
@@ -50,6 +51,13 @@ struct SinewOptions {
   /// loader, and parallel row movement in the materializer. 1 = serial
   /// (the default; identical behavior to prior releases).
   int parallelism = 1;
+  /// Columnar reservoir segments: when true, BuildColumnarSegments (called
+  /// explicitly or by DurableDb at flush/compaction) shreds frequent
+  /// reservoir attributes of cold rows into column strips with zone maps,
+  /// and the generation image persists them as a sidecar. false = pure
+  /// row-reservoir behavior (identical to prior releases).
+  bool enable_columnar_segments = true;
+  ShredOptions shred;
 };
 
 /// Intercepts every mutating entry point of a SinewDb *before* the mutation
@@ -134,6 +142,17 @@ class SinewDb {
   /// Analyzer pass + full materialization (the common pairing).
   Status AnalyzeAndMaterialize(const std::string& table);
 
+  /// Shreds the table's current cold rows into a columnar segment and
+  /// attaches it (sinew/columnar_shredder.h). No-op when
+  /// enable_columnar_segments is false or nothing qualifies. DurableDb
+  /// calls this at flush/compaction; tests and benches may call it directly
+  /// to treat the loaded rows as a cold segment.
+  Status BuildColumnarSegments(const std::string& table);
+
+  bool columnar_segments_enabled() const {
+    return options_.enable_columnar_segments;
+  }
+
   /// Explicitly set one attribute's target representation (used by tests,
   /// benchmarks and ablations to pin a physical design).
   Status ForceMaterialization(const std::string& table,
@@ -175,6 +194,7 @@ class SinewDb {
  private:
   void BackgroundLoop(std::chrono::milliseconds period);
 
+  SinewOptions options_;
   engine::Database db_;
   AttributeCatalog catalog_;
   TextIndexMap indexes_;

@@ -148,7 +148,7 @@ TEST(SinewExtractExplainTest, GoldenNodeAndAnalyzeStats) {
   EXPECT_NE(text.find("SinewExtract (attrs=3, sources=1)"),
             std::string::npos)
       << text;
-  EXPECT_NE(text.find("(decodes=100 attrs=300)"), std::string::npos) << text;
+  EXPECT_NE(text.find("(decodes=100 attrs=300 columnar_hits=0)"), std::string::npos) << text;
   EXPECT_NE(text.find("actual rows=100"), std::string::npos) << text;
 }
 
