@@ -146,5 +146,6 @@ int main(int argc, char** argv) {
   sinew::bench::MaybeWriteMetrics(metrics_out, "fig6_columnar");
   sinew::bench::WriteBenchJson(sinew::bench::BenchOutDirFromArgs(argc, argv),
                                "fig6_columnar", records);
+  sinew::bench::MaybeWriteTrace(sinew::bench::TraceOutFromArgs(argc, argv));
   return 0;
 }

@@ -116,6 +116,7 @@ int main(int argc, char** argv) {
            &records);
   sinew::bench::WriteBenchJson(sinew::bench::BenchOutDirFromArgs(argc, argv),
                                "fig6_nobench", records);
+  sinew::bench::MaybeWriteTrace(sinew::bench::TraceOutFromArgs(argc, argv));
   std::printf(
       "\nPaper shape: Sinew fastest or tied on every query; PG-JSON and EAV\n"
       "an order of magnitude slower on projections/selections; MongoDB-like\n"

@@ -181,6 +181,9 @@ void RunIngest(int argc, char** argv) {
   }
   sinew::bench::WriteBenchJson(sinew::bench::BenchOutDirFromArgs(argc, argv),
                                "fig8_ingest", records);
+  sinew::bench::MaybeWriteMetrics(
+      sinew::bench::MetricsOutFromArgs(argc, argv), "fig8_ingest");
+  sinew::bench::MaybeWriteTrace(sinew::bench::TraceOutFromArgs(argc, argv));
 }
 
 }  // namespace

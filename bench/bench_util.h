@@ -98,6 +98,36 @@ inline void MaybeWriteMetrics(const std::string& path,
       << metrics::MetricsRegistry::Global()->DumpJson() << "}\n";
 }
 
+/// Destination for the Chrome trace-event JSON export of the span ring:
+/// `--trace-out=<path>` on the command line, else SINEW_BENCH_TRACE_OUT,
+/// else "" (disabled). The file loads in Perfetto / about:tracing and can be
+/// checked with bench/validate_trace.py.
+inline std::string TraceOutFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      return arg.substr(12);
+    }
+  }
+  if (const char* env = std::getenv("SINEW_BENCH_TRACE_OUT")) {
+    return env;
+  }
+  return "";
+}
+
+/// Writes MetricsRegistry::DumpChromeTrace() to `path` (overwrite). No-op
+/// when `path` is empty; under SINEW_METRICS=OFF builds the trace is empty.
+inline void MaybeWriteTrace(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "trace-out: cannot open %s\n", path.c_str());
+    return;
+  }
+  out << metrics::MetricsRegistry::Global()->DumpChromeTrace();
+  std::printf("wrote %s\n", path.c_str());
+}
+
 /// One machine-readable measurement from a benchmark binary. The JSON file
 /// adds the derived rows_per_sec / ns_per_row fields so downstream tooling
 /// (bench/compare_bench.py) never recomputes them differently.

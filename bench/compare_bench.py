@@ -29,11 +29,74 @@ carries a "rows" and a "strips" measurement per query:
 treats the first config as baseline and the second as candidate, matched on
 query. The regression flag then reads "strips slower than rows".
 
+With `--metrics-baseline=<path> --metrics-candidate=<path>` (the sidecars
+written by the binaries' `--metrics-out=` flag) the report also prints
+per-histogram latency percentiles (p50/p95/p99, bucket-interpolated by the
+metrics registry) for every run label the two sidecars share. A single
+sidecar can be inspected alone with `--metrics=<path>`. The percentile
+section is informational — only the (query, config) table gates the exit
+status.
+
 Stdlib only; no third-party dependencies.
 """
 
 import json
 import sys
+
+
+def load_metrics(path):
+    """Parses a --metrics-out sidecar: concatenated {"run":..,"metrics":..}
+    objects (one multi-line JSON object per benchmark run)."""
+    decoder = json.JSONDecoder()
+    with open(path) as f:
+        text = f.read()
+    runs = {}
+    idx = 0
+    while idx < len(text):
+        while idx < len(text) and text[idx].isspace():
+            idx += 1
+        if idx >= len(text):
+            break
+        obj, idx = decoder.raw_decode(text, idx)
+        runs[obj.get("run", f"run{len(runs)}")] = obj.get("metrics", {})
+    return runs
+
+
+def print_percentiles(base_runs, cand_runs, title):
+    """Per-histogram p50/p95/p99 columns; candidate columns only when a
+    second sidecar is present."""
+    print(f"\n--- histogram percentiles ({title}) ---")
+    diff = cand_runs is not None
+    if diff:
+        header = (f"{'run':<16} {'histogram':<28} "
+                  f"{'p50':>10} {'p50 cand':>10} "
+                  f"{'p95':>10} {'p95 cand':>10} "
+                  f"{'p99':>10} {'p99 cand':>10}")
+    else:
+        header = (f"{'run':<16} {'histogram':<28} "
+                  f"{'p50_ns':>12} {'p95_ns':>12} {'p99_ns':>12}")
+    print(header)
+    labels = sorted(set(base_runs) & set(cand_runs)) if diff \
+        else sorted(base_runs)
+    for label in labels:
+        base_hists = base_runs[label].get("histograms", {})
+        cand_hists = (cand_runs[label].get("histograms", {})
+                      if diff else {})
+        names = sorted(set(base_hists) | set(cand_hists)) if diff \
+            else sorted(base_hists)
+        for name in names:
+            b = base_hists.get(name, {})
+            if diff:
+                c = cand_hists.get(name, {})
+                print(f"{label:<16} {name:<28} "
+                      f"{b.get('p50_ns', 0):>10.0f} {c.get('p50_ns', 0):>10.0f} "
+                      f"{b.get('p95_ns', 0):>10.0f} {c.get('p95_ns', 0):>10.0f} "
+                      f"{b.get('p99_ns', 0):>10.0f} {c.get('p99_ns', 0):>10.0f}")
+            else:
+                print(f"{label:<16} {name:<28} "
+                      f"{b.get('p50_ns', 0):>12.0f} "
+                      f"{b.get('p95_ns', 0):>12.0f} "
+                      f"{b.get('p99_ns', 0):>12.0f}")
 
 
 def load(path):
@@ -68,11 +131,22 @@ def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     threshold = 0.10
     configs = None
+    metrics_base = metrics_cand = metrics_single = None
     for a in argv[1:]:
         if a.startswith("--threshold="):
             threshold = float(a.split("=", 1)[1])
         if a.startswith("--configs="):
             configs = a.split("=", 1)[1]
+        if a.startswith("--metrics-baseline="):
+            metrics_base = a.split("=", 1)[1]
+        if a.startswith("--metrics-candidate="):
+            metrics_cand = a.split("=", 1)[1]
+        if a.startswith("--metrics="):
+            metrics_single = a.split("=", 1)[1]
+    if metrics_single is not None and not args:
+        # Inspect one sidecar's percentiles without a BENCH_*.json diff.
+        print_percentiles(load_metrics(metrics_single), None, metrics_single)
+        return 0
     if configs is not None and len(args) == 1:
         base, cand = split_configs(args[0], configs)
     elif len(args) == 2:
@@ -107,6 +181,13 @@ def main(argv):
         print(f"{key[0]:<12} {key[1]:<16} only in baseline")
     for key in only_cand:
         print(f"{key[0]:<12} {key[1]:<16} only in candidate")
+
+    if metrics_base is not None and metrics_cand is not None:
+        print_percentiles(load_metrics(metrics_base),
+                          load_metrics(metrics_cand),
+                          "baseline vs candidate")
+    elif metrics_single is not None:
+        print_percentiles(load_metrics(metrics_single), None, metrics_single)
 
     if regressions:
         worst = max(regressions, key=lambda kv: kv[1])

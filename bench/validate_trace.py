@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file exported by the metrics registry.
+
+Usage:
+    python3 bench/validate_trace.py TRACE.json [TRACE2.json ...]
+    python3 bench/validate_trace.py --self-test
+
+Checks the structural contract of MetricsRegistry::DumpChromeTrace() /
+SinewDb::DumpTrace() output, so the telemetry tests (and CI) can assert that
+an exported trace will load in Perfetto / about:tracing with the span tree
+intact:
+
+  - top level is an object with a "traceEvents" array (displayTimeUnit is
+    optional but must be a string when present);
+  - every event is a complete-duration event: ph == "X" with a non-empty
+    string "name", numeric pid/tid, and numeric non-negative ts/dur;
+  - every event carries args.trace_id / args.span_id / args.parent_span_id
+    as non-negative integers, with span_id != 0 and unique across the file;
+  - parent_span_id is either 0 (root span) or resolves to the span_id of
+    another event in the SAME trace (cross-trace parenting is a bug);
+  - a trace with zero events is rejected (an empty export means the span
+    ring never saw a span — almost always a wiring bug in the caller).
+
+Exit status 0 when every file passes, 1 otherwise. Stdlib only.
+"""
+
+import json
+import sys
+
+REQUIRED_ARG_KEYS = ("trace_id", "span_id", "parent_span_id")
+
+
+def validate(doc, errors):
+    """Appends human-readable problems found in the parsed trace `doc` to
+    `errors`. Returns the number of events checked."""
+    if not isinstance(doc, dict):
+        errors.append("top level is not a JSON object")
+        return 0
+    if "displayTimeUnit" in doc and not isinstance(doc["displayTimeUnit"],
+                                                  str):
+        errors.append("displayTimeUnit is not a string")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append('missing or non-array "traceEvents"')
+        return 0
+    if not events:
+        errors.append("traceEvents is empty (no spans were recorded)")
+        return 0
+
+    # First pass: per-event shape + collect span ids per trace.
+    spans_by_trace = {}  # trace_id -> set of span_ids
+    for i, ev in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing or empty name")
+        else:
+            where = f"event[{i}] ({name})"
+        if ev.get("ph") != "X":
+            errors.append(f'{where}: ph is {ev.get("ph")!r}, expected "X"')
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), (int, float)):
+                errors.append(f"{where}: missing numeric {key}")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)):
+                errors.append(f"{where}: missing numeric {key}")
+            elif v < 0:
+                errors.append(f"{where}: negative {key} ({v})")
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            errors.append(f"{where}: missing args object")
+            continue
+        bad_id = False
+        for key in REQUIRED_ARG_KEYS:
+            v = args.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                errors.append(f"{where}: args.{key} is not a non-negative "
+                              f"integer ({v!r})")
+                bad_id = True
+        if bad_id:
+            continue
+        span_id = args["span_id"]
+        if span_id == 0:
+            errors.append(f"{where}: span_id is 0 (unassigned)")
+            continue
+        trace_spans = spans_by_trace.setdefault(args["trace_id"], set())
+        if span_id in trace_spans:
+            errors.append(f"{where}: duplicate span_id {span_id}")
+        trace_spans.add(span_id)
+
+    # Second pass: parent resolution within the same trace.
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            continue
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            continue
+        parent = args.get("parent_span_id")
+        trace_id = args.get("trace_id")
+        if not isinstance(parent, int) or isinstance(parent, bool):
+            continue  # already reported above
+        if parent == 0:
+            continue  # root span
+        name = ev.get("name", "?")
+        if parent not in spans_by_trace.get(trace_id, set()):
+            errors.append(f"event[{i}] ({name}): parent_span_id {parent} "
+                          f"does not resolve within trace {trace_id}")
+    return len(events)
+
+
+def validate_file(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: FAIL ({e})")
+        return False
+    n = validate(doc, errors)
+    if errors:
+        print(f"{path}: FAIL ({len(errors)} problem(s) in {n} event(s))")
+        for e in errors[:20]:
+            print(f"  {e}")
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more")
+        return False
+    traces = len({ev["args"]["trace_id"] for ev in doc["traceEvents"]})
+    print(f"{path}: OK ({n} span(s), {traces} trace(s))")
+    return True
+
+
+def self_test():
+    """Synthetic traces through the validator: the good one must pass, each
+    corruption must be caught."""
+    def event(name="query", ts=0, dur=10, trace=1, span=2, parent=0, **kw):
+        ev = {"name": name, "cat": "sinew", "ph": "X", "pid": 1, "tid": 7,
+              "ts": ts, "dur": dur,
+              "args": {"trace_id": trace, "span_id": span,
+                       "parent_span_id": parent}}
+        ev.update(kw)
+        return ev
+
+    good = {"displayTimeUnit": "ms",
+            "traceEvents": [event(span=2),
+                            event("exec.gather.worker", ts=1, dur=5, span=3,
+                                  parent=2)]}
+    cases = [
+        ("valid two-span trace", good, True),
+        ("empty traceEvents", {"traceEvents": []}, False),
+        ("missing traceEvents", {"events": []}, False),
+        ("wrong ph", {"traceEvents": [event(ph="B")]}, False),
+        ("zero span_id", {"traceEvents": [event(span=0)]}, False),
+        ("duplicate span_id",
+         {"traceEvents": [event(span=2), event(span=2)]}, False),
+        ("dangling parent",
+         {"traceEvents": [event(span=2, parent=99)]}, False),
+        ("cross-trace parent",
+         {"traceEvents": [event(trace=1, span=2),
+                          event(trace=5, span=3, parent=2)]}, False),
+        ("negative dur", {"traceEvents": [event(dur=-1)]}, False),
+        ("missing args",
+         {"traceEvents": [{"name": "q", "ph": "X", "pid": 1, "tid": 1,
+                           "ts": 0, "dur": 1}]}, False),
+    ]
+    failed = 0
+    for label, doc, want_ok in cases:
+        errors = []
+        validate(doc, errors)
+        got_ok = not errors
+        status = "ok" if got_ok == want_ok else "MISMATCH"
+        if got_ok != want_ok:
+            failed += 1
+        print(f"  self-test: {label:<24} expect "
+              f"{'pass' if want_ok else 'fail'} -> "
+              f"{'pass' if got_ok else 'fail'}  {status}")
+    if failed:
+        print(f"self-test: {failed} case(s) MISMATCHED")
+        return 1
+    print(f"self-test: all {len(cases)} cases behaved as expected")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv[1:]:
+        return self_test()
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+    if not paths:
+        print(__doc__.strip())
+        return 2
+    ok = True
+    for path in paths:
+        ok = validate_file(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

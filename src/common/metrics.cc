@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iomanip>
 #include <sstream>
 
 namespace sinew::metrics {
@@ -46,6 +47,40 @@ void AppendJsonString(std::ostringstream& out, std::string_view s) {
 
 }  // namespace
 
+namespace internal {
+
+uint64_t NextId() {
+  // 0 is the "unset" sentinel, so the first allocated ID is 1.
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanIds* TlsSpan() {
+  thread_local SpanIds current;
+  return &current;
+}
+
+uint32_t CurrentTid() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+SpanIds BeginSpan(TraceEvent* event) {
+  SpanIds* tls = TlsSpan();
+  const SpanIds saved = *tls;
+  event->trace_id = saved.trace_id != 0 ? saved.trace_id : NextId();
+  event->parent_span_id = saved.span_id;
+  event->span_id = NextId();
+  event->tid = CurrentTid();
+  *tls = SpanIds{event->trace_id, event->span_id};
+  return saved;
+}
+
+void EndSpan(const SpanIds& saved) { *TlsSpan() = saved; }
+
+}  // namespace internal
+
 uint64_t Histogram::ApproxQuantile(double p) const {
   uint64_t total = count();
   if (total == 0) return 0;
@@ -60,6 +95,30 @@ uint64_t Histogram::ApproxQuantile(double p) const {
     }
   }
   return sum();  // racing Reset(); any answer is fine
+}
+
+double Histogram::QuantileInterpolated(double p) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  double target = p * static_cast<double>(total);
+  target = std::max(1.0, std::min(target, static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(seen + in_bucket) >= target && in_bucket > 0) {
+      if (i == 0) return 0;  // bucket 0 holds only the value 0
+      // Bucket i covers [2^(i-1), 2^i); place the quantile by its rank
+      // position inside the bucket, assuming a uniform spread.
+      const double lower =
+          static_cast<double>(uint64_t{1} << std::min<size_t>(i - 1, 62));
+      const double upper = 2.0 * lower;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(sum());  // racing Reset(); any answer is fine
 }
 
 std::vector<uint64_t> Histogram::BucketCounts() const {
@@ -108,7 +167,7 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
 std::vector<Sample> MetricsRegistry::Snapshot() const {
   std::vector<Sample> out;
   std::lock_guard lock(mu_);
-  out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size());
+  out.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
   for (const auto& [name, c] : counters_) {
     out.push_back(Sample{name, "counter", static_cast<double>(c->value())});
   }
@@ -121,9 +180,11 @@ std::vector<Sample> MetricsRegistry::Snapshot() const {
     out.push_back(
         Sample{name + ".sum_ns", "histogram", static_cast<double>(h->sum())});
     out.push_back(Sample{name + ".p50_ns", "histogram",
-                         static_cast<double>(h->ApproxQuantile(0.5))});
+                         h->QuantileInterpolated(0.5)});
+    out.push_back(Sample{name + ".p95_ns", "histogram",
+                         h->QuantileInterpolated(0.95)});
     out.push_back(Sample{name + ".p99_ns", "histogram",
-                         static_cast<double>(h->ApproxQuantile(0.99))});
+                         h->QuantileInterpolated(0.99)});
   }
   std::sort(out.begin(), out.end(),
             [](const Sample& a, const Sample& b) { return a.name < b.name; });
@@ -158,8 +219,9 @@ std::string MetricsRegistry::DumpJson() const {
     first = false;
     AppendJsonString(out, name);
     out << ": {\"count\": " << h->count() << ", \"sum_ns\": " << h->sum()
-        << ", \"p50_ns\": " << h->ApproxQuantile(0.5)
-        << ", \"p99_ns\": " << h->ApproxQuantile(0.99) << "}";
+        << ", \"p50_ns\": " << h->QuantileInterpolated(0.5)
+        << ", \"p95_ns\": " << h->QuantileInterpolated(0.95)
+        << ", \"p99_ns\": " << h->QuantileInterpolated(0.99) << "}";
   }
   out << (first ? "},\n" : "\n  },\n");
   out << "  \"trace\": [";
@@ -206,6 +268,61 @@ std::vector<TraceEvent> MetricsRegistry::TraceEvents() const {
   return out;
 }
 
+void MetricsRegistry::AddSpan(TraceEvent event) {
+  std::lock_guard lock(mu_);
+  if (spans_.size() < kSpanCapacity) {
+    spans_.push_back(std::move(event));
+  } else {
+    spans_[spans_next_] = std::move(event);
+    spans_next_ = (spans_next_ + 1) % kSpanCapacity;
+    ++spans_dropped_;
+  }
+}
+
+std::vector<TraceEvent> MetricsRegistry::SpanEvents() const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(spans_.size());
+  const size_t n = spans_.size();
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(spans_[n < kSpanCapacity ? i : (spans_next_ + i) % n]);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpChromeTrace() const {
+  std::vector<TraceEvent> spans = SpanEvents();
+  // Rebase timestamps to the earliest span: the viewer only needs relative
+  // time, and absolute steady-clock nanoseconds overflow the default stream
+  // precision (every ts would round to the same value).
+  uint64_t base_ns = 0;
+  for (const TraceEvent& e : spans) {
+    if (base_ns == 0 || e.start_ns < base_ns) base_ns = e.start_ns;
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3);
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : spans) {
+    out << (first ? "\n" : ",\n") << "  {\"name\": ";
+    first = false;
+    AppendJsonString(out, e.name);
+    // Complete ("X") events in microseconds, the trace-event format's unit.
+    out << ", \"cat\": \"sinew\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << e.tid << ", \"ts\": "
+        << static_cast<double>(e.start_ns - base_ns) / 1e3
+        << ", \"dur\": " << static_cast<double>(e.duration_ns) / 1e3
+        << ", \"args\": {\"trace_id\": " << e.trace_id
+        << ", \"span_id\": " << e.span_id
+        << ", \"parent_span_id\": " << e.parent_span_id
+        << ", \"rows\": " << e.rows << ", \"detail\": ";
+    AppendJsonString(out, e.detail);
+    out << "}}";
+  }
+  out << (first ? "]}\n" : "\n]}\n");
+  return out.str();
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
@@ -214,6 +331,9 @@ void MetricsRegistry::Reset() {
   trace_.clear();
   trace_next_ = 0;
   trace_dropped_ = 0;
+  spans_.clear();
+  spans_next_ = 0;
+  spans_dropped_ = 0;
 }
 
 MetricsRegistry* MetricsRegistry::Global() {

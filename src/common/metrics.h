@@ -65,9 +65,59 @@ struct TraceEvent {
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
   uint64_t rows = 0;
+  /// Structured span identity. Spans (TraceContext::Span, ScopedSpan) stamp
+  /// all four from the thread-local span stack; audit records appended via
+  /// AddTrace may leave them 0. trace_id groups every span of one logical
+  /// operation (a query, a flush); parent_span_id = 0 marks a root span.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  uint32_t tid = 0;  // small per-thread ordinal, stable for the thread's life
+};
+
+/// The (trace, span) pair identifying the span currently open on a thread.
+/// Captured on one thread and adopted on another (SpanIdScope), it stitches
+/// cross-thread work — Gather workers, pool-run background passes — into the
+/// trace of the operation that spawned it.
+struct SpanIds {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 
 #if !defined(SINEW_METRICS_DISABLED)
+
+namespace internal {
+/// Process-unique span/trace ID allocator (never returns 0).
+uint64_t NextId();
+/// The thread's current span (the parent of any span started here).
+SpanIds* TlsSpan();
+/// Small stable per-thread ordinal for trace display.
+uint32_t CurrentTid();
+/// Stamps trace/span/parent/tid onto `event` from the thread-local span
+/// stack (allocating a fresh trace ID when none is open), installs the new
+/// span as current, and returns the previous value for EndSpan to restore.
+SpanIds BeginSpan(TraceEvent* event);
+void EndSpan(const SpanIds& saved);
+}  // namespace internal
+
+/// The span IDs a child thread should adopt to join this thread's trace.
+inline SpanIds CurrentSpanIds() { return *internal::TlsSpan(); }
+
+/// RAII adoption of a parent span captured on another thread: spans started
+/// inside the scope parent to it (and share its trace ID). Restores the
+/// thread's previous span state on destruction.
+class SpanIdScope {
+ public:
+  explicit SpanIdScope(SpanIds parent) : prev_(*internal::TlsSpan()) {
+    *internal::TlsSpan() = parent;
+  }
+  SpanIdScope(const SpanIdScope&) = delete;
+  SpanIdScope& operator=(const SpanIdScope&) = delete;
+  ~SpanIdScope() { *internal::TlsSpan() = prev_; }
+
+ private:
+  SpanIds prev_;
+};
 
 class Counter {
  public:
@@ -121,6 +171,10 @@ class Histogram {
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Upper bound of the bucket holding the p-quantile (0 < p <= 1).
   uint64_t ApproxQuantile(double p) const;
+  /// Like ApproxQuantile but linearly interpolated inside the bucket's
+  /// [2^(i-1), 2^i) range by the quantile's rank position, so reported
+  /// percentiles move smoothly instead of jumping between powers of two.
+  double QuantileInterpolated(double p) const;
   /// Per-bucket counts (index = bit width of the observed value).
   std::vector<uint64_t> BucketCounts() const;
   void Reset();
@@ -148,6 +202,17 @@ class MetricsRegistry {
   void AddTrace(TraceEvent event);
   std::vector<TraceEvent> TraceEvents() const;
 
+  /// Appends a completed span to the bounded span ring — larger than the
+  /// audit ring so a whole bench run's worth of query/worker/background
+  /// spans survives for export. Spans record here on End().
+  void AddSpan(TraceEvent event);
+  std::vector<TraceEvent> SpanEvents() const;
+
+  /// The span ring as Chrome trace-event JSON ({"traceEvents": [...]}),
+  /// loadable directly in Perfetto / chrome://tracing. Span identity rides
+  /// in each event's args (trace_id / span_id / parent_span_id).
+  std::string DumpChromeTrace() const;
+
   /// Zeroes every registered metric and clears the trace ring. Metric
   /// pointers stay valid (tests reset between queries without re-fetching).
   void Reset();
@@ -157,6 +222,7 @@ class MetricsRegistry {
 
  private:
   static constexpr size_t kTraceCapacity = 256;
+  static constexpr size_t kSpanCapacity = 4096;
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
@@ -165,12 +231,56 @@ class MetricsRegistry {
   std::vector<TraceEvent> trace_;  // ring; trace_next_ is the write cursor
   size_t trace_next_ = 0;
   uint64_t trace_dropped_ = 0;
+  std::vector<TraceEvent> spans_;  // ring; spans_next_ is the write cursor
+  size_t spans_next_ = 0;
+  uint64_t spans_dropped_ = 0;
+};
+
+/// Standalone RAII span recording straight into the global span ring —
+/// for work that has no TraceContext at hand (Gather workers, DurableDb
+/// flushes, shredder/materializer passes). Stamps trace/span/parent IDs
+/// from the thread-local span stack exactly like TraceContext::Span, so a
+/// ScopedSpan opened under an adopted SpanIdScope parents correctly into
+/// the originating query's trace. Spans must end LIFO per thread.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, std::string detail = "")
+      : start_ns_(NowNanos()) {
+    event_.name = std::move(name);
+    event_.detail = std::move(detail);
+    event_.start_ns = start_ns_;
+    saved_ = internal::BeginSpan(&event_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { End(); }
+
+  void SetRows(uint64_t rows) { event_.rows = rows; }
+  void SetDetail(std::string detail) { event_.detail = std::move(detail); }
+  void End() {
+    if (done_) return;
+    done_ = true;
+    event_.duration_ns = NowNanos() - start_ns_;
+    internal::EndSpan(saved_);
+    MetricsRegistry::Global()->AddSpan(std::move(event_));
+  }
+
+ private:
+  bool done_ = false;
+  SpanIds saved_;
+  uint64_t start_ns_;
+  TraceEvent event_;
 };
 
 /// Per-query trace context: spans with begin/end wall clock and row counts.
 /// Gather workers do not carry the context itself — per-operator actuals
 /// flow through the shared atomic PlanStats (engine/exec.h) instead; the
-/// context records the query-level phases (rewrite, plan, execute).
+/// context records the query-level phases (rewrite, plan, execute). Spans
+/// carry trace/span/parent IDs from the thread-local span stack (nested
+/// spans parent to the enclosing one; workers adopt via SpanIdScope), and
+/// every recorded span is also forwarded to the global span ring so
+/// DumpChromeTrace() sees query phases next to worker/background spans.
+/// Spans must end LIFO per thread.
 class TraceContext {
  public:
   /// RAII span: records on destruction (or explicit End()).
@@ -180,30 +290,37 @@ class TraceContext {
         : ctx_(ctx), start_ns_(NowNanos()) {
       event_.name = std::move(name);
       event_.start_ns = start_ns_;
+      saved_ = internal::BeginSpan(&event_);
     }
     Span(Span&& other) noexcept
         : ctx_(std::exchange(other.ctx_, nullptr)),
           start_ns_(other.start_ns_),
+          saved_(other.saved_),
           event_(std::move(other.event_)) {}
     Span& operator=(Span&&) = delete;
     ~Span() { End(); }
 
     void SetRows(uint64_t rows) { event_.rows = rows; }
     void SetDetail(std::string detail) { event_.detail = std::move(detail); }
+    /// The IDs under which this span is current (for handing to workers).
+    SpanIds ids() const { return SpanIds{event_.trace_id, event_.span_id}; }
     void End() {
       if (ctx_ == nullptr) return;
       event_.duration_ns = NowNanos() - start_ns_;
+      internal::EndSpan(saved_);
       std::exchange(ctx_, nullptr)->Record(std::move(event_));
     }
 
    private:
     TraceContext* ctx_;
     uint64_t start_ns_;
+    SpanIds saved_;
     TraceEvent event_;
   };
 
   Span StartSpan(std::string name) { return Span(this, std::move(name)); }
   void Record(TraceEvent event) {
+    MetricsRegistry::Global()->AddSpan(event);
     std::lock_guard lock(mu_);
     events_.push_back(std::move(event));
   }
@@ -222,6 +339,25 @@ class TraceContext {
 };
 
 #else  // SINEW_METRICS_DISABLED: same API, every operation a no-op.
+
+inline SpanIds CurrentSpanIds() { return SpanIds{}; }
+
+class SpanIdScope {
+ public:
+  explicit SpanIdScope(SpanIds) {}
+  SpanIdScope(const SpanIdScope&) = delete;
+  SpanIdScope& operator=(const SpanIdScope&) = delete;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string, std::string = "") {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  void SetRows(uint64_t) {}
+  void SetDetail(std::string) {}
+  void End() {}
+};
 
 class Counter {
  public:
@@ -248,6 +384,7 @@ class Histogram {
   uint64_t count() const { return 0; }
   uint64_t sum() const { return 0; }
   uint64_t ApproxQuantile(double) const { return 0; }
+  double QuantileInterpolated(double) const { return 0; }
   std::vector<uint64_t> BucketCounts() const { return {}; }
   void Reset() {}
 };
@@ -261,6 +398,9 @@ class MetricsRegistry {
   std::string DumpJson() const { return "{}"; }
   void AddTrace(TraceEvent) {}
   std::vector<TraceEvent> TraceEvents() const { return {}; }
+  void AddSpan(TraceEvent) {}
+  std::vector<TraceEvent> SpanEvents() const { return {}; }
+  std::string DumpChromeTrace() const { return "{\"traceEvents\": []}\n"; }
   void Reset() {}
   static MetricsRegistry* Global();
 
@@ -279,6 +419,7 @@ class TraceContext {
     Span& operator=(Span&&) = delete;
     void SetRows(uint64_t) {}
     void SetDetail(std::string) {}
+    SpanIds ids() const { return SpanIds{}; }
     void End() {}
   };
   Span StartSpan(std::string name) { return Span(this, std::move(name)); }

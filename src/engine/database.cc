@@ -5,20 +5,51 @@
 #include <sstream>
 
 #include "common/metrics.h"
+#include "common/query_log.h"
 
 namespace sinew::engine {
 
 namespace {
 
-/// Virtual system table: SELECT-ing from it serves a snapshot of the global
-/// metrics registry through the ordinary planner/executor.
+/// Virtual system tables: SELECT-ing from them serves a snapshot of the
+/// global metrics registry / workload query log through the ordinary
+/// planner/executor. `sinew_attribute_stats` is refreshed by the Sinew
+/// layer (it owns the attribute dictionary), but its name is reserved here
+/// so user DDL can never squat on it.
 constexpr std::string_view kMetricsTableName = "sinew_metrics";
+constexpr std::string_view kQueryLogTableName = "sinew_query_log";
+constexpr std::string_view kAttributeStatsTableName = "sinew_attribute_stats";
 
-bool ReferencesMetricsTable(const SelectStatement& stmt) {
+bool ReferencesTable(const SelectStatement& stmt, std::string_view name) {
   return std::any_of(stmt.from.begin(), stmt.from.end(),
-                     [](const TableRef& ref) {
-                       return ref.table_name == kMetricsTableName;
+                     [name](const TableRef& ref) {
+                       return ref.table_name == name;
                      });
+}
+
+/// Delete + re-append refresh idiom for system tables: concurrent readers
+/// may hold the Table*, and plans are built against it, so the table object
+/// must survive refreshes.
+Status ClearTableRows(Table* table) {
+  const uint64_t end = table->RowSlotCount();
+  for (uint64_t rid = 0; rid < end; ++rid) {
+    if (table->IsLive(rid)) RETURN_NOT_OK(table->DeleteRow(rid));
+  }
+  return Status::OK();
+}
+
+/// Walks the plan tree summing base-scan actuals into the exec info.
+void AccumulateScanStats(const PlanNode& node, const PlanStats& stats,
+                         QueryExecInfo* info) {
+  if (node.kind == PlanKind::kSeqScan) {
+    if (OperatorStats* s = stats.For(node)) {
+      info->rows_in += s->rows.load(std::memory_order_relaxed);
+      info->zone_skips += s->zone_skips.load(std::memory_order_relaxed);
+    }
+  }
+  for (const auto& child : node.children) {
+    AccumulateScanStats(*child, stats, info);
+  }
 }
 
 /// Splits multi-line text into one QueryResult text row per line, the shape
@@ -88,15 +119,37 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
 }
 
 Result<PlanPtr> Database::PlanStatement(const SelectStatement& stmt) {
-  RETURN_NOT_OK(MaybeRefreshMetricsTable(stmt));
+  RETURN_NOT_OK(MaybeRefreshSystemTables(stmt));
   Planner planner(&catalog_, &udfs_, planner_options_);
   return planner.PlanSelect(stmt);
 }
 
 Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
+  return ExecuteStatement(stmt, nullptr);
+}
+
+Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
+                                               QueryExecInfo* info) {
+  if (info != nullptr && stmt.kind != StatementKind::kSelect) {
+    // Non-SELECT statements get wall-clock + affected-rows telemetry only.
+    const uint64_t start = metrics::NowNanos();
+    Result<QueryResult> result = ExecuteStatement(stmt);
+    info->exec_ns = metrics::NowNanos() - start;
+    if (result.ok()) {
+      if (result->rows.size() == 1 && result->column_names.size() == 1 &&
+          result->column_names[0] == "count" &&
+          result->rows[0][0].is_int()) {
+        info->rows_out =
+            static_cast<uint64_t>(result->rows[0][0].int_value());
+      } else {
+        info->rows_out = result->rows.size();
+      }
+    }
+    return result;
+  }
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(*stmt.select);
+      return ExecuteSelect(*stmt.select, info);
     case StatementKind::kExplain:
       return ExecuteExplain(stmt);
     case StatementKind::kCreateTable:
@@ -130,9 +183,39 @@ Result<std::string> Database::Explain(std::string_view sql) {
   return plan->DebugString();
 }
 
-Result<QueryResult> Database::ExecuteSelect(const SelectStatement& stmt) {
+Result<QueryResult> Database::ExecuteSelect(const SelectStatement& stmt,
+                                            QueryExecInfo* info) {
+  const uint64_t plan_start = metrics::NowNanos();
   ASSIGN_OR_RETURN(PlanPtr plan, PlanStatement(stmt));
-  return ExecutePlan(*plan, &udfs_, exec_options_);
+  const uint64_t plan_ns = metrics::NowNanos() - plan_start;
+  if (info == nullptr) {
+    return ExecutePlan(*plan, &udfs_, exec_options_);
+  }
+  info->plan_ns = plan_ns;
+  info->plan_hash = qlog::HashFingerprint(plan->DebugString());
+  // Collect per-node actuals with counters only; operator wall-clock timing
+  // (time_operators) stays off — two clock reads per batch per operator is
+  // the overhead the telemetry budget doesn't spend on every query.
+  PlanStats stats(*plan);
+  ExecOptions options = exec_options_;
+  options.stats = &stats;
+  const uint64_t exec_start = metrics::NowNanos();
+  Result<QueryResult> result = ExecutePlan(*plan, &udfs_, options);
+  info->exec_ns = metrics::NowNanos() - exec_start;
+  AccumulateScanStats(*plan, stats, info);
+  if (OperatorStats* root = stats.For(*plan)) {
+    info->batches = root->batches.load(std::memory_order_relaxed);
+  }
+  if (result.ok()) info->rows_out = result->rows.size();
+  if (slow_query_threshold_ns_ > 0 &&
+      info->exec_ns > slow_query_threshold_ns_ && result.ok()) {
+    // Slow query: dump the annotated plan tree into the trace ring. Per-op
+    // times print as 0 (timing off, see above); cardinality actuals are live.
+    metrics::MetricsRegistry::Global()->AddTrace(metrics::TraceEvent{
+        "query.slow", ExplainAnalyzeText(*plan, stats), exec_start,
+        info->exec_ns, info->rows_out});
+  }
+  return result;
 }
 
 Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
@@ -159,9 +242,18 @@ Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
   return TextResult("QUERY PLAN", text.str());
 }
 
-Status Database::MaybeRefreshMetricsTable(const SelectStatement& stmt) {
-  if (!ReferencesMetricsTable(stmt)) return Status::OK();
-  std::lock_guard lock(metrics_table_mu_);
+Status Database::MaybeRefreshSystemTables(const SelectStatement& stmt) {
+  if (ReferencesTable(stmt, kMetricsTableName)) {
+    RETURN_NOT_OK(RefreshMetricsTable());
+  }
+  if (ReferencesTable(stmt, kQueryLogTableName)) {
+    RETURN_NOT_OK(RefreshQueryLogTable());
+  }
+  return Status::OK();
+}
+
+Status Database::RefreshMetricsTable() {
+  std::lock_guard lock(system_table_mu_);
   Table* table = nullptr;
   Result<Table*> existing = catalog_.GetTable(std::string(kMetricsTableName));
   if (existing.ok()) {
@@ -176,12 +268,7 @@ Status Database::MaybeRefreshMetricsTable(const SelectStatement& stmt) {
                                 std::string(kMetricsTableName),
                                 std::move(schema)));
   }
-  // Refresh in place (delete + append) rather than drop/recreate: concurrent
-  // readers may hold the Table*, and plans are built against it.
-  const uint64_t end = table->RowSlotCount();
-  for (uint64_t rid = 0; rid < end; ++rid) {
-    if (table->IsLive(rid)) RETURN_NOT_OK(table->DeleteRow(rid));
-  }
+  RETURN_NOT_OK(ClearTableRows(table));
   for (const metrics::Sample& s : metrics::MetricsRegistry::Global()
                                       ->Snapshot()) {
     DatumRow row;
@@ -193,10 +280,73 @@ Status Database::MaybeRefreshMetricsTable(const SelectStatement& stmt) {
   return Status::OK();
 }
 
+Status Database::RefreshQueryLogTable() {
+  std::lock_guard lock(system_table_mu_);
+  Table* table = nullptr;
+  Result<Table*> existing = catalog_.GetTable(std::string(kQueryLogTableName));
+  if (existing.ok()) {
+    table = *existing;
+  } else {
+    Schema schema;
+    auto add_int = [&schema](const char* name) {
+      return schema.AddColumn(Column{name, ColumnType::kInt, false});
+    };
+    RETURN_NOT_OK(add_int("ordinal"));
+    RETURN_NOT_OK(
+        schema.AddColumn(Column{"fingerprint", ColumnType::kText, false}));
+    RETURN_NOT_OK(add_int("fingerprint_hash"));
+    RETURN_NOT_OK(add_int("plan_hash"));
+    RETURN_NOT_OK(add_int("trace_id"));
+    RETURN_NOT_OK(add_int("parse_ns"));
+    RETURN_NOT_OK(add_int("plan_ns"));
+    RETURN_NOT_OK(add_int("exec_ns"));
+    RETURN_NOT_OK(add_int("total_ns"));
+    RETURN_NOT_OK(add_int("rows_in"));
+    RETURN_NOT_OK(add_int("rows_out"));
+    RETURN_NOT_OK(add_int("batches"));
+    RETURN_NOT_OK(add_int("zone_skips"));
+    RETURN_NOT_OK(add_int("replans"));
+    RETURN_NOT_OK(
+        schema.AddColumn(Column{"status", ColumnType::kText, false}));
+    RETURN_NOT_OK(schema.AddColumn(Column{"error", ColumnType::kText, false}));
+    ASSIGN_OR_RETURN(table, catalog_.CreateTable(
+                                std::string(kQueryLogTableName),
+                                std::move(schema)));
+  }
+  RETURN_NOT_OK(ClearTableRows(table));
+  // uint64 hashes are stored as the bit-equivalent signed value; joins and
+  // equality comparisons against other logged hashes stay exact.
+  auto as_int = [](uint64_t v) {
+    return Datum::Int(static_cast<int64_t>(v));
+  };
+  for (const qlog::QueryRecord& r : qlog::QueryLog::Global()->Records()) {
+    DatumRow row;
+    row.push_back(as_int(r.ordinal));
+    row.push_back(Datum::Text(r.fingerprint));
+    row.push_back(as_int(r.fingerprint_hash));
+    row.push_back(as_int(r.plan_hash));
+    row.push_back(as_int(r.trace_id));
+    row.push_back(as_int(r.parse_ns));
+    row.push_back(as_int(r.plan_ns));
+    row.push_back(as_int(r.exec_ns));
+    row.push_back(as_int(r.total_ns));
+    row.push_back(as_int(r.rows_in));
+    row.push_back(as_int(r.rows_out));
+    row.push_back(as_int(r.batches));
+    row.push_back(as_int(r.zone_skips));
+    row.push_back(as_int(r.replans));
+    row.push_back(Datum::Text(r.status));
+    row.push_back(Datum::Text(r.error));
+    RETURN_NOT_OK(table->AppendRow(row).status());
+  }
+  return Status::OK();
+}
+
 Result<QueryResult> Database::ExecuteCreateTable(
     const CreateTableStatement& stmt) {
-  if (stmt.table == kMetricsTableName) {
-    return Status::InvalidArgument(kMetricsTableName,
+  if (stmt.table == kMetricsTableName || stmt.table == kQueryLogTableName ||
+      stmt.table == kAttributeStatsTableName) {
+    return Status::InvalidArgument(stmt.table,
                                    " is a reserved system table name");
   }
   Schema schema;

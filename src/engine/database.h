@@ -18,6 +18,20 @@
 
 namespace sinew::engine {
 
+/// Per-execution telemetry filled by the ExecuteStatement overload that
+/// takes one; the Sinew layer folds it into the workload query log
+/// (common/query_log.h). All fields are zero for non-SELECT statements
+/// except exec_ns/rows_out.
+struct QueryExecInfo {
+  uint64_t plan_hash = 0;  // FNV-1a of the plan tree text (SELECT only)
+  uint64_t plan_ns = 0;
+  uint64_t exec_ns = 0;
+  uint64_t rows_in = 0;     // rows produced by base-table scans
+  uint64_t rows_out = 0;
+  uint64_t batches = 0;     // batches emitted by the plan root
+  uint64_t zone_skips = 0;  // strips skipped via zone maps
+};
+
 class Database {
  public:
   explicit Database(PlannerOptions planner_options = {},
@@ -39,6 +53,21 @@ class Database {
   /// Executes an already-parsed (possibly rewritten) statement.
   Result<QueryResult> ExecuteStatement(const Statement& stmt);
 
+  /// As above, but also reports execution telemetry into *info. SELECTs run
+  /// with per-node stats collection (cheap relaxed-atomic counters; operator
+  /// wall-clock timing stays off) so cardinality actuals reach the query
+  /// log. When a slow-query threshold is set and exec time exceeds it, the
+  /// full EXPLAIN ANALYZE tree is emitted into the metrics trace ring.
+  Result<QueryResult> ExecuteStatement(const Statement& stmt,
+                                       QueryExecInfo* info);
+
+  /// Queries slower than this (exec wall clock, nanoseconds) dump their
+  /// EXPLAIN ANALYZE tree as a "query.slow" trace event. 0 disables.
+  void set_slow_query_threshold_ns(uint64_t ns) {
+    slow_query_threshold_ns_ = ns;
+  }
+  uint64_t slow_query_threshold_ns() const { return slow_query_threshold_ns_; }
+
   /// Plans an already-parsed SELECT.
   Result<PlanPtr> PlanStatement(const SelectStatement& stmt);
 
@@ -49,24 +78,28 @@ class Database {
   Result<std::string> Explain(std::string_view sql);
 
  private:
-  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt,
+                                    QueryExecInfo* info);
   Result<QueryResult> ExecuteExplain(const Statement& stmt);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
   Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
   Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
   Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
 
-  /// If the SELECT references the `sinew_metrics` system table, (lazily
-  /// creates it and) replaces its rows with a fresh registry snapshot, so a
-  /// plain scan — with any WHERE / join / projection on top — sees current
-  /// values. Must run before the statement is planned.
-  Status MaybeRefreshMetricsTable(const SelectStatement& stmt);
+  /// If the SELECT references a system table (`sinew_metrics`,
+  /// `sinew_query_log`), (lazily creates it and) replaces its rows with a
+  /// fresh snapshot, so a plain scan — with any WHERE / join / projection on
+  /// top — sees current values. Must run before the statement is planned.
+  Status MaybeRefreshSystemTables(const SelectStatement& stmt);
+  Status RefreshMetricsTable();
+  Status RefreshQueryLogTable();
 
   Catalog catalog_;
   UdfRegistry udfs_;
   PlannerOptions planner_options_;
   ExecOptions exec_options_;
-  std::mutex metrics_table_mu_;  // serializes sinew_metrics refreshes
+  uint64_t slow_query_threshold_ns_ = 0;
+  std::mutex system_table_mu_;  // serializes system-table refreshes
 };
 
 }  // namespace sinew::engine

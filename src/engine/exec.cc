@@ -633,6 +633,7 @@ class ExtractOp : public Operator {
                                    std::memory_order_relaxed);
       }
     }
+    FlushHeat();
   }
 
   Status Open() override {
@@ -645,6 +646,14 @@ class ExtractOp : public Operator {
     }
     rows_fn_ = ctx_->udfs->FindBatchExtractRows(node_.extract_fn);
     BindColumnarSegment();
+    // Attribute heat telemetry is armed only when a sink is installed and
+    // the extraction is attributable to a base table; otherwise every
+    // per-batch accounting branch below is a single predicted-false check.
+    heat_enabled_ = node_.extract_table != nullptr &&
+                    ctx_->udfs->heat_sink() != nullptr;
+    if (heat_enabled_) {
+      heat_.assign(node_.extract_targets.size(), TargetHeat{});
+    }
     return child_->Open();
   }
 
@@ -652,7 +661,15 @@ class ExtractOp : public Operator {
     if (batch_capacity_ > 1) return NextFromOwnBatch(out);
     ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
+    const uint64_t heat_t0 = heat_enabled_ ? metrics::NowNanos() : 0;
     RETURN_NOT_OK((*fn_)(*out, node_.extract_targets, &outs_, &stats_));
+    if (heat_enabled_) {
+      decode_ns_ += metrics::NowNanos() - heat_t0;
+      for (TargetHeat& h : heat_) {
+        ++h.requests;
+        ++h.reservoir_served;
+      }
+    }
     out->reserve(out->size() + outs_.size());
     for (Datum& d : outs_) out->push_back(std::move(d));
     return true;
@@ -677,8 +694,16 @@ class ExtractOp : public Operator {
     if (rows_fn_ != nullptr) {
       ASSIGN_OR_RETURN(bool columnar, TryServeFromStrips(batch));
       if (!columnar) {
+        const uint64_t heat_t0 = heat_enabled_ ? metrics::NowNanos() : 0;
         RETURN_NOT_OK((*rows_fn_)(*batch, batch->sel, node_.extract_targets,
                                   &out_cols_, &stats_));
+        if (heat_enabled_) {
+          decode_ns_ += metrics::NowNanos() - heat_t0;
+          for (TargetHeat& h : heat_) {
+            h.requests += batch->sel.size();
+            h.reservoir_served += batch->sel.size();
+          }
+        }
       }
     } else {
       // No batch-of-rows entry point registered: run the row-level function
@@ -694,12 +719,20 @@ class ExtractOp : public Operator {
       for (std::vector<Datum>& col : out_cols_) {
         col.assign(batch->active(), Datum::Null());
       }
+      const uint64_t heat_t0 = heat_enabled_ ? metrics::NowNanos() : 0;
       DatumRow scratch;
       for (size_t k = 0; k < batch->sel.size(); ++k) {
         batch->CopyRow(batch->sel[k], &scratch);
         RETURN_NOT_OK((*fn_)(scratch, node_.extract_targets, &outs_, &stats_));
         for (size_t t = 0; t < num_targets; ++t) {
           out_cols_[t][k] = std::move(outs_[t]);
+        }
+      }
+      if (heat_enabled_) {
+        decode_ns_ += metrics::NowNanos() - heat_t0;
+        for (TargetHeat& h : heat_) {
+          h.requests += batch->sel.size();
+          h.reservoir_served += batch->sel.size();
         }
       }
     }
@@ -851,8 +884,10 @@ class ExtractOp : public Operator {
     columnar_hits_ += hits;
     if (hits != 0) strip_hits->Add(hits);
     if (!unservable_targets_.empty()) {
+      const uint64_t heat_t0 = heat_enabled_ ? metrics::NowNanos() : 0;
       RETURN_NOT_OK((*rows_fn_)(*batch, batch->sel, unservable_targets_,
                                 &sub_cols_, &stats_));
+      if (heat_enabled_) decode_ns_ += metrics::NowNanos() - heat_t0;
       for (size_t u = 0; u < unservable_index_.size(); ++u) {
         out_cols_[unservable_index_[u]] = std::move(sub_cols_[u]);
       }
@@ -860,8 +895,10 @@ class ExtractOp : public Operator {
     if (!hot_k_.empty()) {
       hot_lanes_.clear();
       for (size_t k : hot_k_) hot_lanes_.push_back(batch->sel[k]);
+      const uint64_t heat_t0 = heat_enabled_ ? metrics::NowNanos() : 0;
       RETURN_NOT_OK((*rows_fn_)(*batch, hot_lanes_, servable_targets_,
                                 &sub_cols_, &stats_));
+      if (heat_enabled_) decode_ns_ += metrics::NowNanos() - heat_t0;
       for (size_t v = 0; v < servable_.size(); ++v) {
         std::vector<Datum>& out = out_cols_[servable_[v].first];
         for (size_t j = 0; j < hot_k_.size(); ++j) {
@@ -869,7 +906,49 @@ class ExtractOp : public Operator {
         }
       }
     }
+    if (heat_enabled_) {
+      // Per-target lane accounting for this batch: every active lane asked
+      // for every target; strip-resident targets answered cold lanes from
+      // strips and hot lanes from the reservoir, the rest went all-reservoir.
+      for (TargetHeat& h : heat_) h.requests += batch->sel.size();
+      for (const auto& [t, col] : servable_) {
+        (void)col;
+        heat_[t].strip_served += cold_k_.size();
+        heat_[t].reservoir_served += hot_k_.size();
+      }
+      for (size_t u : unservable_index_) {
+        heat_[u].reservoir_served += batch->sel.size();
+      }
+    }
     return true;
+  }
+
+  /// Flushes accumulated attribute-heat samples to the registry's sink.
+  /// Reservoir decode time is shared across targets in proportion to their
+  /// reservoir-served lanes (one decode pass serves all targets at once, so
+  /// a per-target clock would double-count).
+  void FlushHeat() {
+    if (!heat_enabled_ || heat_.empty()) return;
+    uint64_t reservoir_total = 0;
+    for (const TargetHeat& h : heat_) reservoir_total += h.reservoir_served;
+    std::vector<AttrAccessSample> samples;
+    samples.reserve(heat_.size());
+    const std::string& table = node_.extract_table->name();
+    for (size_t t = 0; t < heat_.size(); ++t) {
+      if (heat_[t].requests == 0) continue;
+      AttrAccessSample s;
+      s.table = table;
+      s.attr_id = node_.extract_targets[t].attr_id;
+      s.requests = heat_[t].requests;
+      s.strip_served = heat_[t].strip_served;
+      s.reservoir_served = heat_[t].reservoir_served;
+      s.decode_ns = reservoir_total == 0
+                        ? 0
+                        : decode_ns_ * heat_[t].reservoir_served /
+                              reservoir_total;
+      samples.push_back(std::move(s));
+    }
+    if (!samples.empty()) (*ctx_->udfs->heat_sink())(samples);
   }
 
   const PlanNode& node_;
@@ -892,6 +971,15 @@ class ExtractOp : public Operator {
   std::vector<uint32_t> hot_lanes_;
   std::vector<std::vector<Datum>> sub_cols_;
   uint64_t columnar_hits_ = 0;
+  // Attribute heat accounting (FlushHeat), one entry per extract target.
+  struct TargetHeat {
+    uint64_t requests = 0;
+    uint64_t strip_served = 0;
+    uint64_t reservoir_served = 0;
+  };
+  bool heat_enabled_ = false;
+  std::vector<TargetHeat> heat_;
+  uint64_t decode_ns_ = 0;
 };
 
 // ---------------------------------------------------------------- Sort
@@ -1591,6 +1679,10 @@ class GatherOp : public Operator {
         metrics::GetCounter("exec.gather.workers_total");
     workers_total->Add(degree);
     active_workers_ = degree;
+    // Capture the query thread's span identity (Open runs under the query's
+    // execute span) so each worker's span lands in the same trace, parented
+    // to the query rather than starting a disconnected trace of its own.
+    parent_span_ids_ = metrics::CurrentSpanIds();
     futures_.reserve(degree);
     for (size_t i = 0; i < degree; ++i) {
       futures_.push_back(pool->Submit([this] { return RunWorker(); }));
@@ -1666,7 +1758,12 @@ class GatherOp : public Operator {
   static constexpr size_t kBatchQueueCap = 8;
 
   Status RunWorker() {
+    // Adopt the parent query's trace on this pool thread for the duration
+    // of the worker, and record the worker's run as a span under it.
+    metrics::SpanIdScope adopt(parent_span_ids_);
+    metrics::ScopedSpan span("exec.gather.worker");
     Status st = partial_agg_ ? RunAggWorker() : RunStreamWorker();
+    span.End();
     std::lock_guard lock(mu_);
     if (!st.ok() && worker_status_.ok()) {
       worker_status_ = st;
@@ -1796,6 +1893,7 @@ class GatherOp : public Operator {
   ExecContext* ctx_;
   bool partial_agg_ = false;
   MorselSource morsels_;
+  metrics::SpanIds parent_span_ids_;
   std::atomic<uint64_t> stalls_{0};
   std::vector<std::future<Status>> futures_;
 

@@ -43,6 +43,23 @@ struct BatchExtractStats {
   uint64_t attrs = 0;    // attributes requested across those decodes
 };
 
+/// Per-attribute access telemetry accumulated by the extract operator and
+/// flushed to the heat sink when the operator closes. The engine knows
+/// attributes only by (table, attr_id); the sink owner (the Sinew layer's
+/// AttributeCatalog) resolves names and aggregates across queries.
+struct AttrAccessSample {
+  std::string table;
+  uint32_t attr_id = 0;
+  uint64_t requests = 0;          // lanes that asked for this attribute
+  uint64_t strip_served = 0;      // lanes answered from a columnar strip
+  uint64_t reservoir_served = 0;  // lanes answered by decoding the reservoir
+  uint64_t decode_ns = 0;         // share of reservoir decode time
+};
+
+/// Receives attribute-heat samples at operator close. Called on the query
+/// thread; implementations must be thread-safe across concurrent queries.
+using HeatSinkFn = std::function<void(const std::vector<AttrAccessSample>&)>;
+
 /// Batched extraction function: fills (*outs)[i] from targets[i] for one
 /// row. The planner guarantees targets arrive grouped by source_slot and
 /// sorted by (prefix_ids, attr_id), so implementations can decode each
@@ -101,10 +118,20 @@ class UdfRegistry {
     return it == batch_extract_rows_.end() ? nullptr : &it->second;
   }
 
+  /// Installs the attribute-heat sink (RegisterSinewFunctions points it at
+  /// the AttributeCatalog). Unset by default: the extract operator skips all
+  /// heat accounting when no sink is present.
+  void SetHeatSink(HeatSinkFn sink) { heat_sink_ = std::move(sink); }
+
+  const HeatSinkFn* heat_sink() const {
+    return heat_sink_ ? &heat_sink_ : nullptr;
+  }
+
  private:
   std::map<std::string, UdfFn, std::less<>> fns_;
   std::map<std::string, BatchExtractFn, std::less<>> batch_extract_;
   std::map<std::string, BatchExtractRowsFn, std::less<>> batch_extract_rows_;
+  HeatSinkFn heat_sink_;
 };
 
 /// Registers the engine's built-in scalar functions: coalesce, abs, lower,

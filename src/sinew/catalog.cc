@@ -127,6 +127,29 @@ std::vector<std::string> AttributeCatalog::TableNames() const {
   return out;
 }
 
+void AttributeCatalog::RecordHeat(const std::string& table, uint32_t attr_id,
+                                  uint64_t requests, uint64_t strip_served,
+                                  uint64_t reservoir_served,
+                                  uint64_t decode_ns,
+                                  uint64_t query_ordinal) {
+  std::lock_guard lock(mutex_);
+  AttrHeat& heat = heat_[table][attr_id];
+  heat.extract_requests += requests;
+  heat.strip_served += strip_served;
+  heat.reservoir_served += reservoir_served;
+  heat.decode_ns += decode_ns;
+  if (query_ordinal > heat.last_touched_ordinal) {
+    heat.last_touched_ordinal = query_ordinal;
+  }
+}
+
+std::map<uint32_t, AttrHeat> AttributeCatalog::HeatSnapshot(
+    const std::string& table) const {
+  std::lock_guard lock(mutex_);
+  auto t = heat_.find(table);
+  return t == heat_.end() ? std::map<uint32_t, AttrHeat>{} : t->second;
+}
+
 std::mutex& AttributeCatalog::MaintenanceLatch(const std::string& table) {
   std::lock_guard lock(mutex_);
   auto& latch = latches_[table];
@@ -171,6 +194,7 @@ void AttributeCatalog::Clear() {
   std::lock_guard lock(mutex_);
   dict_.Clear();
   tables_.clear();
+  heat_.clear();
   latches_.clear();
   version_.fetch_add(1, std::memory_order_release);
 }

@@ -41,6 +41,18 @@ struct AttributeState {
   bool dirty = false;
 };
 
+/// Per-table, per-attribute access telemetry, aggregated across queries —
+/// the workload signal the adaptive materializer (ROADMAP item 3) reads.
+/// Fed by the engine's extract operator through the UdfRegistry heat sink;
+/// surfaced as the `sinew_attribute_stats` system table.
+struct AttrHeat {
+  uint64_t extract_requests = 0;   // lanes that asked for this attribute
+  uint64_t strip_served = 0;       // lanes answered from columnar strips
+  uint64_t reservoir_served = 0;   // lanes answered by reservoir decode
+  uint64_t decode_ns = 0;          // cumulative reservoir decode time share
+  uint64_t last_touched_ordinal = 0;  // query ordinal of the latest access
+};
+
 class AttributeCatalog : public serial::AttributeDictionary {
  public:
   // --- global dictionary (Figure 4a); thread-safe ---
@@ -96,6 +108,16 @@ class AttributeCatalog : public serial::AttributeDictionary {
   /// Names of all registered tables.
   std::vector<std::string> TableNames() const;
 
+  // --- attribute heat telemetry ---
+  /// Folds one access sample into the per-(table, attribute) heat entry.
+  /// `query_ordinal` stamps recency (0 = unknown, keeps the old stamp).
+  void RecordHeat(const std::string& table, uint32_t attr_id,
+                  uint64_t requests, uint64_t strip_served,
+                  uint64_t reservoir_served, uint64_t decode_ns,
+                  uint64_t query_ordinal);
+  /// Heat entries of one table, keyed by attribute ID.
+  std::map<uint32_t, AttrHeat> HeatSnapshot(const std::string& table) const;
+
   /// The loader/materializer mutual-exclusion latch for a table.
   std::mutex& MaintenanceLatch(const std::string& table);
 
@@ -110,6 +132,7 @@ class AttributeCatalog : public serial::AttributeDictionary {
   std::atomic<uint64_t> version_{1};
   serial::SimpleDictionary dict_;
   std::map<std::string, std::map<uint32_t, AttributeState>> tables_;
+  std::map<std::string, std::map<uint32_t, AttrHeat>> heat_;
   // Stable-address latches (std::mutex is not movable).
   std::map<std::string, std::unique_ptr<std::mutex>> latches_;
 };

@@ -111,6 +111,7 @@ Result<std::shared_ptr<const ColumnarSegment>> ShredAndAttachSegment(
       metrics::GetCounter("columnar.segments_built");
   static metrics::Counter* shred_aborts =
       metrics::GetCounter("columnar.shred_aborts");
+  metrics::ScopedSpan shred_span("shred.segment", table_name);
 
   const uint64_t version = table->MutationVersion();
   const uint64_t row_count = table->RowSlotCount();

@@ -245,6 +245,10 @@ void DurableDb::AfterWrite(const Status& apply_status) {
 
 Status DurableDb::FlushLocked() {
   if (closed_) return Status::InvalidArgument("DurableDb is closed");
+  // Traceable as a span: when the flush is triggered by a query's commit
+  // (AfterWrite under the query span) it parents into that query's trace;
+  // a standalone Flush() starts its own trace.
+  metrics::ScopedSpan flush_span("durable.flush");
   // Compaction-time materialization: the flush rewrites table images anyway,
   // so run the analyzer + materializer on every table the delta touched and
   // serialize the already-columnarized result. Best-effort — a table that

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/query_log.h"
 #include "serial/sinew_format.h"
 
 namespace sinew {
@@ -329,6 +330,19 @@ void RegisterSinewFunctions(engine::UdfRegistry* registry,
   // One resolution cache shared by every path-taking extractor registered
   // against this catalog; lives as long as any of the registered closures.
   auto cache = std::make_shared<PathResolutionCache>();
+
+  // Attribute heat: the extract operator accumulates per-target access
+  // tallies and flushes them here at close; the catalog aggregates them
+  // across queries (surfaced as sinew_attribute_stats). Called from Gather
+  // worker threads too — RecordHeat is mutex-guarded.
+  registry->SetHeatSink(
+      [catalog](const std::vector<engine::AttrAccessSample>& samples) {
+        const uint64_t ordinal = qlog::QueryLog::Global()->CurrentOrdinal();
+        for (const engine::AttrAccessSample& s : samples) {
+          catalog->RecordHeat(s.table, s.attr_id, s.requests, s.strip_served,
+                              s.reservoir_served, s.decode_ns, ordinal);
+        }
+      });
   registry->Register("sinew_extract_text",
                      MakeTypedExtractor(catalog, cache, ValueType::kString,
                                         "sinew_extract_text"));

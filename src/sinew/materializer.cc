@@ -87,6 +87,7 @@ Result<ColumnMaterializer::Pass*> ColumnMaterializer::StartPassIfNeeded(
 
 Result<uint64_t> ColumnMaterializer::Step(const std::string& table,
                                           uint64_t max_rows) {
+  metrics::ScopedSpan step_span("materializer.step", table);
   // Exclude the loader while we move data (paper Section 3.1.4).
   std::lock_guard maintenance(catalog_->MaintenanceLatch(table));
   ASSIGN_OR_RETURN(Pass * pass_ptr, StartPassIfNeeded(table));

@@ -1,7 +1,9 @@
 #include "sinew/sinew_db.h"
 
 #include <algorithm>
+#include <fstream>
 
+#include "common/query_log.h"
 #include "engine/table.h"
 #include "json/json.h"
 #include "serial/sinew_format.h"
@@ -57,6 +59,10 @@ SinewDb::SinewDb(SinewOptions options)
   loader_.SetParallelism(options.parallelism);
   materializer_.SetParallelism(options.parallelism);
   RegisterSinewFunctions(db_.udfs(), &catalog_);
+  db_.set_slow_query_threshold_ns(options.slow_query_threshold_ns);
+  if (options.query_log_capacity > 0) {
+    qlog::QueryLog::Global()->SetCapacity(options.query_log_capacity);
+  }
 }
 
 SinewDb::~SinewDb() { StopBackgroundMaintenance(); }
@@ -97,6 +103,17 @@ Result<uint64_t> SinewDb::LoadDocumentsUnlogged(const std::string& table,
 
 Result<engine::QueryResult> SinewDb::Query(std::string_view sql) {
   query_trace_.Clear();
+  // One outer span per Query call: the rewrite/execute phase spans, every
+  // Gather worker span and any background work this statement triggers
+  // (durable flush, shred) nest under it and share its trace ID — the
+  // identity the query-log record carries for joining log rows to traces.
+  metrics::TraceContext::Span query_span = query_trace_.StartSpan("query");
+  qlog::QueryRecord record;
+  record.ordinal = qlog::QueryLog::Global()->BeginQuery();
+  record.trace_id = query_span.ids().trace_id;
+  record.fingerprint = qlog::NormalizeFingerprint(sql);
+  record.fingerprint_hash = qlog::HashFingerprint(record.fingerprint);
+  const uint64_t total_start = metrics::NowNanos();
   // A query planned just before a background schema change (column added by
   // the materializer, dropped by dematerialization) fails fast with
   // kAborted instead of misreading rows; rewrite + replan and try again.
@@ -105,26 +122,60 @@ Result<engine::QueryResult> SinewDb::Query(std::string_view sql) {
   // exactly once with the final outcome regardless of which exit is taken.
   Status last;
   bool logged = false;
+  int attempts = 0;
+  engine::QueryExecInfo info;
   auto finish = [&](Result<engine::QueryResult> r) {
+    // AfterWrite runs before the query span closes so flush work it
+    // triggers (durable layer) parents under this query's trace.
     if (logged) write_hook_->AfterWrite(r.status());
+    record.plan_hash = info.plan_hash;
+    record.plan_ns = info.plan_ns;
+    record.exec_ns = info.exec_ns;
+    record.rows_in = info.rows_in;
+    record.rows_out = info.rows_out;
+    record.batches = info.batches;
+    record.zone_skips = info.zone_skips;
+    record.replans = attempts > 0 ? static_cast<uint64_t>(attempts - 1) : 0;
+    record.total_ns = metrics::NowNanos() - total_start;
+    if (r.ok()) {
+      record.status = "ok";
+      query_span.SetRows(r->rows.size());
+    } else {
+      record.status = StatusCodeToString(r.status().code());
+      record.error = r.status().message();
+      query_span.SetDetail(record.error);
+    }
+    qlog::QueryLog::Global()->Append(std::move(record));
+    query_span.End();
     return r;
   };
   for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint64_t rewrite_start = metrics::NowNanos();
     metrics::TraceContext::Span rewrite_span =
         query_trace_.StartSpan("query.rewrite");
     Result<engine::Statement> stmt_or = rewriter_.Rewrite(sql);
     rewrite_span.End();
+    record.parse_ns += metrics::NowNanos() - rewrite_start;
     if (!stmt_or.ok()) return finish(stmt_or.status());
+    Status stats_refresh = MaybeRefreshAttributeStatsTable(*stmt_or);
+    if (!stats_refresh.ok()) return finish(stats_refresh);
     if (write_hook_ != nullptr && !logged && IsDmlStatement(stmt_or->kind)) {
       // A non-OK Before* means the write was never logged: reject it without
       // applying (and without AfterWrite, per the hook contract).
-      RETURN_NOT_OK(
-          write_hook_->BeforeDml(sql, DmlTargetTable(*stmt_or), stmt_or->kind));
+      Status before =
+          write_hook_->BeforeDml(sql, DmlTargetTable(*stmt_or), stmt_or->kind);
+      if (!before.ok()) {
+        // Skip the AfterWrite pairing but still close the span and log.
+        logged = false;
+        return finish(before);
+      }
       logged = true;
     }
+    ++attempts;
+    info = engine::QueryExecInfo{};  // per-attempt; finish reads the last one
     metrics::TraceContext::Span exec_span =
         query_trace_.StartSpan("query.execute");
-    Result<engine::QueryResult> result = db_.ExecuteStatement(*stmt_or);
+    Result<engine::QueryResult> result = db_.ExecuteStatement(*stmt_or, &info);
     if (result.ok()) exec_span.SetRows(result->rows.size());
     if (!result.ok()) exec_span.SetDetail(std::string(result.status().message()));
     exec_span.End();
@@ -143,8 +194,114 @@ Result<std::string> SinewDb::Explain(std::string_view sql) {
       stmt.kind != engine::StatementKind::kExplain) {
     return Status::InvalidArgument("EXPLAIN requires a SELECT");
   }
+  RETURN_NOT_OK(MaybeRefreshAttributeStatsTable(stmt));
   ASSIGN_OR_RETURN(engine::PlanPtr plan, db_.PlanStatement(*stmt.select));
   return plan->DebugString();
+}
+
+Status SinewDb::DumpTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open trace output ", path);
+  out << metrics::MetricsRegistry::Global()->DumpChromeTrace();
+  out.flush();
+  if (!out) return Status::IOError("failed writing trace output ", path);
+  return Status::OK();
+}
+
+Status SinewDb::MaybeRefreshAttributeStatsTable(const engine::Statement& stmt) {
+  constexpr std::string_view kAttrStatsTable = "sinew_attribute_stats";
+  if (stmt.kind != engine::StatementKind::kSelect &&
+      stmt.kind != engine::StatementKind::kExplain) {
+    return Status::OK();
+  }
+  const engine::SelectStatement& sel = *stmt.select;
+  const bool referenced =
+      std::any_of(sel.from.begin(), sel.from.end(),
+                  [kAttrStatsTable](const engine::TableRef& ref) {
+                    return ref.table_name == kAttrStatsTable;
+                  });
+  if (!referenced) return Status::OK();
+  std::lock_guard lock(stats_table_mutex_);
+  engine::Table* table = nullptr;
+  Result<engine::Table*> existing =
+      db_.catalog()->GetTable(std::string(kAttrStatsTable));
+  if (existing.ok()) {
+    table = *existing;
+  } else {
+    engine::Schema schema;
+    auto add = [&schema](const char* name, engine::ColumnType type) {
+      return schema.AddColumn(engine::Column{name, type, false});
+    };
+    RETURN_NOT_OK(add("table_name", engine::ColumnType::kText));
+    RETURN_NOT_OK(add("attr_key", engine::ColumnType::kText));
+    RETURN_NOT_OK(add("attr_type", engine::ColumnType::kText));
+    RETURN_NOT_OK(add("attr_id", engine::ColumnType::kInt));
+    RETURN_NOT_OK(add("row_count", engine::ColumnType::kInt));
+    RETURN_NOT_OK(add("materialized", engine::ColumnType::kInt));
+    RETURN_NOT_OK(add("dirty", engine::ColumnType::kInt));
+    RETURN_NOT_OK(add("extract_requests", engine::ColumnType::kInt));
+    RETURN_NOT_OK(add("strip_served", engine::ColumnType::kInt));
+    RETURN_NOT_OK(add("reservoir_served", engine::ColumnType::kInt));
+    RETURN_NOT_OK(add("decode_ns", engine::ColumnType::kInt));
+    RETURN_NOT_OK(add("last_touched_ordinal", engine::ColumnType::kInt));
+    ASSIGN_OR_RETURN(table,
+                     db_.catalog()->CreateTable(std::string(kAttrStatsTable),
+                                                std::move(schema)));
+  }
+  // Refresh in place (delete + append): concurrent readers may hold the
+  // Table*, and plans are built against it.
+  const uint64_t end = table->RowSlotCount();
+  for (uint64_t rid = 0; rid < end; ++rid) {
+    if (table->IsLive(rid)) RETURN_NOT_OK(table->DeleteRow(rid));
+  }
+  auto append = [&](const std::string& t, uint32_t attr_id, uint64_t count,
+                    bool materialized, bool dirty,
+                    const AttrHeat& heat) -> Status {
+    std::string key = "?";
+    std::string type = "?";
+    Result<serial::Attribute> attr = catalog_.Lookup(attr_id);
+    if (attr.ok()) {
+      key = attr->key;
+      type = ValueTypeName(attr->type);
+    }
+    engine::DatumRow row;
+    row.push_back(engine::Datum::Text(t));
+    row.push_back(engine::Datum::Text(std::move(key)));
+    row.push_back(engine::Datum::Text(std::move(type)));
+    row.push_back(engine::Datum::Int(static_cast<int64_t>(attr_id)));
+    row.push_back(engine::Datum::Int(static_cast<int64_t>(count)));
+    row.push_back(engine::Datum::Int(materialized ? 1 : 0));
+    row.push_back(engine::Datum::Int(dirty ? 1 : 0));
+    row.push_back(
+        engine::Datum::Int(static_cast<int64_t>(heat.extract_requests)));
+    row.push_back(engine::Datum::Int(static_cast<int64_t>(heat.strip_served)));
+    row.push_back(
+        engine::Datum::Int(static_cast<int64_t>(heat.reservoir_served)));
+    row.push_back(engine::Datum::Int(static_cast<int64_t>(heat.decode_ns)));
+    row.push_back(
+        engine::Datum::Int(static_cast<int64_t>(heat.last_touched_ordinal)));
+    return table->AppendRow(row).status();
+  };
+  for (const std::string& t : Tables()) {
+    std::map<uint32_t, AttrHeat> heat = catalog_.HeatSnapshot(t);
+    for (const AttributeState& state : catalog_.TableAttributes(t)) {
+      AttrHeat h;
+      auto hit = heat.find(state.attr_id);
+      if (hit != heat.end()) {
+        h = hit->second;
+        heat.erase(hit);
+      }
+      RETURN_NOT_OK(
+          append(t, state.attr_id, state.count, state.materialized,
+                 state.dirty, h));
+    }
+    // Heat recorded for attributes with no catalog state (e.g. state was
+    // cleared between queries): surface it rather than dropping silently.
+    for (const auto& [id, h] : heat) {
+      RETURN_NOT_OK(append(t, id, 0, false, false, h));
+    }
+  }
+  return Status::OK();
 }
 
 Result<std::vector<SchemaAnalyzer::Decision>> SinewDb::AnalyzeSchema(

@@ -58,6 +58,12 @@ struct SinewOptions {
   /// row-reservoir behavior (identical to prior releases).
   bool enable_columnar_segments = true;
   ShredOptions shred;
+  /// Queries whose execution exceeds this wall clock (nanoseconds) dump
+  /// their EXPLAIN ANALYZE tree into the metrics trace ring as a
+  /// "query.slow" event. 0 (the default) disables slow-query capture.
+  uint64_t slow_query_threshold_ns = 0;
+  /// Query-log ring capacity override; 0 keeps the default (1024 records).
+  size_t query_log_capacity = 0;
 };
 
 /// Intercepts every mutating entry point of a SinewDb *before* the mutation
@@ -130,6 +136,11 @@ class SinewDb {
     return query_trace_.events();
   }
 
+  /// Writes every span in the global span ring (query phases, Gather
+  /// workers, background flush/shred/materializer work) to `path` as Chrome
+  /// trace-event JSON — the file loads directly in Perfetto / about:tracing.
+  Status DumpTrace(const std::string& path) const;
+
   // --- schema maintenance ---
   /// One schema-analyzer pass (threshold evaluation; flags columns dirty).
   Result<std::vector<SchemaAnalyzer::Decision>> AnalyzeSchema(
@@ -194,6 +205,12 @@ class SinewDb {
  private:
   void BackgroundLoop(std::chrono::milliseconds period);
 
+  /// If the statement references `sinew_attribute_stats`, (lazily creates
+  /// and) refreshes it from the catalog's heat + attribute state. The Sinew
+  /// layer owns this table (not engine/database.cc) because resolving
+  /// attribute IDs to key names requires the attribute dictionary.
+  Status MaybeRefreshAttributeStatsTable(const engine::Statement& stmt);
+
   SinewOptions options_;
   engine::Database db_;
   AttributeCatalog catalog_;
@@ -206,6 +223,7 @@ class SinewDb {
   WriteAheadHook* write_hook_ = nullptr;
   std::vector<std::string> tables_;
   mutable std::mutex tables_mutex_;
+  std::mutex stats_table_mutex_;  // serializes sinew_attribute_stats refresh
 
   std::thread background_;
   std::atomic<bool> background_stop_{false};
