@@ -1,0 +1,267 @@
+// Micro-benchmark: compiled postfix bytecode vs. the tree-walk batch
+// evaluator, isolated at the expression-evaluation layer. Full queries are
+// scan-dominated, so this harness evaluates bound expressions directly over
+// pre-built synthetic RowBatches — the same entry points the executor uses
+// (EvalPredicateBatch / EvalExprBatch for the tree walk,
+// bytecode::ExecPredicateBatch / ExecBatch for the compiled programs) — and
+// reports ns/lane per shape:
+//
+//   colref_cmp_lit     c0 < lit                 (fused kColCmpLit; the
+//                                               select-mode fast path)
+//   extract_cmp_lit    udf(c2, path) = lit      (fused kUdfCmpLit — the
+//                                               Sinew extract-then-compare)
+//   and_chain          three fused conjuncts    (kBoolFork lane partitioning)
+//   between            c0 BETWEEN lits          (fused kColBetweenLits)
+//   is_null            c2 IS NULL               (fused kColIsNull)
+//   arith_project      c0 * 3 + c1              (generic kArith kernels)
+//   concat_project     c2 || lit                (generic kConcat)
+//   case_project       CASE WHEN ... END        (kFallbackLane both ways —
+//                                               pins the fallback overhead)
+//
+// The "treewalk" config is the PR 5 batch evaluator baseline; "bytecode" is
+// the compiled program. compare_bench.py gates the pair:
+//
+//   ./build/bench/bench_micro_eval --bench-out=/tmp/e
+//   python3 bench/compare_bench.py /tmp/e/BENCH_micro_eval.json
+//           --configs=treewalk,bytecode    (one line)
+//
+// flags any shape where the compiled path is >10% slower than the tree walk
+// (exit non-zero), so the compiled engine can never silently regress below
+// the interpreter. --bench-out=<dir> places BENCH_micro_eval.json;
+// SINEW_BENCH_SCALE scales the lane count.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/bytecode.h"
+#include "engine/datum.h"
+#include "engine/eval.h"
+#include "engine/expr.h"
+#include "engine/row_batch.h"
+#include "engine/udf.h"
+
+using sinew::bench::BenchRecord;
+using sinew::bench::PrintHeader;
+using sinew::bench::Scaled;
+using sinew::bench::Timer;
+
+namespace {
+
+namespace eng = sinew::engine;
+namespace bc = sinew::engine::bytecode;
+
+constexpr size_t kBatchSize = 1024;
+
+eng::ExprPtr Col(int slot) {
+  eng::ExprPtr e = eng::Expr::Column("", "c" + std::to_string(slot));
+  e->bound_slot = slot;
+  return e;
+}
+
+eng::ExprPtr Lit(int64_t v) {
+  return eng::Expr::Literal(eng::Datum::Int(v));
+}
+
+eng::ExprPtr Lit(std::string v) {
+  return eng::Expr::Literal(eng::Datum::Text(std::move(v)));
+}
+
+/// Deterministic 4-column batch corpus: c0 int (uniform 0..999), c1 int,
+/// c2 text with ~10% NULLs (the "reservoir bytes" stand-in the extract UDF
+/// reads), c3 int.
+std::vector<eng::RowBatch> MakeCorpus(uint64_t lanes) {
+  std::vector<eng::RowBatch> corpus;
+  uint64_t remaining = lanes;
+  uint64_t i = 0;
+  while (remaining > 0) {
+    const size_t n = static_cast<size_t>(
+        remaining < kBatchSize ? remaining : kBatchSize);
+    eng::RowBatch b;
+    b.Reset(4);
+    for (size_t k = 0; k < n; ++k, ++i) {
+      const int64_t v = static_cast<int64_t>((i * 2654435761u) % 1000);
+      b.cols[0].push_back(eng::Datum::Int(v));
+      b.cols[1].push_back(eng::Datum::Int(static_cast<int64_t>(i % 97)));
+      b.cols[2].push_back(i % 10 == 3
+                              ? eng::Datum()
+                              : eng::Datum::Text("k" + std::to_string(v)));
+      b.cols[3].push_back(eng::Datum::Int(static_cast<int64_t>(i % 17)));
+      b.sel.push_back(static_cast<uint32_t>(k));
+    }
+    b.size = n;
+    corpus.push_back(std::move(b));
+    remaining -= n;
+  }
+  return corpus;
+}
+
+struct Shape {
+  std::string name;
+  bool predicate = true;  // predicate mode (refine sel) vs. expr mode
+  eng::ExprPtr expr;
+};
+
+std::vector<Shape> MakeShapes() {
+  std::vector<Shape> shapes;
+  shapes.push_back({"colref_cmp_lit", true,
+                    eng::Expr::Binary(eng::BinaryOp::kLt, Col(0), Lit(500))});
+  {
+    // The Sinew dominant shape: extraction UDF over the bytes column fused
+    // with the literal comparison above it.
+    eng::ExprPtr call = eng::Expr::Function("bench_extract", {});
+    call->args.push_back(Col(2));
+    call->args.push_back(Lit("path"));
+    shapes.push_back({"extract_cmp_lit", true,
+                      eng::Expr::Binary(eng::BinaryOp::kEq, std::move(call),
+                                        Lit("k500"))});
+  }
+  shapes.push_back(
+      {"and_chain", true,
+       eng::Expr::Binary(
+           eng::BinaryOp::kAnd,
+           eng::Expr::Binary(eng::BinaryOp::kGe, Col(0), Lit(100)),
+           eng::Expr::Binary(
+               eng::BinaryOp::kAnd,
+               eng::Expr::Binary(eng::BinaryOp::kLt, Col(0), Lit(900)),
+               eng::Expr::Binary(eng::BinaryOp::kNe, Col(3), Lit(7))))});
+  shapes.push_back(
+      {"between", true, eng::Expr::Between(Col(0), Lit(200), Lit(800),
+                                           false)});
+  shapes.push_back({"is_null", true, eng::Expr::IsNull(Col(2), false)});
+  shapes.push_back(
+      {"arith_project", false,
+       eng::Expr::Binary(
+           eng::BinaryOp::kAdd,
+           eng::Expr::Binary(eng::BinaryOp::kMul, Col(0), Lit(3)), Col(1))});
+  shapes.push_back({"concat_project", false,
+                    eng::Expr::Binary(eng::BinaryOp::kConcat, Col(2),
+                                      Lit("-x"))});
+  {
+    eng::ExprPtr c = std::make_unique<eng::Expr>();
+    c->kind = eng::ExprKind::kCase;
+    c->args.push_back(
+        eng::Expr::Binary(eng::BinaryOp::kLt, Col(0), Lit(500)));
+    c->args.push_back(Lit("lo"));
+    c->args.push_back(Lit("hi"));
+    shapes.push_back({"case_project", false, std::move(c)});
+  }
+  return shapes;
+}
+
+/// Evaluates one shape over the whole corpus `reps` times; returns seconds.
+double RunTreewalk(const Shape& shape, std::vector<eng::RowBatch>& corpus,
+                   const eng::UdfRegistry* udfs, int reps) {
+  std::vector<uint32_t> sel;
+  std::vector<eng::Datum> out;
+  Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    for (eng::RowBatch& b : corpus) {
+      if (shape.predicate) {
+        sel = b.sel;
+        sinew::Status st = EvalPredicateBatch(*shape.expr, b, udfs, &sel);
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s: %s\n", shape.name.c_str(),
+                       st.ToString().c_str());
+          return -1;
+        }
+      } else {
+        sinew::Status st = EvalExprBatch(*shape.expr, b, b.sel, udfs, &out);
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s: %s\n", shape.name.c_str(),
+                       st.ToString().c_str());
+          return -1;
+        }
+      }
+    }
+  }
+  return timer.Seconds();
+}
+
+double RunBytecode(const Shape& shape, std::vector<eng::RowBatch>& corpus,
+                   const eng::UdfRegistry* udfs, int reps) {
+  std::shared_ptr<const bc::Program> prog = bc::Compile(*shape.expr, 4, udfs);
+  if (prog == nullptr) {
+    std::fprintf(stderr, "%s: did not compile\n", shape.name.c_str());
+    return -1;
+  }
+  bc::ExecState state;
+  std::vector<uint32_t> sel;
+  std::vector<eng::Datum> out;
+  Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    for (eng::RowBatch& b : corpus) {
+      if (shape.predicate) {
+        sel = b.sel;
+        sinew::Status st = bc::ExecPredicateBatch(*prog, b, udfs, &state,
+                                                  &sel);
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s: %s\n", shape.name.c_str(),
+                       st.ToString().c_str());
+          return -1;
+        }
+      } else {
+        sinew::Status st = bc::ExecBatch(*prog, b, b.sel, udfs, &state, &out);
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s: %s\n", shape.name.c_str(),
+                       st.ToString().c_str());
+          return -1;
+        }
+      }
+    }
+  }
+  return timer.Seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t lanes = Scaled(1 << 18);  // 256K lanes per pass
+  const int reps = 8;
+
+  std::vector<eng::RowBatch> corpus = MakeCorpus(lanes);
+  eng::UdfRegistry udfs;
+  // Extraction stand-in: reads the bytes column, returns the attribute text
+  // (NULL source -> NULL), with a header-walk-shaped amount of work.
+  udfs.Register("bench_extract",
+                [](const eng::UdfArgs& args) -> sinew::Result<eng::Datum> {
+                  const eng::Datum& src = *args[0];
+                  if (src.is_null()) return eng::Datum();
+                  return eng::Datum::Text(src.str());
+                });
+
+  std::vector<Shape> shapes = MakeShapes();
+  // Match the executor: the tree walk gets its bind-time slot caches too.
+  for (Shape& s : shapes) eng::RefreshFallbackSlotCaches(s.expr.get());
+
+  const uint64_t total = lanes * static_cast<uint64_t>(reps);
+  std::vector<BenchRecord> records;
+  PrintHeader("micro_eval: tree-walk vs. compiled bytecode (ns/lane)");
+  std::printf("%-18s %12s %12s %9s\n", "shape", "treewalk", "bytecode",
+              "speedup");
+  for (const Shape& shape : shapes) {
+    // Warm-up pass per engine, then the measured runs.
+    RunTreewalk(shape, corpus, &udfs, 1);
+    const double tree_s = RunTreewalk(shape, corpus, &udfs, reps);
+    RunBytecode(shape, corpus, &udfs, 1);
+    const double bc_s = RunBytecode(shape, corpus, &udfs, reps);
+    const double tree_ns =
+        tree_s > 0 ? tree_s * 1e9 / static_cast<double>(total) : -1;
+    const double bc_ns =
+        bc_s > 0 ? bc_s * 1e9 / static_cast<double>(total) : -1;
+    std::printf("%-18s %12.2f %12.2f %8.2fx\n", shape.name.c_str(), tree_ns,
+                bc_ns, tree_ns > 0 && bc_ns > 0 ? tree_ns / bc_ns : 0.0);
+    records.push_back({shape.name, "treewalk", tree_s * 1e3, total, 1,
+                       kBatchSize});
+    records.push_back({shape.name, "bytecode", bc_s * 1e3, total, 1,
+                       kBatchSize});
+  }
+
+  sinew::bench::WriteBenchJson(sinew::bench::BenchOutDirFromArgs(argc, argv),
+                               "micro_eval", records);
+  return 0;
+}

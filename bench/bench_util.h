@@ -31,6 +31,25 @@ inline uint64_t Scaled(uint64_t base) {
   return static_cast<uint64_t>(static_cast<double>(base) * ScaleFromEnv());
 }
 
+/// Timing repetitions: `--reps=N` on the command line, else SINEW_BENCH_REPS,
+/// else `def`. Benchmarks that gate on compare_bench.py time each query N
+/// times and report the minimum, so a single scheduler hiccup cannot read as
+/// a regression.
+inline int RepsFromArgs(int argc, char** argv, int def = 1) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--reps=", 0) == 0) {
+      int reps = std::atoi(arg.c_str() + 7);
+      if (reps > 0) return reps;
+    }
+  }
+  if (const char* env = std::getenv("SINEW_BENCH_REPS")) {
+    int reps = std::atoi(env);
+    if (reps > 0) return reps;
+  }
+  return def;
+}
+
 /// Parallelism degree for Sinew in the benchmark binaries: `--threads=N` on
 /// the command line, else SINEW_BENCH_THREADS, else 1 (serial, the
 /// paper-faithful configuration). Compare --threads=1 vs --threads=4 runs

@@ -1,0 +1,147 @@
+// Bump-pointer arena: one allocation stream for objects whose lifetimes end
+// together. The query engine uses it for plan-time bytecode programs
+// (instructions, operand pools, interned literals — see engine/bytecode.h)
+// and for per-execution lane scratch, replacing the per-query malloc storm
+// of many small std::vector temporaries with pointer bumps into block-sized
+// chunks.
+//
+// Non-trivially-destructible objects are supported through an intrusive
+// destructor list (Create/CreateArray); trivially-destructible arrays take
+// the unregistered fast path (AllocateArray). Reset() runs pending
+// destructors, keeps the first block and rewinds — the shape the executor
+// wants for per-batch scratch. Not thread-safe: each arena belongs to one
+// compiler invocation or one operator instance.
+
+#ifndef SINEW_COMMON_ARENA_H_
+#define SINEW_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sinew {
+
+class Arena {
+ public:
+  explicit Arena(size_t first_block_bytes = 4096)
+      : first_block_bytes_(first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() { DestroyObjects(); }
+
+  /// Raw storage, aligned; never returns nullptr (throws std::bad_alloc on
+  /// exhaustion like operator new).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    uintptr_t p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (p + bytes > limit_) {
+      AddBlock(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Uninitialized array of a trivially-destructible type.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "use CreateArray for types with destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Constructs one object; registers its destructor when non-trivial.
+  template <typename T, typename... Args>
+  T* Create(Args&&... args) {
+    T* obj = new (Allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      dtors_.push_back({obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    return obj;
+  }
+
+  /// Value-initialized array; element destructors run at Reset/destruction.
+  template <typename T>
+  T* CreateArray(size_t n) {
+    T* arr = static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+    for (size_t i = 0; i < n; ++i) new (arr + i) T();
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (size_t i = 0; i < n; ++i) {
+        dtors_.push_back(
+            {arr + i, [](void* p) { static_cast<T*>(p)->~T(); }});
+      }
+    }
+    return arr;
+  }
+
+  /// Runs registered destructors, frees all blocks but the first, rewinds.
+  void Reset() {
+    DestroyObjects();
+    if (blocks_.size() > 1) blocks_.resize(1);
+    if (!blocks_.empty()) {
+      cursor_ = reinterpret_cast<uintptr_t>(blocks_[0].data.get());
+      limit_ = cursor_ + blocks_[0].size;
+    } else {
+      cursor_ = limit_ = 0;
+    }
+    bytes_used_ = 0;
+  }
+
+  /// Bytes handed out since construction/Reset (excludes alignment waste).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Bytes reserved from the system across all live blocks.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+  struct Dtor {
+    void* obj;
+    void (*fn)(void*);
+  };
+
+  void AddBlock(size_t min_bytes) {
+    size_t size = blocks_.empty() ? first_block_bytes_
+                                  : blocks_.back().size * 2;
+    if (size < min_bytes) size = min_bytes;
+    Block block;
+    block.data = std::make_unique<char[]>(size);
+    block.size = size;
+    cursor_ = reinterpret_cast<uintptr_t>(block.data.get());
+    limit_ = cursor_ + size;
+    blocks_.push_back(std::move(block));
+  }
+
+  void DestroyObjects() {
+    // Reverse construction order, matching stack teardown expectations.
+    for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) {
+      it->fn(it->obj);
+    }
+    dtors_.clear();
+  }
+
+  size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::vector<Dtor> dtors_;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t bytes_used_ = 0;
+};
+
+}  // namespace sinew
+
+#endif  // SINEW_COMMON_ARENA_H_

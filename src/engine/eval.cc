@@ -3,9 +3,36 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
+#include "engine/bytecode.h"
 
 namespace sinew::engine {
+
+namespace {
+
+void CollectBoundSlots(const Expr& expr, std::vector<int>* slots) {
+  if (expr.kind == ExprKind::kColumnRef && expr.bound_slot >= 0) {
+    slots->push_back(expr.bound_slot);
+  }
+  for (const ExprPtr& arg : expr.args) CollectBoundSlots(*arg, slots);
+}
+
+/// (Re)computes Expr::cached_fallback_slots: the subtree's sorted unique
+/// bound slots, consumed by per-lane batch fallbacks.
+void CacheFallbackSlots(Expr* expr) {
+  expr->cached_fallback_slots.clear();
+  CollectBoundSlots(*expr, &expr->cached_fallback_slots);
+  std::sort(expr->cached_fallback_slots.begin(),
+            expr->cached_fallback_slots.end());
+  expr->cached_fallback_slots.erase(
+      std::unique(expr->cached_fallback_slots.begin(),
+                  expr->cached_fallback_slots.end()),
+      expr->cached_fallback_slots.end());
+  expr->fallback_slots_cached = true;
+}
+
+}  // namespace
 
 Result<size_t> ExecSchema::Resolve(const std::string& table,
                                    const std::string& name) const {
@@ -54,7 +81,25 @@ Status BindExpr(Expr* expr, const ExecSchema& schema,
   for (ExprPtr& arg : expr->args) {
     RETURN_NOT_OK(BindExpr(arg.get(), schema, aliases));
   }
+  // Nodes the batch path evaluates per lane cache their subtree's bound
+  // slots here, once, instead of re-collecting them every batch. Later
+  // passes may replace argument subtrees with literals (constant folding),
+  // leaving a stale superset — harmless: the extra lanes copy an unused
+  // column. Rewrites that *redirect* slots (extraction hoisting) must call
+  // RefreshFallbackSlotCaches afterwards; re-binding also overwrites.
+  if (expr->kind == ExprKind::kFunction || expr->kind == ExprKind::kCase ||
+      expr->kind == ExprKind::kInList) {
+    CacheFallbackSlots(expr);
+  }
   return Status::OK();
+}
+
+void RefreshFallbackSlotCaches(Expr* expr) {
+  for (ExprPtr& arg : expr->args) RefreshFallbackSlotCaches(arg.get());
+  if (expr->kind == ExprKind::kFunction || expr->kind == ExprKind::kCase ||
+      expr->kind == ExprKind::kInList) {
+    CacheFallbackSlots(expr);
+  }
 }
 
 namespace {
@@ -74,23 +119,39 @@ Result<const Datum*> EvalRef(const Expr& expr, const DatumRow& row,
   return storage;
 }
 
-/// SQL comparison: NULL if either side is NULL or the kinds are not
-/// comparable; otherwise -1/0/1.
-Result<Datum> SqlCompare(const Datum& a, const Datum& b) {
-  if (a.is_null() || b.is_null()) return Datum::Null();
-  bool comparable =
-      (a.is_numeric() && b.is_numeric()) || a.kind() == b.kind();
-  if (!comparable) return Datum::Null();
-  return Datum::Int(Datum::Compare(a, b));
-}
-
 Result<Datum> EvalBinary(const Expr& expr, const DatumRow& row,
                          const UdfRegistry* udfs);
 
 Result<Datum> EvalCompareOp(BinaryOp op, const Datum& lhs, const Datum& rhs) {
-  ASSIGN_OR_RETURN(Datum c, SqlCompare(lhs, rhs));
-  if (c.is_null()) return Datum::Null();
-  int64_t cmp = c.int_value();
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return eval_detail::CompareOp(op, lhs, rhs);
+    default:
+      return Status::Internal("not a comparison op");
+  }
+}
+
+Result<Datum> EvalArithmetic(BinaryOp op, const Datum& lhs, const Datum& rhs) {
+  return eval_detail::ArithmeticOp(op, lhs, rhs);
+}
+
+}  // namespace
+
+namespace eval_detail {
+
+Datum CompareOp(BinaryOp op, const Datum& lhs, const Datum& rhs) {
+  // SQL comparison: NULL if either side is NULL or the kinds are not
+  // comparable; otherwise the verdict.
+  if (lhs.is_null() || rhs.is_null()) return Datum::Null();
+  bool comparable =
+      (lhs.is_numeric() && rhs.is_numeric()) || lhs.kind() == rhs.kind();
+  if (!comparable) return Datum::Null();
+  int cmp = Datum::Compare(lhs, rhs);
   switch (op) {
     case BinaryOp::kEq:
       return Datum::Bool(cmp == 0);
@@ -102,14 +163,12 @@ Result<Datum> EvalCompareOp(BinaryOp op, const Datum& lhs, const Datum& rhs) {
       return Datum::Bool(cmp <= 0);
     case BinaryOp::kGt:
       return Datum::Bool(cmp > 0);
-    case BinaryOp::kGe:
+    default:  // kGe; callers guarantee a comparison op
       return Datum::Bool(cmp >= 0);
-    default:
-      return Status::Internal("not a comparison op");
   }
 }
 
-Result<Datum> EvalArithmetic(BinaryOp op, const Datum& lhs, const Datum& rhs) {
+Result<Datum> ArithmeticOp(BinaryOp op, const Datum& lhs, const Datum& rhs) {
   if (lhs.is_null() || rhs.is_null()) return Datum::Null();
   if (!lhs.is_numeric() || !rhs.is_numeric()) {
     return Status::TypeError("arithmetic on non-numeric values");
@@ -155,7 +214,7 @@ Result<Datum> EvalArithmetic(BinaryOp op, const Datum& lhs, const Datum& rhs) {
   return Status::Internal("not an arithmetic op");
 }
 
-}  // namespace
+}  // namespace eval_detail
 
 Result<Datum> EvalExpr(const Expr& expr, const DatumRow& row,
                        const UdfRegistry* udfs) {
@@ -358,13 +417,6 @@ class BatchArg {
   std::vector<Datum> storage_;
 };
 
-void CollectBoundSlots(const Expr& expr, std::vector<int>* slots) {
-  if (expr.kind == ExprKind::kColumnRef && expr.bound_slot >= 0) {
-    slots->push_back(expr.bound_slot);
-  }
-  for (const ExprPtr& arg : expr.args) CollectBoundSlots(*arg, slots);
-}
-
 /// Exact per-lane fallback for nodes without a column kernel (functions,
 /// CASE, IN lists with evaluable items): copies only the slots the subtree
 /// references into a scratch row and runs the scalar evaluator, so
@@ -373,10 +425,20 @@ void CollectBoundSlots(const Expr& expr, std::vector<int>* slots) {
 Status EvalBatchPerLane(const Expr& expr, const RowBatch& batch,
                         const std::vector<uint32_t>& lanes,
                         const UdfRegistry* udfs, std::vector<Datum>* out) {
-  std::vector<int> slots;
-  CollectBoundSlots(expr, &slots);
-  std::sort(slots.begin(), slots.end());
-  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  static metrics::Counter* fallback_lanes =
+      metrics::GetCounter("eval.fallback_lanes");
+  fallback_lanes->Add(lanes.size());
+  // BindExpr caches the sorted slot set on the node; collecting here only
+  // covers expressions evaluated without a binding pass (tests, ad hoc).
+  std::vector<int> local_slots;
+  if (!expr.fallback_slots_cached) {
+    CollectBoundSlots(expr, &local_slots);
+    std::sort(local_slots.begin(), local_slots.end());
+    local_slots.erase(std::unique(local_slots.begin(), local_slots.end()),
+                      local_slots.end());
+  }
+  const std::vector<int>& slots =
+      expr.fallback_slots_cached ? expr.cached_fallback_slots : local_slots;
   DatumRow scratch(batch.num_cols());
   out->reserve(lanes.size());
   for (uint32_t lane : lanes) {
@@ -659,6 +721,26 @@ Status EvalPredicateBatch(const Expr& expr, const RowBatch& batch,
   }
   sel->resize(kept);
   return Status::OK();
+}
+
+Status EvalExprBatch(const Expr& expr, const bytecode::Program* program,
+                     bytecode::ExecState* state, const RowBatch& batch,
+                     const std::vector<uint32_t>& lanes,
+                     const UdfRegistry* udfs, std::vector<Datum>* out) {
+  if (program != nullptr && state != nullptr) {
+    return bytecode::ExecBatch(*program, batch, lanes, udfs, state, out);
+  }
+  return EvalExprBatch(expr, batch, lanes, udfs, out);
+}
+
+Status EvalPredicateBatch(const Expr& expr, const bytecode::Program* program,
+                          bytecode::ExecState* state, const RowBatch& batch,
+                          const UdfRegistry* udfs,
+                          std::vector<uint32_t>* sel) {
+  if (program != nullptr && state != nullptr) {
+    return bytecode::ExecPredicateBatch(*program, batch, udfs, state, sel);
+  }
+  return EvalPredicateBatch(expr, batch, udfs, sel);
 }
 
 Result<bool> EvalPredicate(const Expr& expr, const DatumRow& row,

@@ -14,6 +14,11 @@
 
 namespace sinew::engine {
 
+namespace bytecode {
+struct Program;
+struct ExecState;
+}  // namespace bytecode
+
 /// The column layout flowing between executor operators. Every operator
 /// declares one; expressions bind against it by (table alias, column name).
 struct ExecSchema {
@@ -36,6 +41,14 @@ struct ExecSchema {
 /// disambiguate (e.g. t1."user.lang" and plain "user.lang").
 Status BindExpr(Expr* expr, const ExecSchema& schema,
                 const std::vector<std::string>& aliases);
+
+/// Recomputes the cached fallback slot sets (Expr::cached_fallback_slots)
+/// for every kFunction/kCase/kInList node in the tree. BindExpr fills the
+/// caches as it binds; plan rewrites that change bound slots afterwards
+/// (e.g. extraction hoisting redirecting colrefs at extract-node outputs)
+/// must refresh them — the planner runs this over every expression slot as
+/// a final pass, after all rewrites.
+void RefreshFallbackSlotCaches(Expr* expr);
 
 /// Evaluates a bound expression over a row. SQL three-valued logic: NULL
 /// operands propagate through comparisons and arithmetic; AND/OR implement
@@ -69,9 +82,39 @@ Status EvalPredicateBatch(const Expr& expr, const RowBatch& batch,
                           const UdfRegistry* udfs,
                           std::vector<uint32_t>* sel);
 
+/// Program-aware dispatch: runs the compiled bytecode program when one is
+/// attached (engine/bytecode.h), else the tree-walk kernels above. The two
+/// paths agree lane-for-lane; the only permitted deviation is *which* lane's
+/// error surfaces first.
+Status EvalExprBatch(const Expr& expr, const bytecode::Program* program,
+                     bytecode::ExecState* state, const RowBatch& batch,
+                     const std::vector<uint32_t>& lanes,
+                     const UdfRegistry* udfs, std::vector<Datum>* out);
+
+/// Program-aware EvalPredicateBatch: single-instruction fused programs
+/// refine `*sel` in place without materializing a boolean column.
+Status EvalPredicateBatch(const Expr& expr, const bytecode::Program* program,
+                          bytecode::ExecState* state, const RowBatch& batch,
+                          const UdfRegistry* udfs,
+                          std::vector<uint32_t>* sel);
+
 /// Result type inference for a bound expression (best effort; used to label
 /// output columns).
 ColumnType InferType(const Expr& expr, const ExecSchema& schema);
+
+namespace eval_detail {
+
+/// SQL comparison kernel shared with the bytecode VM: NULL if either side is
+/// NULL or the kinds are incomparable, else the boolean verdict of `op`
+/// (which must be kEq..kGe).
+Datum CompareOp(BinaryOp op, const Datum& lhs, const Datum& rhs);
+
+/// Arithmetic kernel shared with the bytecode VM (op must be kAdd..kMod):
+/// NULL propagates, int op int stays int (division/modulo by zero error),
+/// any double operand promotes to double.
+Result<Datum> ArithmeticOp(BinaryOp op, const Datum& lhs, const Datum& rhs);
+
+}  // namespace eval_detail
 
 }  // namespace sinew::engine
 

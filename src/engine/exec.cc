@@ -13,6 +13,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "engine/bytecode.h"
 #include "engine/columnar.h"
 
 namespace sinew::engine {
@@ -193,9 +194,12 @@ class ScanOp : public Operator {
       : node_(node), ctx_(ctx), morsels_(morsels) {}
 
   ~ScanOp() override {
-    if (zone_skips_ != 0 && ctx_->stats != nullptr) {
+    if (ctx_->stats != nullptr &&
+        (zone_skips_ != 0 || bc_state_.fallback_lanes != 0)) {
       if (OperatorStats* s = ctx_->stats->For(node_)) {
         s->zone_skips.fetch_add(zone_skips_, std::memory_order_relaxed);
+        s->bc_fallback_lanes.fetch_add(bc_state_.fallback_lanes,
+                                       std::memory_order_relaxed);
       }
     }
   }
@@ -436,8 +440,16 @@ class ScanOp : public Operator {
     }
     row[rid_position] = Datum::Int(static_cast<int64_t>(rid));
     if (node_.scan_filter != nullptr) {
-      ASSIGN_OR_RETURN(bool keep,
-                       EvalPredicate(*node_.scan_filter, row, ctx_->udfs));
+      bool keep;
+      if (node_.scan_filter_program != nullptr) {
+        ASSIGN_OR_RETURN(keep,
+                         bytecode::ExecPredicateRow(*node_.scan_filter_program,
+                                                    row, ctx_->udfs,
+                                                    &bc_state_));
+      } else {
+        ASSIGN_OR_RETURN(keep,
+                         EvalPredicate(*node_.scan_filter, row, ctx_->udfs));
+      }
       if (!keep) return false;
     }
     // Phase 2: decode the remaining referenced columns for survivors. A
@@ -479,6 +491,9 @@ class ScanOp : public Operator {
   std::vector<std::pair<const StripColumn*, const ZoneFilter*>>
       resolved_zones_;
   uint64_t zone_skips_ = 0;  // strips skipped; flushed to stats on destroy
+  /// Bytecode scratch for the compiled scan filter (per operator instance;
+  /// the program itself is shared across Gather workers via the plan node).
+  bytecode::ExecState bc_state_;
   // Deferred-bytes pushdown state (node_.lazy_sources; batch path only).
   bool lazy_eligible_ = false;      // Open-time checks passed
   bool lazy_active_ = false;        // current chunk skips the lazy columns
@@ -499,6 +514,15 @@ class FilterOp : public Operator {
   FilterOp(const PlanNode& node, OperatorPtr child, ExecContext* ctx)
       : node_(node), child_(std::move(child)), ctx_(ctx) {}
 
+  ~FilterOp() override {
+    if (bc_state_.fallback_lanes != 0 && ctx_->stats != nullptr) {
+      if (OperatorStats* s = ctx_->stats->For(node_)) {
+        s->bc_fallback_lanes.fetch_add(bc_state_.fallback_lanes,
+                                       std::memory_order_relaxed);
+      }
+    }
+  }
+
   Status Open() override { return child_->Open(); }
 
   Result<bool> Next(DatumRow* out) override {
@@ -506,8 +530,16 @@ class FilterOp : public Operator {
     while (true) {
       ASSIGN_OR_RETURN(bool has, child_->Next(out));
       if (!has) return false;
-      ASSIGN_OR_RETURN(bool keep,
-                       EvalPredicate(*node_.predicate, *out, ctx_->udfs));
+      bool keep;
+      if (node_.predicate_program != nullptr) {
+        ASSIGN_OR_RETURN(keep,
+                         bytecode::ExecPredicateRow(*node_.predicate_program,
+                                                    *out, ctx_->udfs,
+                                                    &bc_state_));
+      } else {
+        ASSIGN_OR_RETURN(keep,
+                         EvalPredicate(*node_.predicate, *out, ctx_->udfs));
+      }
       if (keep) return true;
     }
   }
@@ -518,8 +550,9 @@ class FilterOp : public Operator {
   Result<bool> NextBatch(RowBatch* batch) override {
     ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
     if (!has) return false;
-    RETURN_NOT_OK(
-        EvalPredicateBatch(*node_.predicate, *batch, ctx_->udfs, &batch->sel));
+    RETURN_NOT_OK(EvalPredicateBatch(*node_.predicate,
+                                     node_.predicate_program.get(), &bc_state_,
+                                     *batch, ctx_->udfs, &batch->sel));
     return true;
   }
 
@@ -527,6 +560,7 @@ class FilterOp : public Operator {
   const PlanNode& node_;
   OperatorPtr child_;
   ExecContext* ctx_;
+  bytecode::ExecState bc_state_;
 };
 
 // ---------------------------------------------------------------- Project
@@ -535,6 +569,15 @@ class ProjectOp : public Operator {
  public:
   ProjectOp(const PlanNode& node, OperatorPtr child, ExecContext* ctx)
       : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  ~ProjectOp() override {
+    if (bc_state_.fallback_lanes != 0 && ctx_->stats != nullptr) {
+      if (OperatorStats* s = ctx_->stats->For(node_)) {
+        s->bc_fallback_lanes.fetch_add(bc_state_.fallback_lanes,
+                                       std::memory_order_relaxed);
+      }
+    }
+  }
 
   Status Open() override { return child_->Open(); }
 
@@ -578,8 +621,12 @@ class ProjectOp : public Operator {
         }
         continue;
       }
-      RETURN_NOT_OK(
-          EvalExprBatch(p, in_, in_.sel, ctx_->udfs, &batch->cols[c]));
+      const bytecode::Program* prog =
+          c < node_.projection_programs.size()
+              ? node_.projection_programs[c].get()
+              : nullptr;
+      RETURN_NOT_OK(EvalExprBatch(p, prog, &bc_state_, in_, in_.sel,
+                                  ctx_->udfs, &batch->cols[c]));
     }
     batch->size = in_.active();
     batch->sel.resize(batch->size);
@@ -609,6 +656,7 @@ class ProjectOp : public Operator {
   OperatorPtr child_;
   ExecContext* ctx_;
   RowBatch in_;
+  bytecode::ExecState bc_state_;
 };
 
 // ---------------------------------------------------------------- Extract
@@ -2073,6 +2121,26 @@ void AppendAnalyzedNode(const PlanNode& node, const PlanStats& stats,
       if (node.kind == PlanKind::kSeqScan && !node.zone_filters.empty()) {
         *out << " (zone_skips="
              << s->zone_skips.load(std::memory_order_relaxed) << ")";
+      }
+      // Compiled-expression shape: static opcode counts from the attached
+      // program(s) plus the lanes that escaped to the tree-walk evaluator.
+      {
+        uint64_t ops = 0, fused = 0;
+        bool compiled = false;
+        auto add = [&](const bytecode::Program* p) {
+          if (p == nullptr) return;
+          compiled = true;
+          ops += p->num_instrs;
+          fused += p->num_fused;
+        };
+        add(node.predicate_program.get());
+        add(node.scan_filter_program.get());
+        for (const auto& p : node.projection_programs) add(p.get());
+        if (compiled) {
+          *out << " (bytecode ops=" << ops << " fused=" << fused
+               << " fallback_lanes="
+               << s->bc_fallback_lanes.load(std::memory_order_relaxed) << ")";
+        }
       }
       const uint64_t batches = s->batches.load(std::memory_order_relaxed);
       if (batches > 0) {

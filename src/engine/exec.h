@@ -48,6 +48,8 @@ struct OperatorStats {
   std::atomic<uint64_t> columnar_hits{0};  // values served from column strips
   // kSeqScan only:
   std::atomic<uint64_t> zone_skips{0};  // strips skipped via zone maps
+  // bytecode-compiled nodes only:
+  std::atomic<uint64_t> bc_fallback_lanes{0};  // lanes routed to tree walk
 };
 
 /// Side table of per-node actuals for one execution, indexed by plan node

@@ -17,6 +17,10 @@
 
 namespace sinew::engine {
 
+namespace bytecode {
+struct Program;
+}  // namespace bytecode
+
 enum class PlanKind : uint8_t {
   kSeqScan,
   kFilter,
@@ -143,6 +147,17 @@ struct PlanNode {
 
   // kSeqScan deferred-bytes pushdown (see LazyScanSource above).
   std::vector<LazyScanSource> lazy_sources;
+
+  // Compiled bytecode programs (engine/bytecode.h), attached by the
+  // planner's compile pass after every plan rewrite has run so the Expr
+  // trees they alias are final. Immutable; Gather workers instantiate
+  // operators over the same PlanNode and share them (per-instance scratch
+  // lives in each operator's bytecode::ExecState). Null entries mean "use
+  // the tree-walk evaluator".
+  std::shared_ptr<const bytecode::Program> predicate_program;    // kFilter
+  std::shared_ptr<const bytecode::Program> scan_filter_program;  // kSeqScan
+  std::vector<std::shared_ptr<const bytecode::Program>>
+      projection_programs;  // kProject, parallel to `projections`
 
   /// EXPLAIN rendering (multi-line tree).
   std::string DebugString() const;

@@ -1,0 +1,379 @@
+// Bytecode vs. tree-walk differential tests: every query must return the
+// same multiset of rows (and surface the same errors) whether expressions
+// run as compiled postfix bytecode (planner.enable_bytecode = true, the
+// default) or through the tree-walk evaluator, row-at-a-time and batched,
+// serially and under Gather. The corpus is the NoBench generator's and the
+// query set is every NoBench task shape plus targeted shapes where a
+// compiled evaluator classically drifts from an interpreter: Kleene AND/OR
+// over NULL-producing sparse attributes, short-circuit regions guarding
+// runtime errors (the right side of a decided AND must never fire), fused
+// BETWEEN / IS NULL / IN forms and their NOT variants, CASE and coalesce
+// fallback lanes, and error queries whose message text must match exactly.
+//
+// Batch size 3 is adversarial (every morsel ends in a partial batch), 256 is
+// the production default, 1024 oversized, 1 the row-at-a-time Volcano loop
+// (which exercises the compiled scan-filter row path). SINEW_DIFF_PARALLELISM
+// overrides the Gather degree (default 4); CMake registers the suite a
+// second time at degree 2. Under SINEW_SANITIZE=thread the suite doubles as
+// a race detector for the shared Program attached to the plan node.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "sinew/sinew_db.h"
+#include "workloads/nobench/generator.h"
+#include "workloads/nobench/runners.h"
+
+namespace sinew {
+namespace {
+
+namespace nb = workloads::nobench;
+
+int ParallelDegree() {
+  if (const char* env = std::getenv("SINEW_DIFF_PARALLELISM")) {
+    int parsed = std::atoi(env);
+    if (parsed > 1) return parsed;
+  }
+  return 4;
+}
+
+/// Canonical row text: "name=value" pairs sorted by column name, NULLs
+/// dropped — insensitive to row and column order. Doubles rounded to 9
+/// significant digits.
+std::string CanonicalRow(const engine::QueryResult& result,
+                         const engine::DatumRow& row) {
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < row.size(); ++i) {
+    const engine::Datum& d = row[i];
+    if (d.is_null()) continue;
+    std::string value;
+    if (d.is_double()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", d.double_value());
+      value = buf;
+    } else {
+      value = d.ToString();
+    }
+    parts.push_back(result.column_names[i] + "=" + value);
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string out;
+  for (const std::string& p : parts) {
+    out += p;
+    out += '|';
+  }
+  return out;
+}
+
+std::vector<std::string> CanonicalRows(const engine::QueryResult& result) {
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const engine::DatumRow& row : result.rows) {
+    rows.push_back(CanonicalRow(result, row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::string> RenderValues(const std::vector<Value>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Value& v : rows) out.push_back(v.ToJson());
+  return out;
+}
+
+class BytecodeDifferentialTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kRecords = 2000;
+
+  struct NamedRunner {
+    std::string label;
+    bool bytecode = true;
+    size_t batch_size = 1;
+    int parallelism = 1;
+    nb::SinewRunner* runner = nullptr;
+  };
+
+  static void SetUpTestSuite() {
+    nb::Config config;
+    config.num_records = kRecords;
+    config.seed = 20140622;  // deterministic corpus, same as the batch suite
+    docs_ = new std::vector<Value>(nb::Generate(config));
+    params_ = new nb::QueryParams(nb::MakeQueryParams(config));
+
+    const int deg = ParallelDegree();
+    configs_ = new std::vector<NamedRunner>{
+        // Index 0 is the golden: tree-walk, serial, row-at-a-time.
+        {"tree-row-serial", false, 1, 1},
+        {"tree-batch256-serial", false, 256, 1},
+        {"bc-row-serial", true, 1, 1},
+        {"bc-batch3-serial", true, 3, 1},
+        {"bc-batch256-serial", true, 256, 1},
+        {"bc-batch1024-serial", true, 1024, 1},
+        {"bc-row-parallel", true, 1, deg},
+        {"bc-batch3-parallel", true, 3, deg},
+        {"bc-batch256-parallel", true, 256, deg},
+    };
+    for (NamedRunner& c : *configs_) {
+      SinewOptions options;
+      options.parallelism = c.parallelism;
+      options.planner.parallel_min_rows = 1;  // force Gather at test scale
+      options.planner.enable_bytecode = c.bytecode;
+      options.exec.batch_size = c.batch_size;
+      c.runner = new nb::SinewRunner(options);
+      ASSERT_TRUE(c.runner->Load(*docs_).ok()) << c.label;
+      ASSERT_TRUE(c.runner->Prepare().ok()) << c.label;
+    }
+  }
+
+  static void TearDownTestSuite() {
+    for (NamedRunner& c : *configs_) delete c.runner;
+    delete configs_;
+    configs_ = nullptr;
+    delete params_;
+    params_ = nullptr;
+    delete docs_;
+    docs_ = nullptr;
+  }
+
+  /// Asserts every configuration returns the tree-walk golden's multiset.
+  void ExpectSameAcrossConfigs(const std::string& sql) {
+    SCOPED_TRACE(sql);
+    std::vector<std::string> golden;
+    for (size_t i = 0; i < configs_->size(); ++i) {
+      NamedRunner& c = (*configs_)[i];
+      Result<engine::QueryResult> got = c.runner->db()->Query(sql);
+      ASSERT_TRUE(got.ok()) << c.label << ": " << got.status().ToString();
+      if (i == 0) {
+        golden = CanonicalRows(*got);
+      } else {
+        EXPECT_EQ(CanonicalRows(*got), golden) << c.label << " drifted";
+      }
+    }
+  }
+
+  /// Asserts every configuration fails the query with the same status text.
+  /// (The permitted deviation between the evaluators is only *which lane's*
+  /// error surfaces first; these queries error identically on every lane.)
+  void ExpectSameErrorAcrossConfigs(const std::string& sql) {
+    SCOPED_TRACE(sql);
+    std::string golden;
+    for (size_t i = 0; i < configs_->size(); ++i) {
+      NamedRunner& c = (*configs_)[i];
+      Result<engine::QueryResult> got = c.runner->db()->Query(sql);
+      ASSERT_FALSE(got.ok()) << c.label << " unexpectedly succeeded";
+      if (i == 0) {
+        golden = got.status().ToString();
+      } else {
+        EXPECT_EQ(got.status().ToString(), golden) << c.label << " drifted";
+      }
+    }
+  }
+
+  static std::vector<Value>* docs_;
+  static nb::QueryParams* params_;
+  static std::vector<NamedRunner>* configs_;
+};
+
+std::vector<Value>* BytecodeDifferentialTest::docs_ = nullptr;
+nb::QueryParams* BytecodeDifferentialTest::params_ = nullptr;
+std::vector<BytecodeDifferentialTest::NamedRunner>*
+    BytecodeDifferentialTest::configs_ = nullptr;
+
+TEST_F(BytecodeDifferentialTest, AllNoBenchQueryShapes) {
+  // Q12 is the random-update task; it mutates the table, so the differential
+  // stops at Q11 to keep every configuration's data identical.
+  for (int q = 1; q < nb::kNumTasks; ++q) {
+    SCOPED_TRACE("Q" + std::to_string(q));
+    Result<std::vector<Value>> golden =
+        (*configs_)[0].runner->Run(q, *params_);
+    ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+    std::vector<std::string> golden_rows = RenderValues(*golden);
+    for (size_t i = 1; i < configs_->size(); ++i) {
+      NamedRunner& c = (*configs_)[i];
+      Result<std::vector<Value>> got = c.runner->Run(q, *params_);
+      ASSERT_TRUE(got.ok()) << c.label << ": " << got.status().ToString();
+      EXPECT_EQ(RenderValues(*got), golden_rows) << c.label << " drifted";
+    }
+  }
+}
+
+TEST_F(BytecodeDifferentialTest, FusedComparisonShapes) {
+  // The colref-cmp-literal forms that compile to kColCmpLit — both operand
+  // orders (the compiler flips `lit cmp col`), every comparison op, and
+  // string comparison.
+  ExpectSameAcrossConfigs("SELECT num AS n FROM nobench_main WHERE num < 40");
+  ExpectSameAcrossConfigs("SELECT num AS n FROM nobench_main WHERE 40 > num");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE num >= 1990");
+  ExpectSameAcrossConfigs(
+      "SELECT thousandth AS t FROM nobench_main WHERE thousandth = 7");
+  ExpectSameAcrossConfigs(
+      "SELECT thousandth AS t FROM nobench_main WHERE thousandth <> 7");
+  ExpectSameAcrossConfigs(
+      "SELECT str2 AS s FROM nobench_main WHERE str2 <= 'GBRDC'");
+}
+
+TEST_F(BytecodeDifferentialTest, FusedBetweenIsNullAndInShapes) {
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE num BETWEEN 100 AND 140");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE num NOT BETWEEN 5 AND 1990");
+  // Sparse attributes are absent from ~99% of records, so IS NULL / IS NOT
+  // NULL split the corpus unevenly in both directions.
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE sparse_110 IS NOT NULL");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE sparse_110 IS NULL AND "
+      "num < 50");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE thousandth IN (3, 700, 999)");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main "
+      "WHERE thousandth NOT IN (3, 700, 999) AND num < 60");
+}
+
+TEST_F(BytecodeDifferentialTest, KleeneNullLogic) {
+  // dyn1 is int/string/bool by distribution and sparse_XXX is NULL on ~99%
+  // of rows, so these predicates exercise every row of the Kleene tables:
+  // NULL AND TRUE -> NULL (filtered), NULL OR TRUE -> TRUE (kept), and the
+  // NOT of each. The fork/join lane partitioning must agree with the
+  // tree-walk evaluator lane for lane.
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main "
+      "WHERE sparse_110 = 'GBRDCMJR' OR num < 100");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main "
+      "WHERE sparse_110 = 'GBRDCMJR' AND num >= 0");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main "
+      "WHERE NOT (sparse_110 = 'GBRDCMJR' OR num >= 100)");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main "
+      "WHERE (sparse_110 = 'x' AND sparse_119 = 'y') OR num < 40");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main "
+      "WHERE dyn1 = 5 OR dyn1 = 'five' OR num < 30");
+}
+
+TEST_F(BytecodeDifferentialTest, ShortCircuitGuardsRuntimeErrors) {
+  // num is non-negative corpus-wide, so the left side decides every lane and
+  // the erroring right side must never run — in the bytecode engine the fork
+  // leaves no undecided lanes and jumps the whole right-side region.
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE num < 0 AND 1 / 0 = 1");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE num >= 0 OR 1 / 0 = 1");
+  // The guard only covers the decided lanes: here the right side fires for
+  // num < 3 and is error-free, the rest short-circuit.
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE num >= 3 OR num * 10 < 25");
+}
+
+TEST_F(BytecodeDifferentialTest, ErrorsSurfaceIdentically) {
+  // Every lane errors, so the permitted which-lane-first deviation cannot
+  // change the surfaced status; message text must match the tree walk's.
+  ExpectSameErrorAcrossConfigs(
+      "SELECT num / 0 AS x FROM nobench_main WHERE num < 10");
+  ExpectSameErrorAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE num % 0 = 1");
+  // Non-boolean predicate: same type error from both engines.
+  ExpectSameErrorAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE num + 1");
+  // Type error on the right side of an undecided AND (str1 is a string, so
+  // `str1 AND ...` lanes are undecided non-bools).
+  ExpectSameErrorAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE num >= 0 AND num + 2");
+}
+
+TEST_F(BytecodeDifferentialTest, FallbackShapesStayExact) {
+  // CASE and coalesce compile to kFallbackLane (per-lane scalar evaluator
+  // over a compile-time slot set); results must be bit-identical.
+  ExpectSameAcrossConfigs(
+      "SELECT CASE WHEN num < 1000 THEN 'lo' ELSE 'hi' END AS bucket, "
+      "num AS n FROM nobench_main WHERE num < 300");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main "
+      "WHERE CASE WHEN thousandth < 500 THEN num < 100 ELSE num < 50 END");
+  ExpectSameAcrossConfigs(
+      "SELECT coalesce(sparse_110, str2) AS v FROM nobench_main "
+      "WHERE num < 200");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main "
+      "WHERE length(str2) + 0 > 4 AND num < 300");
+}
+
+TEST_F(BytecodeDifferentialTest, ProjectionShapes) {
+  // Arithmetic / concat / mixed projections over the batch path, including
+  // expressions whose program shares interned literals.
+  ExpectSameAcrossConfigs(
+      "SELECT num + 1 AS a, num * 2 AS b, num - num AS z "
+      "FROM nobench_main WHERE num < 500");
+  ExpectSameAcrossConfigs(
+      "SELECT str2 || '-' || str2 AS s FROM nobench_main WHERE num < 100");
+  ExpectSameAcrossConfigs(
+      "SELECT num + 10 AS a, thousandth + 10 AS b FROM nobench_main "
+      "WHERE num < 100");
+  ExpectSameAcrossConfigs(
+      "SELECT -num AS neg, NOT (num < 1000) AS flip FROM nobench_main "
+      "WHERE num < 2000");
+}
+
+TEST_F(BytecodeDifferentialTest, ExtractionChainsUnderBytecode) {
+  // Virtual-attribute access routed through extraction (hoisted kExtract
+  // feeding compiled colref comparisons, or — with deep paths — UDF chains):
+  // the dominant Sinew shape the fused opcodes exist for.
+  ExpectSameAcrossConfigs(
+      "SELECT \"nested_obj.num\" AS nn FROM nobench_main "
+      "WHERE \"nested_obj.num\" BETWEEN 10 AND 300");
+  ExpectSameAcrossConfigs(
+      "SELECT \"nested_obj.str\" AS ns, num AS n FROM nobench_main "
+      "WHERE \"nested_obj.str\" = str1");
+  ExpectSameAcrossConfigs(
+      "SELECT sparse_110 AS a, sparse_119 AS b FROM nobench_main "
+      "WHERE sparse_110 IS NOT NULL OR sparse_220 IS NOT NULL");
+}
+
+#if !defined(SINEW_METRICS_DISABLED)
+TEST_F(BytecodeDifferentialTest, BytecodeConfigsActuallyCompile) {
+  // Guard against diffing the tree walk against itself: a bytecode config
+  // must compile programs at plan time, a tree-walk config must not.
+  metrics::Counter* programs = metrics::GetCounter("bytecode.programs_total");
+  const uint64_t before = programs->value();
+  ASSERT_TRUE((*configs_)[4]  // bc-batch256-serial
+                  .runner->db()
+                  ->Query("SELECT num AS n FROM nobench_main WHERE num < 10")
+                  .ok());
+  EXPECT_GT(programs->value(), before) << "bytecode config never compiled";
+  const uint64_t mid = programs->value();
+  ASSERT_TRUE((*configs_)[0]  // tree-row-serial
+                  .runner->db()
+                  ->Query("SELECT num AS n FROM nobench_main WHERE num < 10")
+                  .ok());
+  EXPECT_EQ(programs->value(), mid) << "tree-walk config compiled programs";
+}
+
+TEST_F(BytecodeDifferentialTest, FallbackLanesAreCounted) {
+  // A CASE predicate compiles to kFallbackLane; running it must grow the
+  // eval.fallback_lanes counter (satellite: interpreter residue visible).
+  metrics::Counter* fallback = metrics::GetCounter("eval.fallback_lanes");
+  const uint64_t before = fallback->value();
+  ASSERT_TRUE((*configs_)[4]
+                  .runner->db()
+                  ->Query("SELECT num AS n FROM nobench_main "
+                          "WHERE CASE WHEN num < 500 THEN 1 = 1 "
+                          "ELSE 1 = 2 END")
+                  .ok());
+  EXPECT_GT(fallback->value(), before) << "fallback lanes went uncounted";
+}
+#endif
+
+}  // namespace
+}  // namespace sinew

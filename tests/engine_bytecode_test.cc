@@ -1,0 +1,328 @@
+// Bytecode compiler unit tests: fused-opcode selection for the dominant
+// expression shapes, literal-pool interning, register reuse, the fallback
+// contract, and direct VM execution over synthetic batches (including the
+// select-mode fast path that refines the selection vector without
+// materializing a boolean column).
+
+#include "engine/bytecode.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/datum.h"
+#include "engine/expr.h"
+#include "engine/row_batch.h"
+#include "engine/udf.h"
+
+namespace sinew::engine {
+namespace {
+
+namespace bc = bytecode;
+
+ExprPtr Col(int slot) {
+  ExprPtr e = Expr::Column("", "c" + std::to_string(slot));
+  e->bound_slot = slot;
+  return e;
+}
+
+ExprPtr Lit(int64_t v) { return Expr::Literal(Datum::Int(v)); }
+ExprPtr Lit(std::string v) { return Expr::Literal(Datum::Text(std::move(v))); }
+
+std::shared_ptr<const bc::Program> MustCompile(const ExprPtr& e,
+                                               size_t width = 4,
+                                               const UdfRegistry* udfs =
+                                                   nullptr) {
+  std::shared_ptr<const bc::Program> p = bc::Compile(*e, width, udfs);
+  EXPECT_NE(p, nullptr) << e->ToString();
+  return p;
+}
+
+/// A width-2 batch: col0 = 0..n-1 ints, col1 = alternating text/NULL.
+RowBatch MakeBatch(size_t n) {
+  RowBatch b;
+  b.Reset(2);
+  for (size_t i = 0; i < n; ++i) {
+    b.cols[0].push_back(Datum::Int(static_cast<int64_t>(i)));
+    b.cols[1].push_back(i % 2 == 0 ? Datum::Text("t" + std::to_string(i))
+                                   : Datum());
+    b.sel.push_back(static_cast<uint32_t>(i));
+  }
+  b.size = n;
+  return b;
+}
+
+TEST(BytecodeCompile, ColCmpLitFusesBothOperandOrders) {
+  auto p = MustCompile(Expr::Binary(BinaryOp::kLt, Col(0), Lit(5)));
+  ASSERT_EQ(p->num_instrs, 1u);
+  EXPECT_EQ(p->instrs[0].op, bc::OpCode::kColCmpLit);
+  EXPECT_EQ(p->instrs[0].bop, BinaryOp::kLt);
+  EXPECT_EQ(p->num_fused, 1u);
+  EXPECT_EQ(p->num_fallback, 0u);
+
+  // Literal-first flips the comparison: 5 < col  ==  col > 5.
+  auto q = MustCompile(Expr::Binary(BinaryOp::kLt, Lit(5), Col(0)));
+  ASSERT_EQ(q->num_instrs, 1u);
+  EXPECT_EQ(q->instrs[0].op, bc::OpCode::kColCmpLit);
+  EXPECT_EQ(q->instrs[0].bop, BinaryOp::kGt);
+}
+
+TEST(BytecodeCompile, BetweenAndIsNullFuse) {
+  auto p = MustCompile(Expr::Between(Col(1), Lit(3), Lit(9), false));
+  ASSERT_EQ(p->num_instrs, 1u);
+  EXPECT_EQ(p->instrs[0].op, bc::OpCode::kColBetweenLits);
+  EXPECT_FALSE(p->instrs[0].negated);
+
+  auto q = MustCompile(Expr::Between(Col(1), Lit(3), Lit(9), true));
+  EXPECT_TRUE(q->instrs[0].negated);
+
+  auto r = MustCompile(Expr::IsNull(Col(0), false));
+  ASSERT_EQ(r->num_instrs, 1u);
+  EXPECT_EQ(r->instrs[0].op, bc::OpCode::kColIsNull);
+
+  // Non-literal bound defeats the fusion but still compiles (generic
+  // kBetween over registers).
+  auto s = MustCompile(Expr::Between(Col(0), Col(1), Lit(9), false));
+  bool generic = false;
+  for (uint32_t i = 0; i < s->num_instrs; ++i) {
+    generic |= s->instrs[i].op == bc::OpCode::kBetween;
+  }
+  EXPECT_TRUE(generic);
+  EXPECT_EQ(s->num_fused, 0u);
+}
+
+TEST(BytecodeCompile, UdfCmpLitFusesSimpleArgCalls) {
+  UdfRegistry udfs;
+  udfs.Register("extract", [](const UdfArgs& args) -> Result<Datum> {
+    return *args[0];
+  });
+  ExprPtr call = Expr::Function("extract", {});
+  call->args.push_back(Col(0));
+  call->args.push_back(Lit("path"));
+  auto p = MustCompile(Expr::Binary(BinaryOp::kEq, std::move(call), Lit(7)),
+                       4, &udfs);
+  // The peephole merges kCallUdf + kCompare into one kUdfCmpLit.
+  ASSERT_EQ(p->num_instrs, 1u);
+  EXPECT_EQ(p->instrs[0].op, bc::OpCode::kUdfCmpLit);
+  EXPECT_EQ(p->instrs[0].aux_count, 2u);
+  EXPECT_EQ(p->num_fused, 1u);
+
+  // A non-simple argument (col + 1) forces the fallback lane instead.
+  ExprPtr complex_call = Expr::Function("extract", {});
+  complex_call->args.push_back(
+      Expr::Binary(BinaryOp::kAdd, Col(0), Lit(1)));
+  auto q = MustCompile(
+      Expr::Binary(BinaryOp::kEq, std::move(complex_call), Lit(7)), 4, &udfs);
+  bool fell_back = false;
+  for (uint32_t i = 0; i < q->num_instrs; ++i) {
+    fell_back |= q->instrs[i].op == bc::OpCode::kFallbackLane;
+  }
+  EXPECT_TRUE(fell_back);
+  EXPECT_GE(q->num_fallback, 1u);
+}
+
+TEST(BytecodeCompile, AndOrCompileToForkJoin) {
+  auto p = MustCompile(Expr::Binary(
+      BinaryOp::kAnd, Expr::Binary(BinaryOp::kLt, Col(0), Lit(5)),
+      Expr::Binary(BinaryOp::kGt, Col(1), Lit(2))));
+  ASSERT_EQ(p->num_instrs, 4u);
+  EXPECT_EQ(p->instrs[0].op, bc::OpCode::kColCmpLit);
+  EXPECT_EQ(p->instrs[1].op, bc::OpCode::kBoolFork);
+  EXPECT_TRUE(p->instrs[1].is_and);
+  EXPECT_EQ(p->instrs[2].op, bc::OpCode::kColCmpLit);
+  EXPECT_EQ(p->instrs[3].op, bc::OpCode::kBoolJoin);
+  // The fork's jump lands just past its join.
+  EXPECT_EQ(p->instrs[1].jump, 4u);
+  // Two fused compares + the fork.
+  EXPECT_EQ(p->num_fused, 3u);
+}
+
+TEST(BytecodeCompile, LiteralPoolInternsExactValues) {
+  // The same Int(5) in three places lands in one pool slot...
+  auto p = MustCompile(Expr::Binary(
+      BinaryOp::kOr, Expr::Binary(BinaryOp::kEq, Col(0), Lit(5)),
+      Expr::Binary(BinaryOp::kOr, Expr::Binary(BinaryOp::kEq, Col(1), Lit(5)),
+                   Expr::Binary(BinaryOp::kGt, Col(2), Lit(5)))));
+  EXPECT_EQ(p->num_literals, 1u);
+
+  // ...but Int(5) and Double(5.0) never merge (cross-kind comparison
+  // semantics differ), and distinct strings stay distinct.
+  auto q = MustCompile(Expr::Binary(
+      BinaryOp::kAnd, Expr::Binary(BinaryOp::kEq, Col(0), Lit(5)),
+      Expr::Binary(BinaryOp::kEq, Col(1),
+                   Expr::Literal(Datum::Double(5.0)))));
+  EXPECT_EQ(q->num_literals, 2u);
+
+  auto r = MustCompile(Expr::Binary(
+      BinaryOp::kAnd, Expr::Binary(BinaryOp::kEq, Col(0), Lit("a")),
+      Expr::Binary(BinaryOp::kEq, Col(1), Lit("b"))));
+  EXPECT_EQ(r->num_literals, 2u);
+}
+
+TEST(BytecodeCompile, RegisterReuseKeepsProgramsNarrow) {
+  // ((c0 + 1) * (c0 + 2)) - (c0 + 3): a naive allocator needs a register
+  // per node; postfix stack reuse keeps it at the expression's live width.
+  ExprPtr e = Expr::Binary(
+      BinaryOp::kSub,
+      Expr::Binary(BinaryOp::kMul,
+                   Expr::Binary(BinaryOp::kAdd, Col(0), Lit(1)),
+                   Expr::Binary(BinaryOp::kAdd, Col(0), Lit(2))),
+      Expr::Binary(BinaryOp::kAdd, Col(0), Lit(3)));
+  auto p = MustCompile(e);
+  EXPECT_LE(p->num_regs, 3u);
+}
+
+TEST(BytecodeCompile, FallbackShapesAndSlotCollection) {
+  // CASE always falls back, and the instruction carries the subtree's
+  // sorted unique bound slots for scratch-row assembly.
+  ExprPtr c = std::make_unique<Expr>();
+  c->kind = ExprKind::kCase;
+  c->args.push_back(Expr::Binary(BinaryOp::kLt, Col(2), Lit(5)));
+  c->args.push_back(Col(0));
+  c->args.push_back(Col(2));  // duplicate slot; must dedupe
+  auto p = MustCompile(c);
+  ASSERT_EQ(p->num_instrs, 1u);
+  ASSERT_EQ(p->instrs[0].op, bc::OpCode::kFallbackLane);
+  ASSERT_EQ(p->instrs[0].fb_slot_count, 2u);
+  EXPECT_EQ(p->instrs[0].fb_slots[0], 0);
+  EXPECT_EQ(p->instrs[0].fb_slots[1], 2);
+  EXPECT_EQ(p->num_fallback, 1u);
+
+  // coalesce falls back even when registered (argument short-circuiting).
+  UdfRegistry udfs;
+  RegisterBuiltinFunctions(&udfs);
+  ExprPtr co = Expr::Function("coalesce", {});
+  co->args.push_back(Col(1));
+  co->args.push_back(Lit("d"));
+  auto q = MustCompile(co, 4, &udfs);
+  ASSERT_EQ(q->num_instrs, 1u);
+  EXPECT_EQ(q->instrs[0].op, bc::OpCode::kFallbackLane);
+
+  // An unregistered function still compiles — to a fallback lane, so the
+  // tree-walk evaluator's unknown-function error surfaces at runtime.
+  ExprPtr unknown = Expr::Function("no_such_fn", {});
+  unknown->args.push_back(Col(0));
+  auto u = MustCompile(unknown, 4, &udfs);
+  ASSERT_EQ(u->num_instrs, 1u);
+  EXPECT_EQ(u->instrs[0].op, bc::OpCode::kFallbackLane);
+}
+
+TEST(BytecodeCompile, UnboundAndOutOfRangeColumnsDoNotCompile) {
+  ExprPtr unbound = Expr::Column("", "x");  // bound_slot = -1
+  EXPECT_EQ(bc::Compile(*unbound, 4, nullptr), nullptr);
+  EXPECT_EQ(bc::Compile(*Col(7), 4, nullptr), nullptr);  // width is 4
+  EXPECT_EQ(bc::Compile(*Expr::Star(""), 4, nullptr), nullptr);
+}
+
+TEST(BytecodeExec, FusedPredicateRefinesSelection) {
+  RowBatch b = MakeBatch(10);
+  auto p = MustCompile(Expr::Binary(BinaryOp::kLt, Col(0), Lit(4)), 2);
+  bc::ExecState st;
+  std::vector<uint32_t> sel = b.sel;
+  ASSERT_TRUE(bc::ExecPredicateBatch(*p, b, nullptr, &st, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint32_t>{0, 1, 2, 3}));
+
+  // NULL comparisons filter: col1 is NULL on odd lanes and text on even.
+  auto q = MustCompile(Expr::Binary(BinaryOp::kGe, Col(1), Lit("t0")), 2);
+  sel = b.sel;
+  ASSERT_TRUE(bc::ExecPredicateBatch(*q, b, nullptr, &st, &sel).ok());
+  for (uint32_t lane : sel) EXPECT_EQ(lane % 2, 0u);
+  EXPECT_EQ(sel.size(), 5u);
+}
+
+TEST(BytecodeExec, KleeneForkJoinMatchesTruthTable) {
+  RowBatch b = MakeBatch(10);
+  // col1 = 't…' (non-NULL) on even lanes: `col1 IS NULL OR col0 < 4` keeps
+  // odd lanes below 10 and even lanes below 4.
+  auto p = MustCompile(
+      Expr::Binary(BinaryOp::kOr, Expr::IsNull(Col(1), false),
+                   Expr::Binary(BinaryOp::kLt, Col(0), Lit(4))),
+      2);
+  bc::ExecState st;
+  std::vector<uint32_t> sel = b.sel;
+  ASSERT_TRUE(bc::ExecPredicateBatch(*p, b, nullptr, &st, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint32_t>{0, 1, 2, 3, 5, 7, 9}));
+
+  // NULL AND TRUE -> NULL (filtered): (col1 < 'zzz') is NULL on odd lanes.
+  auto q = MustCompile(
+      Expr::Binary(BinaryOp::kAnd,
+                   Expr::Binary(BinaryOp::kLt, Col(1), Lit("zzz")),
+                   Expr::Binary(BinaryOp::kGe, Col(0), Lit(0))),
+      2);
+  sel = b.sel;
+  ASSERT_TRUE(bc::ExecPredicateBatch(*q, b, nullptr, &st, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint32_t>{0, 2, 4, 6, 8}));
+}
+
+TEST(BytecodeExec, ShortCircuitSkipsErroringRegion) {
+  RowBatch b = MakeBatch(6);
+  // col0 < 0 decides every lane false, so the erroring right side (1/0 = 1)
+  // must be jumped over entirely.
+  auto p = MustCompile(
+      Expr::Binary(
+          BinaryOp::kAnd, Expr::Binary(BinaryOp::kLt, Col(0), Lit(0)),
+          Expr::Binary(BinaryOp::kEq,
+                       Expr::Binary(BinaryOp::kDiv, Lit(1), Lit(0)), Lit(1))),
+      2);
+  bc::ExecState st;
+  std::vector<uint32_t> sel = b.sel;
+  ASSERT_TRUE(bc::ExecPredicateBatch(*p, b, nullptr, &st, &sel).ok());
+  EXPECT_TRUE(sel.empty());
+
+  // With undecided lanes the region runs and the error surfaces.
+  auto q = MustCompile(
+      Expr::Binary(
+          BinaryOp::kAnd, Expr::Binary(BinaryOp::kGe, Col(0), Lit(0)),
+          Expr::Binary(BinaryOp::kEq,
+                       Expr::Binary(BinaryOp::kDiv, Lit(1), Lit(0)), Lit(1))),
+      2);
+  sel = b.sel;
+  Status s = bc::ExecPredicateBatch(*q, b, nullptr, &st, &sel);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("division by zero"), std::string::npos);
+}
+
+TEST(BytecodeExec, ExprModeAndRowModeAgree) {
+  RowBatch b = MakeBatch(8);
+  ExprPtr e = Expr::Binary(
+      BinaryOp::kAdd, Expr::Binary(BinaryOp::kMul, Col(0), Lit(3)), Lit(1));
+  auto p = MustCompile(e, 2);
+  bc::ExecState st;
+  std::vector<Datum> out;
+  ASSERT_TRUE(bc::ExecBatch(*p, b, b.sel, nullptr, &st, &out).ok());
+  ASSERT_EQ(out.size(), 8u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].int_value(), static_cast<int64_t>(i) * 3 + 1);
+  }
+
+  auto pred = MustCompile(Expr::Binary(BinaryOp::kGt, Col(0), Lit(5)), 2);
+  for (uint32_t i = 0; i < 8; ++i) {
+    DatumRow row;
+    b.CopyRow(i, &row);
+    Result<bool> keep = bc::ExecPredicateRow(*pred, row, nullptr, &st);
+    ASSERT_TRUE(keep.ok());
+    EXPECT_EQ(*keep, i > 5);
+  }
+}
+
+TEST(BytecodeExec, FallbackLanesAreCountedPerLane) {
+  RowBatch b = MakeBatch(10);
+  ExprPtr c = std::make_unique<Expr>();
+  c->kind = ExprKind::kCase;
+  c->args.push_back(Expr::Binary(BinaryOp::kLt, Col(0), Lit(5)));
+  c->args.push_back(Expr::Literal(Datum::Bool(true)));
+  c->args.push_back(Expr::Literal(Datum::Bool(false)));
+  auto p = MustCompile(c, 2);
+  ASSERT_EQ(p->num_fallback, 1u);
+  bc::ExecState st;
+  std::vector<uint32_t> sel = b.sel;
+  ASSERT_TRUE(bc::ExecPredicateBatch(*p, b, nullptr, &st, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(st.fallback_lanes, 10u);
+}
+
+}  // namespace
+}  // namespace sinew::engine

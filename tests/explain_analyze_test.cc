@@ -116,6 +116,47 @@ TEST(ExplainTest, ExplainAnalyzeThroughGatherWorkers) {
   EXPECT_NE(text.find("morsels="), std::string::npos) << text;
 }
 
+TEST(ExplainTest, ExplainAnalyzeReportsBytecodeShape) {
+  engine::Database db;
+  FillTable(&db, 100);
+
+  // The pushed-down scan filter compiles to one fused colref-cmp-literal
+  // instruction; the projection `a + 1` to one (unfused) arithmetic op. No
+  // lane ever needs the tree-walk fallback.
+  auto result =
+      db.Execute("EXPLAIN ANALYZE SELECT a + 1 AS x FROM t WHERE a < 50");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string text = ExplainText(*result);
+  EXPECT_NE(text.find("(bytecode ops=1 fused=1 fallback_lanes=0)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("(bytecode ops=1 fused=0 fallback_lanes=0)"),
+            std::string::npos)
+      << text;
+
+  // A CASE projection compiles to a fallback-lane instruction; every row
+  // routes through the scalar evaluator and is counted.
+  auto fallback = db.Execute(
+      "EXPLAIN ANALYZE SELECT CASE WHEN a < 50 THEN 1 ELSE 2 END AS x "
+      "FROM t");
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  std::string fb_text = ExplainText(*fallback);
+  EXPECT_NE(fb_text.find("(bytecode ops=1 fused=0 fallback_lanes=100)"),
+            std::string::npos)
+      << fb_text;
+
+  // With compilation disabled the annotation disappears entirely.
+  engine::PlannerOptions planner;
+  planner.enable_bytecode = false;
+  engine::Database tree_db(planner);
+  FillTable(&tree_db, 100);
+  auto plain =
+      tree_db.Execute("EXPLAIN ANALYZE SELECT a + 1 AS x FROM t WHERE a < 50");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(ExplainText(*plain).find("(bytecode"), std::string::npos)
+      << ExplainText(*plain);
+}
+
 TEST(ExplainTest, CreateTableRejectsReservedMetricsName) {
   engine::Database db;
   auto result = db.Execute("CREATE TABLE sinew_metrics (x INT)");
