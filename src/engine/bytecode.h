@@ -45,6 +45,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/arena.h"
@@ -142,6 +143,22 @@ struct Program {
 struct ExecState {
   std::vector<std::vector<Datum>> regs;
 
+  /// Per-register type evidence within one RunProgram call: a typed kernel
+  /// that fills a register with exactly one Datum kind (plus NULLs) records
+  /// it so downstream kCompare/kArith can stay monomorphic on register
+  /// operands. Cleared at the top of every program run and whenever an
+  /// untyped instruction writes the register.
+  struct RegTag {
+    ColTag::Type type = ColTag::Type::kUnknown;
+  };
+  std::vector<RegTag> reg_tags;
+  /// Did the instruction currently executing record a tag for its dst
+  /// register? Set by the typed kernels, checked (and reset) by the
+  /// interpreter loop after each instruction — a dst written by a boxed
+  /// path must lose any stale tag, but only *after* the instruction ran,
+  /// because stack discipline routinely reuses an operand register as dst.
+  bool reg_tag_set = false;
+
   /// One kBoolFork/kBoolJoin nesting level: the undecided lane subset, each
   /// undecided lane's position in the enclosing lane set, and its saved
   /// left-side value for the join's Kleene combine.
@@ -162,7 +179,54 @@ struct ExecState {
   /// Lanes routed through kFallbackLane since the last flush; the owning
   /// operator drains this into its OperatorStats.
   uint64_t fallback_lanes = 0;
+  /// Lanes served by monomorphic typed kernels vs. the boxed per-lane Datum
+  /// loops, counted over the specializable opcodes only (kColCmpLit,
+  /// kColBetweenLits, kColIsNull, kCompare, kArith). Drained like
+  /// fallback_lanes.
+  uint64_t typed_lanes = 0;
+  uint64_t boxed_lanes = 0;
+
+  /// Returns the state to its post-construction shape, releasing any scratch
+  /// vector whose capacity exceeds `shrink_threshold` datums. Register
+  /// vectors high-water to the widest batch ever executed and would
+  /// otherwise pin that memory for the lifetime of a pooled operator or a
+  /// long-lived session; call this at operator close (after draining the
+  /// lane counters) or between queries on a reused state.
+  void Reset(size_t shrink_threshold = 0) {
+    frame_depth = 0;
+    fallback_lanes = 0;
+    typed_lanes = 0;
+    boxed_lanes = 0;
+    auto shrink = [shrink_threshold](auto& v) {
+      if (v.capacity() > shrink_threshold) {
+        // Swap with a fresh temporary: `v = {}` would pick the
+        // initializer-list assignment, which clears but keeps capacity.
+        std::remove_reference_t<decltype(v)>().swap(v);
+      } else {
+        v.clear();
+      }
+    };
+    for (auto& reg : regs) shrink(reg);
+    shrink(regs);
+    for (Frame& f : frames) {
+      shrink(f.lanes);
+      shrink(f.pos);
+      shrink(f.lhs);
+    }
+    shrink(frames);
+    shrink(reg_tags);
+    shrink(scratch);
+    shrink(udf_args);
+    shrink(vals);
+  }
 };
+
+/// Process-wide kill switch for the typed kernels (default on). Off forces
+/// every instruction onto the boxed per-lane Datum loops — the PR 9
+/// behavior — used by the differential suite and the boxed/typed bench
+/// configs. Reads are relaxed; flip it only from test/bench setup code.
+bool TypedKernelsEnabled();
+void SetTypedKernelsEnabled(bool enabled);
 
 /// Compiles a bound expression into a program executable over batches whose
 /// columns match the schema the expression was bound against (`input_width`

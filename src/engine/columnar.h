@@ -28,6 +28,7 @@
 #include "common/result.h"
 #include "engine/datum.h"
 #include "engine/expr.h"
+#include "engine/row_batch.h"
 
 namespace sinew::engine {
 
@@ -87,6 +88,21 @@ struct StripColumn {
 
   Datum GetDatum(uint64_t rid) const;
 };
+
+/// Maps a strip's declared value type onto the batch ColTag domain, for
+/// seeding RowBatch type tags when an extract output column is filled
+/// entirely from strips of this column (plus NULLs for uncovered lanes).
+/// Types without a monomorphic kernel map to kUnknown so the VM's profile
+/// pass classifies on its own.
+inline ColTag::Type StripTagType(ValueType type) {
+  switch (type) {
+    case ValueType::kBool: return ColTag::Type::kBool;
+    case ValueType::kInt: return ColTag::Type::kInt;
+    case ValueType::kDouble: return ColTag::Type::kDouble;
+    case ValueType::kString: return ColTag::Type::kText;
+    default: return ColTag::Type::kUnknown;
+  }
+}
 
 /// Immutable shredded image of rows [0, row_count) of one table, attached to
 /// the Table as a shared_ptr snapshot. Readers snapshot the pointer under

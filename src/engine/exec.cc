@@ -183,6 +183,31 @@ class InstrumentedOp : public Operator {
   bool time_;
 };
 
+/// ExecState scratch above this many datums of capacity is released at
+/// operator close instead of kept; register vectors high-water to the widest
+/// batch ever executed, so without the cap a pooled operator (or a session
+/// reusing plans) pins that memory forever. One default batch is the natural
+/// working set.
+constexpr size_t kExecStateShrinkThreshold = 4096;
+
+/// Drains an operator's bytecode lane counters into its plan node's stats
+/// and returns the state's scratch memory; operators with a compiled program
+/// call this from their destructor.
+void FlushBytecodeState(const PlanNode& node, ExecContext* ctx,
+                        bytecode::ExecState* st) {
+  if (ctx->stats != nullptr &&
+      (st->fallback_lanes != 0 || st->typed_lanes != 0 ||
+       st->boxed_lanes != 0)) {
+    if (OperatorStats* s = ctx->stats->For(node)) {
+      s->bc_fallback_lanes.fetch_add(st->fallback_lanes,
+                                     std::memory_order_relaxed);
+      s->bc_typed_lanes.fetch_add(st->typed_lanes, std::memory_order_relaxed);
+      s->bc_boxed_lanes.fetch_add(st->boxed_lanes, std::memory_order_relaxed);
+    }
+  }
+  st->Reset(kExecStateShrinkThreshold);
+}
+
 // ---------------------------------------------------------------- SeqScan
 
 class ScanOp : public Operator {
@@ -194,14 +219,12 @@ class ScanOp : public Operator {
       : node_(node), ctx_(ctx), morsels_(morsels) {}
 
   ~ScanOp() override {
-    if (ctx_->stats != nullptr &&
-        (zone_skips_ != 0 || bc_state_.fallback_lanes != 0)) {
+    if (ctx_->stats != nullptr && zone_skips_ != 0) {
       if (OperatorStats* s = ctx_->stats->For(node_)) {
         s->zone_skips.fetch_add(zone_skips_, std::memory_order_relaxed);
-        s->bc_fallback_lanes.fetch_add(bc_state_.fallback_lanes,
-                                       std::memory_order_relaxed);
       }
     }
+    FlushBytecodeState(node_, ctx_, &bc_state_);
   }
 
   Status Open() override {
@@ -514,14 +537,7 @@ class FilterOp : public Operator {
   FilterOp(const PlanNode& node, OperatorPtr child, ExecContext* ctx)
       : node_(node), child_(std::move(child)), ctx_(ctx) {}
 
-  ~FilterOp() override {
-    if (bc_state_.fallback_lanes != 0 && ctx_->stats != nullptr) {
-      if (OperatorStats* s = ctx_->stats->For(node_)) {
-        s->bc_fallback_lanes.fetch_add(bc_state_.fallback_lanes,
-                                       std::memory_order_relaxed);
-      }
-    }
-  }
+  ~FilterOp() override { FlushBytecodeState(node_, ctx_, &bc_state_); }
 
   Status Open() override { return child_->Open(); }
 
@@ -570,14 +586,7 @@ class ProjectOp : public Operator {
   ProjectOp(const PlanNode& node, OperatorPtr child, ExecContext* ctx)
       : node_(node), child_(std::move(child)), ctx_(ctx) {}
 
-  ~ProjectOp() override {
-    if (bc_state_.fallback_lanes != 0 && ctx_->stats != nullptr) {
-      if (OperatorStats* s = ctx_->stats->For(node_)) {
-        s->bc_fallback_lanes.fetch_add(bc_state_.fallback_lanes,
-                                       std::memory_order_relaxed);
-      }
-    }
-  }
+  ~ProjectOp() override { FlushBytecodeState(node_, ctx_, &bc_state_); }
 
   Status Open() override { return child_->Open(); }
 
@@ -614,10 +623,23 @@ class ProjectOp : public Operator {
       const Expr& p = *node_.projections[c];
       if (dense && p.kind == ExprKind::kColumnRef && p.bound_slot >= 0 &&
           static_cast<size_t>(p.bound_slot) < in_.num_cols()) {
-        if (SlotUsedAfter(c, p.bound_slot)) {
+        // The column travels verbatim (dense implies identical physical
+        // rows), so its batch type proof stays valid — carry the tag across
+        // and downstream programs skip re-profiling.
+        const bool used_after = SlotUsedAfter(c, p.bound_slot);
+        const ColTag* tag = in_.TagFor(p.bound_slot);
+        if (tag != nullptr && batch->tags.size() < node_.projections.size()) {
+          batch->tags.resize(node_.projections.size());
+        }
+        if (used_after) {
           batch->cols[c] = in_.cols[p.bound_slot];
+          if (tag != nullptr) batch->tags[c] = *tag;
         } else {
           batch->cols[c] = std::move(in_.cols[p.bound_slot]);
+          if (tag != nullptr) {
+            batch->tags[c] = std::move(in_.tags[p.bound_slot]);
+            in_.InvalidateTag(p.bound_slot);
+          }
         }
         continue;
       }
@@ -739,8 +761,13 @@ class ExtractOp : public Operator {
       }
       return true;
     }
+    strips_pure_ = false;
     if (rows_fn_ != nullptr) {
       ASSIGN_OR_RETURN(bool columnar, TryServeFromStrips(batch));
+      // Every selected lane either came from a strip or is NULL (no hot
+      // reservoir rows): servable output columns carry the strip's declared
+      // type, so the batch tags can be seeded below.
+      strips_pure_ = columnar && hot_k_.empty();
       if (!columnar) {
         const uint64_t heat_t0 = heat_enabled_ ? metrics::NowNanos() : 0;
         RETURN_NOT_OK((*rows_fn_)(*batch, batch->sel, node_.extract_targets,
@@ -787,8 +814,20 @@ class ExtractOp : public Operator {
     // Dense selection (no filter below): the per-lane outputs already sit in
     // physical order, so the extractor's columns append wholesale.
     if (batch->active() == batch->size) {
+      const size_t base = batch->cols.size();
       for (size_t t = 0; t < num_targets; ++t) {
         batch->cols.push_back(std::move(out_cols_[t]));
+      }
+      if (strips_pure_) {
+        // Seed the batch type tags from the strips' declared types. The
+        // profile pass still validates every lane (a mismatched strip type
+        // just degrades to kMixed), but it never has to classify.
+        for (const auto& [t, col] : servable_) {
+          const ColTag::Type want = StripTagType(col->type);
+          if (want != ColTag::Type::kUnknown) {
+            batch->ProfileColumn(base + t, want);
+          }
+        }
       }
       return true;
     }
@@ -1017,6 +1056,9 @@ class ExtractOp : public Operator {
   std::vector<size_t> cold_k_;
   std::vector<size_t> hot_k_;
   std::vector<uint32_t> hot_lanes_;
+  /// Last batch came entirely from strips (no hot reservoir lanes), so
+  /// servable output columns can seed batch type tags from the strip type.
+  bool strips_pure_ = false;
   std::vector<std::vector<Datum>> sub_cols_;
   uint64_t columnar_hits_ = 0;
   // Attribute heat accounting (FlushHeat), one entry per extract target.
@@ -2138,6 +2180,7 @@ void AppendAnalyzedNode(const PlanNode& node, const PlanStats& stats,
         for (const auto& p : node.projection_programs) add(p.get());
         if (compiled) {
           *out << " (bytecode ops=" << ops << " fused=" << fused
+               << " typed=" << s->bc_typed_lanes.load(std::memory_order_relaxed)
                << " fallback_lanes="
                << s->bc_fallback_lanes.load(std::memory_order_relaxed) << ")";
         }

@@ -50,6 +50,8 @@ struct OperatorStats {
   std::atomic<uint64_t> zone_skips{0};  // strips skipped via zone maps
   // bytecode-compiled nodes only:
   std::atomic<uint64_t> bc_fallback_lanes{0};  // lanes routed to tree walk
+  std::atomic<uint64_t> bc_typed_lanes{0};     // lanes on monomorphic kernels
+  std::atomic<uint64_t> bc_boxed_lanes{0};     // specializable lanes left boxed
 };
 
 /// Side table of per-node actuals for one execution, indexed by plan node

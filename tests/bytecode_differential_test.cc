@@ -22,11 +22,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/value.h"
+#include "engine/bytecode.h"
 #include "sinew/sinew_db.h"
 #include "workloads/nobench/generator.h"
 #include "workloads/nobench/runners.h"
@@ -42,6 +45,51 @@ int ParallelDegree() {
     if (parsed > 1) return parsed;
   }
   return 4;
+}
+
+/// Scopes a typed-kernel toggle: the monomorphic kernels are a process-wide
+/// switch, so tests that exercise the boxed path restore the default on exit.
+class TypedKernelsGuard {
+ public:
+  explicit TypedKernelsGuard(bool enabled) {
+    engine::bytecode::SetTypedKernelsEnabled(enabled);
+  }
+  ~TypedKernelsGuard() { engine::bytecode::SetTypedKernelsEnabled(true); }
+};
+
+/// Poison corpus for the typed kernels: documents whose attributes defeat
+/// every per-batch monomorphism proof the VM can attempt.
+///   v   — flips int -> double -> string on consecutive rows, so every batch
+///         (even size 3) is multi-typed and must stay boxed;
+///   d   — monomorphic double salted with NaN, -0.0 and +0.0, the values
+///         where an IEEE-== kernel would drift from SQL comparison;
+///   big — monomorphic int holding INT64_MIN / INT64_MAX among ordinary
+///         values (compared only, never negated or used in arithmetic —
+///         signed overflow is UB on both evaluators);
+///   k   — a small clean int domain for BETWEEN shapes.
+std::vector<Value> MakePoisonDocs(int n) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Value> docs;
+  docs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Value v = i % 3 == 0   ? Value::Int(i)
+              : i % 3 == 1 ? Value::Double(i + 0.5)
+                           : Value::String("s" + std::to_string(i % 7));
+    Value d = i % 7 == 0   ? Value::Double(nan)
+              : i % 7 == 1 ? Value::Double(-0.0)
+              : i % 7 == 2 ? Value::Double(0.0)
+                           : Value::Double((i - 80) + 0.25);
+    Value big = i % 5 == 0
+                    ? Value::Int(std::numeric_limits<int64_t>::min())
+                : i % 5 == 1 ? Value::Int(std::numeric_limits<int64_t>::max())
+                             : Value::Int((i - 80) * int64_t{1000001});
+    docs.push_back(Value::Object({{"id", Value::Int(i)},
+                                  {"v", std::move(v)},
+                                  {"d", std::move(d)},
+                                  {"big", std::move(big)},
+                                  {"k", Value::Int(i % 10)}}));
+  }
+  return docs;
 }
 
 /// Canonical row text: "name=value" pairs sorted by column name, NULLs
@@ -121,6 +169,7 @@ class BytecodeDifferentialTest : public ::testing::Test {
         {"bc-batch3-parallel", true, 3, deg},
         {"bc-batch256-parallel", true, 256, deg},
     };
+    const std::vector<Value> poison = MakePoisonDocs(160);
     for (NamedRunner& c : *configs_) {
       SinewOptions options;
       options.parallelism = c.parallelism;
@@ -129,6 +178,9 @@ class BytecodeDifferentialTest : public ::testing::Test {
       options.exec.batch_size = c.batch_size;
       c.runner = new nb::SinewRunner(options);
       ASSERT_TRUE(c.runner->Load(*docs_).ok()) << c.label;
+      auto loaded = c.runner->db()->LoadDocuments("poison", poison);
+      ASSERT_TRUE(loaded.ok()) << c.label << ": "
+                               << loaded.status().ToString();
       ASSERT_TRUE(c.runner->Prepare().ok()) << c.label;
     }
   }
@@ -341,7 +393,113 @@ TEST_F(BytecodeDifferentialTest, ExtractionChainsUnderBytecode) {
       "WHERE sparse_110 IS NOT NULL OR sparse_220 IS NOT NULL");
 }
 
+TEST_F(BytecodeDifferentialTest, PoisonMixedTypeColumnsStayExact) {
+  // `v` changes Datum kind on consecutive rows, so no batch is ever
+  // monomorphic: the typed profile must classify it kMixed and the boxed
+  // loops must produce the tree walk's exact Kleene/comparability verdicts
+  // (string lanes compare NULL against numeric literals and are filtered).
+  // Run the shapes with the kernels enabled and force-disabled: both paths
+  // feed the same differential against the tree-walk golden.
+  for (bool typed : {true, false}) {
+    TypedKernelsGuard guard(typed);
+    SCOPED_TRACE(typed ? "typed-on" : "typed-off");
+    ExpectSameAcrossConfigs("SELECT id AS i FROM poison WHERE v < 100");
+    ExpectSameAcrossConfigs("SELECT id AS i FROM poison WHERE v = 33");
+    ExpectSameAcrossConfigs(
+        "SELECT id AS i FROM poison WHERE v BETWEEN 10 AND 40");
+    ExpectSameAcrossConfigs("SELECT id AS i FROM poison WHERE v IS NOT NULL");
+    ExpectSameAcrossConfigs(
+        "SELECT v AS x, id AS i FROM poison WHERE id < 50");
+    ExpectSameAcrossConfigs(
+        "SELECT id AS i FROM poison WHERE v = 's3' OR v < 10");
+  }
+}
+
+TEST_F(BytecodeDifferentialTest, PoisonDoubleEdgeValuesStayExact) {
+  // `d` is monomorphic double, so the typed kernels DO run — over lanes
+  // holding NaN, -0.0 and +0.0. SQL comparison treats NaN as equal to
+  // everything and -0.0 == +0.0, so `d = 0` keeps the NaN and both zero
+  // lanes, and BETWEEN keeps NaN (both bound checks "tie"). A kernel built
+  // on IEEE == / < would drift here; these pin it against the tree walk.
+  for (bool typed : {true, false}) {
+    TypedKernelsGuard guard(typed);
+    SCOPED_TRACE(typed ? "typed-on" : "typed-off");
+    ExpectSameAcrossConfigs("SELECT id AS i FROM poison WHERE d = 0");
+    ExpectSameAcrossConfigs("SELECT id AS i FROM poison WHERE d < 1.5");
+    ExpectSameAcrossConfigs("SELECT id AS i FROM poison WHERE d >= 0");
+    ExpectSameAcrossConfigs(
+        "SELECT id AS i FROM poison WHERE d BETWEEN -0.5 AND 0.5");
+    ExpectSameAcrossConfigs(
+        "SELECT id AS i FROM poison WHERE d NOT BETWEEN -0.5 AND 0.5");
+    // Int column vs double literal promotes per-lane; double col vs int lit
+    // promotes the literal. Both cross-domain fused forms.
+    ExpectSameAcrossConfigs("SELECT id AS i FROM poison WHERE k < 4.5");
+    ExpectSameAcrossConfigs("SELECT id AS i FROM poison WHERE d < 1");
+    // NaN flows through typed arithmetic unchanged.
+    ExpectSameAcrossConfigs("SELECT d + 1.0 AS x FROM poison WHERE id < 40");
+  }
+}
+
+TEST_F(BytecodeDifferentialTest, PoisonInt64ExtremesCompareExact) {
+  // INT64_MIN / INT64_MAX lanes in comparison shapes only — arithmetic or
+  // negation on them is signed-overflow UB on the boxed evaluator too, so
+  // the differential keeps to the comparison domain where behavior is
+  // defined. The int64 kernels must compare exactly (no double rounding:
+  // 2^63 - 1 is not representable as a double).
+  for (bool typed : {true, false}) {
+    TypedKernelsGuard guard(typed);
+    SCOPED_TRACE(typed ? "typed-on" : "typed-off");
+    ExpectSameAcrossConfigs("SELECT id AS i FROM poison WHERE big < 0");
+    ExpectSameAcrossConfigs(
+        "SELECT id AS i FROM poison WHERE big >= 9223372036854775807");
+    ExpectSameAcrossConfigs(
+        "SELECT id AS i FROM poison WHERE big <= -9223372036854775807");
+    ExpectSameAcrossConfigs(
+        "SELECT id AS i FROM poison "
+        "WHERE big BETWEEN -9223372036854775807 AND 1000");
+    ExpectSameAcrossConfigs("SELECT id AS i FROM poison WHERE big <> 0");
+    ExpectSameAcrossConfigs(
+        "SELECT big AS x FROM poison WHERE id BETWEEN 3 AND 120");
+  }
+}
+
+TEST_F(BytecodeDifferentialTest, TypedKernelSwitchCoversNoBenchShapes) {
+  // The monomorphic NoBench shapes (where the typed kernels actually fire)
+  // re-run with the kernels force-disabled: the boxed fallback must be a
+  // complete evaluator on its own, not just an error path.
+  TypedKernelsGuard guard(false);
+  ExpectSameAcrossConfigs("SELECT num AS n FROM nobench_main WHERE num < 40");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE num BETWEEN 100 AND 140");
+  ExpectSameAcrossConfigs(
+      "SELECT num AS n FROM nobench_main WHERE sparse_110 IS NOT NULL");
+  ExpectSameAcrossConfigs(
+      "SELECT num + 1 AS a, num * 2 AS b FROM nobench_main WHERE num < 500");
+  ExpectSameErrorAcrossConfigs(
+      "SELECT num / 0 AS x FROM nobench_main WHERE num < 10");
+}
+
 #if !defined(SINEW_METRICS_DISABLED)
+TEST_F(BytecodeDifferentialTest, TypedLanesCountedOnlyWhenEnabled) {
+  // A monomorphic int projection must grow eval.typed_lanes when the
+  // kernels are on and eval.boxed_lanes (not typed) when forced off.
+  metrics::Counter* typed_lanes = metrics::GetCounter("eval.typed_lanes");
+  metrics::Counter* boxed_lanes = metrics::GetCounter("eval.boxed_lanes");
+  nb::SinewRunner* runner = (*configs_)[4].runner;  // bc-batch256-serial
+  const std::string sql =
+      "SELECT num + 1 AS x FROM nobench_main WHERE num >= 0";
+  const uint64_t typed_before = typed_lanes->value();
+  ASSERT_TRUE(runner->db()->Query(sql).ok());
+  EXPECT_GT(typed_lanes->value(), typed_before) << "typed lanes uncounted";
+
+  TypedKernelsGuard guard(false);
+  const uint64_t typed_mid = typed_lanes->value();
+  const uint64_t boxed_mid = boxed_lanes->value();
+  ASSERT_TRUE(runner->db()->Query(sql).ok());
+  EXPECT_EQ(typed_lanes->value(), typed_mid) << "kill switch ignored";
+  EXPECT_GT(boxed_lanes->value(), boxed_mid) << "boxed lanes uncounted";
+}
+
 TEST_F(BytecodeDifferentialTest, BytecodeConfigsActuallyCompile) {
   // Guard against diffing the tree walk against itself: a bytecode config
   // must compile programs at plan time, a tree-walk config must not.

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -306,6 +308,231 @@ TEST(BytecodeExec, ExprModeAndRowModeAgree) {
     ASSERT_TRUE(keep.ok());
     EXPECT_EQ(*keep, i > 5);
   }
+}
+
+// ------------------------------------------------------------ typed kernels
+
+/// Forces the typed-kernel kill switch for one scope (default back on).
+struct TypedKernelsGuard {
+  explicit TypedKernelsGuard(bool on) { bc::SetTypedKernelsEnabled(on); }
+  ~TypedKernelsGuard() { bc::SetTypedKernelsEnabled(true); }
+};
+
+/// A one-column batch of doubles (all lanes selected).
+RowBatch DoubleBatch(std::initializer_list<double> vals) {
+  RowBatch b;
+  b.Reset(1);
+  for (double v : vals) {
+    b.cols[0].push_back(Datum::Double(v));
+    b.sel.push_back(static_cast<uint32_t>(b.size++));
+  }
+  return b;
+}
+
+TEST(TypedKernels, ProfileColumnClassifiesValidatesAndInvalidates) {
+  RowBatch b;
+  b.Reset(1);
+  b.cols[0] = {Datum::Int(1), Datum(), Datum::Int(3)};
+  b.size = 3;
+  b.sel = {0, 1, 2};
+  const ColTag* t = b.ProfileColumn(0);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->type, ColTag::Type::kInt);
+  EXPECT_TRUE(t->has_nulls);
+  EXPECT_FALSE(t->IsNull(0));
+  EXPECT_TRUE(t->IsNull(1));
+  // Raw values stay row-dense with zero placeholders at NULL rows.
+  EXPECT_EQ(t->ints, (std::vector<int64_t>{1, 0, 3}));
+
+  // A wrong producer seed degrades to kMixed instead of lying.
+  b.InvalidateTag(0);
+  const ColTag* w = b.ProfileColumn(0, ColTag::Type::kDouble);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->type, ColTag::Type::kMixed);
+
+  // A correct seed validates to the seeded type.
+  b.InvalidateTag(0);
+  const ColTag* s = b.ProfileColumn(0, ColTag::Type::kInt);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->type, ColTag::Type::kInt);
+
+  // Mutation drops the proof.
+  b.AppendRow(DatumRow{Datum::Text("x")});
+  EXPECT_EQ(b.TagFor(0), nullptr);
+}
+
+TEST(TypedKernels, MonomorphicLanesAreCountedAndMatchBoxed) {
+  auto p = MustCompile(Expr::Binary(BinaryOp::kLt, Col(0), Lit(9)), 2);
+  RowBatch b = MakeBatch(16);
+  bc::ExecState typed_st;
+  std::vector<uint32_t> typed_sel = b.sel;
+  ASSERT_TRUE(
+      bc::ExecPredicateBatch(*p, b, nullptr, &typed_st, &typed_sel).ok());
+  EXPECT_EQ(typed_st.typed_lanes, 16u);
+  EXPECT_EQ(typed_st.boxed_lanes, 0u);
+
+  TypedKernelsGuard off(false);
+  RowBatch b2 = MakeBatch(16);  // fresh batch: no cached tags
+  bc::ExecState boxed_st;
+  std::vector<uint32_t> boxed_sel = b2.sel;
+  ASSERT_TRUE(
+      bc::ExecPredicateBatch(*p, b2, nullptr, &boxed_st, &boxed_sel).ok());
+  EXPECT_EQ(boxed_st.typed_lanes, 0u);
+  EXPECT_EQ(boxed_st.boxed_lanes, 16u);
+  EXPECT_EQ(typed_sel, boxed_sel);
+}
+
+TEST(TypedKernels, NaNNegZeroAndPromotionMatchBoxedSemantics) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Datum::Compare's Cmp() sees NaN as "equal" to everything (both strict
+  // orders are false) and -0.0 == 0.0; the typed kernels must reproduce
+  // that, not IEEE ==. The int-vs-double shapes exercise lane promotion.
+  const std::vector<ExprPtr> preds = [] {
+    std::vector<ExprPtr> v;
+    for (BinaryOp op : {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                        BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe}) {
+      v.push_back(Expr::Binary(op, Col(0), Expr::Literal(Datum::Double(0.0))));
+      v.push_back(Expr::Binary(op, Col(0), Expr::Literal(Datum::Int(0))));
+    }
+    v.push_back(Expr::Between(Col(0), Expr::Literal(Datum::Double(-1.0)),
+                              Expr::Literal(Datum::Int(1)), false));
+    v.push_back(Expr::Between(Col(0), Expr::Literal(Datum::Int(-1)),
+                              Expr::Literal(Datum::Double(1.0)), true));
+    return v;
+  }();
+  for (const ExprPtr& e : preds) {
+    auto p = MustCompile(e, 1);
+    std::vector<uint32_t> sels[2];
+    for (int cfg = 0; cfg < 2; ++cfg) {
+      TypedKernelsGuard g(cfg == 0);
+      RowBatch b = DoubleBatch({1.0, nan, -0.0, 0.0, -2.5});
+      bc::ExecState st;
+      sels[cfg] = b.sel;
+      ASSERT_TRUE(bc::ExecPredicateBatch(*p, b, nullptr, &st, &sels[cfg]).ok())
+          << e->ToString();
+    }
+    EXPECT_EQ(sels[0], sels[1]) << e->ToString();
+  }
+  // Spot-check one absolute verdict so both configs can't be wrong together:
+  // NaN "equals" 0.0 under Cmp(), so kEq keeps the NaN lane.
+  auto eq = MustCompile(
+      Expr::Binary(BinaryOp::kEq, Col(0), Expr::Literal(Datum::Double(0.0))),
+      1);
+  RowBatch b = DoubleBatch({1.0, nan, -0.0});
+  bc::ExecState st;
+  std::vector<uint32_t> sel = b.sel;
+  ASSERT_TRUE(bc::ExecPredicateBatch(*eq, b, nullptr, &st, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(TypedKernels, MixedColumnStaysBoxedWithIdenticalResults) {
+  auto mixed_batch = [] {
+    RowBatch b;
+    b.Reset(1);
+    b.cols[0] = {Datum::Int(1), Datum::Double(2.0), Datum::Text("3"),
+                 Datum::Int(4)};
+    b.size = 4;
+    b.sel = {0, 1, 2, 3};
+    return b;
+  };
+  auto p = MustCompile(Expr::Binary(BinaryOp::kGe, Col(0), Lit(2)), 1);
+  RowBatch b = mixed_batch();
+  bc::ExecState st;
+  std::vector<uint32_t> sel = b.sel;
+  ASSERT_TRUE(bc::ExecPredicateBatch(*p, b, nullptr, &st, &sel).ok());
+  EXPECT_EQ(st.typed_lanes, 0u);  // profile cached kMixed, no typed lanes
+  EXPECT_EQ(st.boxed_lanes, 4u);
+  ASSERT_NE(b.TagFor(0), nullptr);
+  EXPECT_EQ(b.TagFor(0)->type, ColTag::Type::kMixed);
+
+  TypedKernelsGuard off(false);
+  RowBatch b2 = mixed_batch();
+  bc::ExecState boxed_st;
+  std::vector<uint32_t> boxed_sel = b2.sel;
+  ASSERT_TRUE(
+      bc::ExecPredicateBatch(*p, b2, nullptr, &boxed_st, &boxed_sel).ok());
+  EXPECT_EQ(sel, boxed_sel);
+}
+
+TEST(TypedKernels, ArithmeticErrorTextMatchesBoxedPath) {
+  auto p = MustCompile(
+      Expr::Binary(BinaryOp::kEq,
+                   Expr::Binary(BinaryOp::kDiv, Col(0), Lit(0)), Lit(1)),
+      2);
+  std::string texts[2];
+  for (int cfg = 0; cfg < 2; ++cfg) {
+    TypedKernelsGuard g(cfg == 0);
+    RowBatch b = MakeBatch(4);
+    bc::ExecState st;
+    std::vector<uint32_t> sel = b.sel;
+    Status s = bc::ExecPredicateBatch(*p, b, nullptr, &st, &sel);
+    ASSERT_FALSE(s.ok());
+    texts[cfg] = s.ToString();
+  }
+  EXPECT_EQ(texts[0], texts[1]);
+  EXPECT_NE(texts[0].find("division by zero"), std::string::npos);
+}
+
+TEST(TypedKernels, RegisterTagsKeepInstructionChainsTyped) {
+  // (col0 + 1) < 5: the arithmetic result register carries an int tag, so
+  // the comparison over it stays on the typed path — both instructions
+  // count their lanes as typed.
+  auto p = MustCompile(
+      Expr::Binary(BinaryOp::kLt,
+                   Expr::Binary(BinaryOp::kAdd, Col(0), Lit(1)), Lit(5)),
+      2);
+  RowBatch b = MakeBatch(8);
+  bc::ExecState st;
+  std::vector<uint32_t> sel = b.sel;
+  ASSERT_TRUE(bc::ExecPredicateBatch(*p, b, nullptr, &st, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(st.typed_lanes, 16u);  // 8 lanes through each of 2 instructions
+  EXPECT_EQ(st.boxed_lanes, 0u);
+}
+
+TEST(BytecodeExec, ResetShrinksHighWaterRegisterScratch) {
+  RowBatch b = MakeBatch(512);
+  auto p = MustCompile(
+      Expr::Binary(BinaryOp::kAdd, Expr::Binary(BinaryOp::kMul, Col(0),
+                                                Lit(3)), Lit(1)), 2);
+  bc::ExecState st;
+  std::vector<Datum> out;
+  ASSERT_TRUE(bc::ExecBatch(*p, b, b.sel, nullptr, &st, &out).ok());
+  ASSERT_TRUE(bc::ExecBatch(*p, b, b.sel, nullptr, &st, &out).ok());
+  // Registers high-water to the widest batch executed and stay pinned.
+  ASSERT_FALSE(st.regs.empty());
+  size_t high_water = 0;
+  for (const std::vector<Datum>& r : st.regs) {
+    high_water = std::max(high_water, r.capacity());
+  }
+  EXPECT_GE(high_water, 512u);
+
+  auto pred = MustCompile(Expr::Binary(BinaryOp::kLt, Col(0), Lit(4)), 2);
+  std::vector<uint32_t> sel = b.sel;
+  ASSERT_TRUE(bc::ExecPredicateBatch(*pred, b, nullptr, &st, &sel).ok());
+  ASSERT_NE(st.typed_lanes, 0u);
+
+  // Reset releases everything above the threshold and zeroes the counters…
+  st.Reset(/*shrink_threshold=*/0);
+  EXPECT_TRUE(st.regs.empty());
+  EXPECT_EQ(st.regs.capacity(), 0u);
+  EXPECT_EQ(st.frames.capacity(), 0u);
+  EXPECT_EQ(st.fallback_lanes, 0u);
+  EXPECT_EQ(st.typed_lanes, 0u);
+  EXPECT_EQ(st.boxed_lanes, 0u);
+
+  // …and the state stays fully usable afterwards.
+  ASSERT_TRUE(bc::ExecBatch(*p, b, b.sel, nullptr, &st, &out).ok());
+  ASSERT_EQ(out.size(), 512u);
+  EXPECT_EQ(out[7].int_value(), 22);
+
+  // A threshold above the high-water mark keeps capacity (clear, not free).
+  bc::ExecState keep;
+  ASSERT_TRUE(bc::ExecBatch(*p, b, b.sel, nullptr, &keep, &out).ok());
+  const size_t reg_count = keep.regs.size();
+  keep.Reset(/*shrink_threshold=*/1 << 20);
+  EXPECT_TRUE(keep.regs.empty());
+  EXPECT_GE(keep.regs.capacity(), reg_count);
 }
 
 TEST(BytecodeExec, FallbackLanesAreCountedPerLane) {

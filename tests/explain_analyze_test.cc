@@ -121,27 +121,31 @@ TEST(ExplainTest, ExplainAnalyzeReportsBytecodeShape) {
   FillTable(&db, 100);
 
   // The pushed-down scan filter compiles to one fused colref-cmp-literal
-  // instruction; the projection `a + 1` to one (unfused) arithmetic op. No
-  // lane ever needs the tree-walk fallback.
+  // instruction; it runs in row mode during decode, where typed kernels
+  // never apply (typed=0). The projection `a + 1` compiles to one (unfused)
+  // arithmetic op over the 50 surviving lanes; column `a` is a monomorphic
+  // int column, so every lane runs on the typed kernel (typed=50). No lane
+  // ever needs the tree-walk fallback.
   auto result =
       db.Execute("EXPLAIN ANALYZE SELECT a + 1 AS x FROM t WHERE a < 50");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   std::string text = ExplainText(*result);
-  EXPECT_NE(text.find("(bytecode ops=1 fused=1 fallback_lanes=0)"),
+  EXPECT_NE(text.find("(bytecode ops=1 fused=1 typed=0 fallback_lanes=0)"),
             std::string::npos)
       << text;
-  EXPECT_NE(text.find("(bytecode ops=1 fused=0 fallback_lanes=0)"),
+  EXPECT_NE(text.find("(bytecode ops=1 fused=0 typed=50 fallback_lanes=0)"),
             std::string::npos)
       << text;
 
   // A CASE projection compiles to a fallback-lane instruction; every row
-  // routes through the scalar evaluator and is counted.
+  // routes through the scalar evaluator and is counted, and none touch a
+  // typed kernel.
   auto fallback = db.Execute(
       "EXPLAIN ANALYZE SELECT CASE WHEN a < 50 THEN 1 ELSE 2 END AS x "
       "FROM t");
   ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
   std::string fb_text = ExplainText(*fallback);
-  EXPECT_NE(fb_text.find("(bytecode ops=1 fused=0 fallback_lanes=100)"),
+  EXPECT_NE(fb_text.find("(bytecode ops=1 fused=0 typed=0 fallback_lanes=100)"),
             std::string::npos)
       << fb_text;
 
